@@ -1,0 +1,28 @@
+"""Shared bench configuration.
+
+Every bench prints the paper-style table (simulated time) and asserts
+the qualitative shape the paper reports; pytest-benchmark wraps one
+representative configuration per bench so wall-clock regressions are
+also tracked.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pedantic(benchmark, fn, *args, **kwargs):
+    """One-shot benchmark run (simulations are deterministic; repeated
+    rounds only re-measure interpreter noise)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Fixture exposing the one-shot pedantic runner."""
+
+    def runner(fn, *args, **kwargs):
+        return pedantic(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,76 @@
+"""Ablation A10 — attribute defaults and the strict debugging mode.
+
+§IV requirement 5: attributes can be set per communicator or per call,
+and it should be easy to switch to "the most stringent rules while
+debugging".  This bench shows (a) the two mechanisms are equivalent in
+cost, and (b) what the strict mode costs over the tuned fast path —
+the price of debuggability.
+"""
+
+import pytest
+
+from repro.bench.harness import Series, format_table
+from repro.datatypes import BYTE
+from repro.rma import RmaAttrs
+from repro.runtime import World
+
+N_PUTS = 50
+SIZE = 128
+
+
+def run_puts(attr_source: str) -> float:
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(4096)
+        elapsed = None
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(SIZE)
+            if attr_source == "comm-default-strict":
+                ctx.rma.set_default_attrs(RmaAttrs.strict(), ctx.comm)
+                kwargs = {}
+            elif attr_source == "per-call-strict":
+                kwargs = {"attrs": RmaAttrs.strict()}
+            elif attr_source == "none":
+                kwargs = {"attrs": RmaAttrs(blocking=True)}
+            else:
+                raise ValueError(attr_source)
+            t0 = ctx.sim.now
+            for _ in range(N_PUTS):
+                yield from ctx.rma.put(
+                    src, 0, SIZE, BYTE, tmems[0], 0, SIZE, BYTE, **kwargs,
+                )
+            yield from ctx.rma.complete(ctx.comm, 0)
+            elapsed = ctx.sim.now - t0
+        yield from ctx.comm.barrier()
+        return elapsed
+
+    return World(n_ranks=2).run(program)[1]
+
+
+SOURCES = ["none", "per-call-strict", "comm-default-strict"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {s: run_puts(s) for s in SOURCES}
+
+
+def test_defaults_equivalent_and_strict_costs(results, bench_once):
+    series = {s: Series(s, [results[s]]) for s in SOURCES}
+    table = format_table(
+        f"A10: {N_PUTS} puts + complete under different attribute sources",
+        "workload",
+        [f"{SIZE} B"],
+        series,
+        unit="µs",
+    )
+    print("\n" + table)
+
+    # (a) the per-call override and the communicator default cost the same
+    assert results["per-call-strict"] == pytest.approx(
+        results["comm-default-strict"], rel=1e-6
+    )
+    # (b) strict debugging mode costs real money over the fast path —
+    # that is exactly why attributes are per-operation
+    assert results["per-call-strict"] > 2.0 * results["none"]
+
+    bench_once(run_puts, "none")

@@ -1,0 +1,155 @@
+"""Ablation A7 — strawman vs GASNet (§VI).
+
+Two gaps the paper calls out in GASNet's extended API (v1.8):
+
+1. **no noncontiguous transfers** — moving a strided region costs one
+   put per block, paying per-message overhead each time, where the
+   strawman ships one datatype-described operation (both measured at
+   identical local-completion semantics);
+2. **no accumulate** — a remote update needs a get, local arithmetic,
+   and a put back: slightly slower per update *and not atomic*, so
+   contended updates lose increments; the strawman's accumulate is one
+   one-sided op and (with the atomicity attribute) loses nothing.
+"""
+
+import pytest
+
+from repro.bench.harness import Series, format_table
+from repro.datatypes import BYTE, FLOAT64, hvector
+from repro.runtime import World
+
+BLOCK = 64
+STRIDE = 256
+
+
+def strided_via_gasnet(n_blocks: int) -> float:
+    """Per-block puts + implicit-handle sync (local completion, µs)."""
+
+    def program(ctx):
+        yield from ctx.gasnet.attach(STRIDE * (n_blocks + 1))
+        elapsed = None
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(BLOCK * n_blocks)
+            t0 = ctx.sim.now
+            for b in range(n_blocks):
+                yield from ctx.gasnet.put_nbi(
+                    0, b * STRIDE, src, b * BLOCK, BLOCK
+                )
+            yield from ctx.gasnet.wait_syncnbi()
+            elapsed = ctx.sim.now - t0
+        yield from ctx.comm.barrier()
+        return elapsed
+
+    return World(n_ranks=2).run(program)[1]
+
+
+def strided_via_strawman(n_blocks: int) -> float:
+    """One datatype-described put (local completion, µs)."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(
+            STRIDE * (n_blocks + 1)
+        )
+        elapsed = None
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(BLOCK * n_blocks)
+            t = hvector(n_blocks, BLOCK, STRIDE, BYTE)
+            t0 = ctx.sim.now
+            yield from ctx.rma.put(
+                src, 0, n_blocks * BLOCK, BYTE, tmems[0], 0, 1, t,
+                blocking=True,
+            )
+            elapsed = ctx.sim.now - t0
+        yield from ctx.comm.barrier()
+        return elapsed
+
+    return World(n_ranks=2).run(program)[1]
+
+
+def contended_updates(api: str, n_updaters: int = 3, per_rank: int = 10):
+    """(final_counter, expected, µs_per_update) under contention."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        seg = None
+        if ctx.gasnet is not None:
+            seg = yield from ctx.gasnet.attach(64)
+        yield from ctx.comm.barrier()
+        elapsed = None
+        if 1 <= ctx.rank <= n_updaters:
+            t0 = ctx.sim.now
+            if api == "gasnet":
+                tmp = ctx.mem.space.alloc(8)
+                for _ in range(per_rank):
+                    yield from ctx.gasnet.get(0, 0, tmp, 0, 8)
+                    v = ctx.mem.space.view(tmp, "float64")
+                    v[0] += 1.0
+                    yield from ctx.gasnet.put(0, 0, tmp, 0, 8)
+            else:
+                src = ctx.mem.space.alloc(8)
+                ctx.mem.space.view(src, "float64")[0] = 1.0
+                for _ in range(per_rank):
+                    yield from ctx.rma.accumulate(
+                        src, 0, 1, FLOAT64, tmems[0], 0, 1, FLOAT64,
+                        op="sum", atomicity=True, blocking=True,
+                    )
+            elapsed = (ctx.sim.now - t0) / per_rank
+        yield from ctx.comm.barrier()
+        yield from ctx.rma.complete_collective(ctx.comm)
+        if ctx.rank == 0:
+            where = seg if api == "gasnet" else alloc
+            return float(ctx.mem.space.view(where, "float64")[0])
+        return elapsed
+
+    out = World(n_ranks=n_updaters + 1).run(program)
+    return out[0], float(n_updaters * per_rank), max(out[1:])
+
+
+N_BLOCKS = [4, 16, 64]
+
+
+@pytest.fixture(scope="module")
+def strided_results():
+    return {
+        "gasnet(per-block puts)": Series(
+            "g", [strided_via_gasnet(n) for n in N_BLOCKS]
+        ),
+        "strawman(datatype put)": Series(
+            "s", [strided_via_strawman(n) for n in N_BLOCKS]
+        ),
+    }
+
+
+def test_strided_transfer(strided_results, bench_once):
+    table = format_table(
+        "A7a: strided region (64 B blocks, 256 B stride), local completion",
+        "blocks",
+        N_BLOCKS,
+        strided_results,
+        unit="µs",
+    )
+    print("\n" + table)
+    g = strided_results["gasnet(per-block puts)"].values
+    s = strided_results["strawman(datatype put)"].values
+    # per-message overhead makes the per-block loop lose, and the gap
+    # widens with the block count
+    assert g[-1] > 3 * s[-1]
+    assert (g[-1] / s[-1]) > (g[0] / s[0])
+    bench_once(strided_via_strawman, 64)
+
+
+def test_contended_remote_update(bench_once):
+    got_g, expected, t_g = contended_updates("gasnet")
+    got_s, _, t_s = contended_updates("strawman")
+    print(
+        f"\nA7b: contended counter (3 updaters x 10): "
+        f"gasnet get+add+put -> {got_g:.0f}/{expected:.0f} "
+        f"({t_g:.2f} µs/update), "
+        f"strawman atomic accumulate -> {got_s:.0f}/{expected:.0f} "
+        f"({t_s:.2f} µs/update)"
+    )
+    # the strawman accumulate loses nothing
+    assert got_s == expected
+    # the unatomic read-modify-write loses updates under contention
+    assert got_g < expected
+    bench_once(contended_updates, "strawman")

@@ -1,0 +1,56 @@
+"""Ablation A4 — small-message latency: strawman vs MPI-2 vs two-sided.
+
+§IV requirement 4: "To permit low-latency operations, RMA operations
+should be possible in a single routine call."  A remotely complete
+strawman put is one call; MPI-2 needs lock/put/unlock (or a fence pair),
+and two-sided messaging pays tag matching and the receiver's
+participation.  The strawman must win on every fabric.
+"""
+
+import pytest
+
+from repro.bench import format_table, latency_once
+from repro.bench.harness import Series
+from repro.network import generic_rdma, infiniband_like, seastar_portals
+
+APIS = ["strawman", "mpi2_lock", "mpi2_fence", "send_recv"]
+NETS = {
+    "seastar": seastar_portals,
+    "infiniband": infiniband_like,
+    "generic": generic_rdma,
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        net: {
+            api: latency_once(api, size=8, network=factory())
+            for api in APIS
+        }
+        for net, factory in NETS.items()
+    }
+
+
+def test_strawman_has_lowest_latency(results, bench_once):
+    series = {
+        api: Series(api, [results[n][api] for n in sorted(NETS)])
+        for api in APIS
+    }
+    table = format_table(
+        "A4: 8-byte remotely-visible update latency",
+        "fabric",
+        sorted(NETS),
+        series,
+        unit="µs",
+    )
+    print("\n" + table)
+
+    for net in NETS:
+        strawman = results[net]["strawman"]
+        for api in ("mpi2_lock", "mpi2_fence", "send_recv"):
+            assert strawman < results[net][api], (net, api)
+        # MPI-2 lock/unlock adds roughly a lock round trip
+        assert results[net]["mpi2_lock"] > 1.3 * strawman, net
+
+    bench_once(latency_once, "strawman", size=8)

@@ -1,0 +1,55 @@
+"""Ablation A5 — MPI-2 synchronization overhead on a halo exchange.
+
+§I–II: the synchronization methods "add overhead to the basic data
+transfer functions" and scale differently: fence is collective (pays a
+barrier over all ranks), PSCW synchronizes only the neighbour group,
+lock/unlock pays per-target round trips, and the strawman's
+``complete_collective`` needs no window epochs at all.
+"""
+
+import pytest
+
+from repro.bench import format_table, halo_exchange_time
+from repro.bench.harness import Series
+
+MODES = ["fence", "pscw", "lock", "strawman"]
+RANKS = [4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        m: Series(m, [
+            halo_exchange_time(m, n_ranks=n, halo_bytes=1024, iterations=5)
+            for n in RANKS
+        ])
+        for m in MODES
+    }
+
+
+def test_halo_exchange_sync_overheads(results, bench_once):
+    table = format_table(
+        "A5: ring halo exchange (1 KiB halos), per-iteration time",
+        "ranks",
+        RANKS,
+        results,
+        unit="µs",
+    )
+    print("\n" + table)
+
+    for i, n in enumerate(RANKS):
+        fence = results["fence"].values[i]
+        pscw = results["pscw"].values[i]
+        lock = results["lock"].values[i]
+        strawman = results["strawman"].values[i]
+        # the strawman round beats fence and lock epochs
+        assert strawman < fence, n
+        assert strawman < lock, n
+    # fence pays a collective: its cost must grow with rank count
+    assert results["fence"].values[-1] > results["fence"].values[0]
+    # pscw synchronizes only neighbours: flatter growth than fence
+    growth_fence = results["fence"].values[-1] / results["fence"].values[0]
+    growth_pscw = results["pscw"].values[-1] / results["pscw"].values[0]
+    assert growth_pscw < growth_fence
+
+    bench_once(halo_exchange_time, "fence", n_ranks=8, iterations=2)

@@ -1,0 +1,65 @@
+"""Ablation A3 — RMA to a non-cache-coherent target (NEC SX style).
+
+§III-B2: "for RMA, this implies that involvement of the target is
+needed to either invalidate caches or otherwise make the process aware
+of data written by other processes."  In the engine that surfaces as an
+invalidation task on the target CPU before an op counts as applied, so
+per-op remote completion costs more against a non-coherent target,
+while fire-and-forget batches barely notice (invalidations overlap).
+"""
+
+import pytest
+
+from repro.bench import fig2_attribute_cost, format_table
+from repro.bench.harness import Series
+from repro.machine import MachineConfig, NodeConfig
+
+SIZES = [8, 256, 1024]
+
+
+def sx_like_target(n_ranks: int = 8) -> MachineConfig:
+    """Rank 0's node non-coherent (the Figure-2 target), rest coherent."""
+    return MachineConfig(
+        name="sx-like-target",
+        n_nodes=n_ranks,
+        threads_allowed=True,
+        nodes=[NodeConfig(coherent=False)] + [NodeConfig(coherent=True)],
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for target, machine in (("coherent", None),
+                            ("non-coherent", sx_like_target())):
+        for mode in ("none", "remote_complete"):
+            label = f"{target}/{mode}"
+            out[label] = Series(label, [
+                fig2_attribute_cost(mode, s, machine=machine) for s in SIZES
+            ])
+    return out
+
+
+def test_noncoherent_target_costs_more(results, bench_once):
+    table = format_table(
+        "A3: 100 puts + complete vs target coherence",
+        "bytes/put",
+        SIZES,
+        results,
+        unit="ms",
+        scale=1e-3,
+    )
+    print("\n" + table)
+
+    for i, size in enumerate(SIZES):
+        rc_coh = results["coherent/remote_complete"].values[i]
+        rc_non = results["non-coherent/remote_complete"].values[i]
+        # per-op completion pays the target-involvement (invalidation)
+        assert rc_non > 1.1 * rc_coh, size
+        # batch mode barely notices: invalidations overlap
+        none_coh = results["coherent/none"].values[i]
+        none_non = results["non-coherent/none"].values[i]
+        assert none_non < 1.1 * none_coh, size
+
+    bench_once(fig2_attribute_cost, "remote_complete", 256,
+               machine=sx_like_target())

@@ -1,0 +1,71 @@
+"""Ablation A1 — the ordering attribute across network personalities.
+
+§III-B: "RMA attributes such as ordering …, when they are offered as
+features by the underlying network, are trivial to implement.  When a
+network offers a mechanism to check for remote completion but doesn't
+guarantee ordering of data transfers, the ordering attribute can still
+be guaranteed with a slight penalty."
+
+Two measurements on the Figure-2 workload:
+
+- batch mode (fire-and-forget puts + one complete): ordering is free on
+  *both* fabrics — target-side sequencing costs nothing when only the
+  final watermark matters;
+- per-op remote completion: on the ordered fabric the hardware event
+  queue still serves (free); on the unordered fabric ordering
+  invalidates delivery-time acks, forcing software application acks —
+  the paper's "slight penalty".
+"""
+
+import pytest
+
+from repro.bench import fig2_attribute_cost, format_table
+from repro.bench.harness import Series
+from repro.network import quadrics_like, seastar_portals
+
+SIZES = [8, 256, 1024]
+BATCH = ("none", "ordering")
+PEROP = ("remote_complete", "ordering+remote_complete")
+
+
+@pytest.fixture(scope="module")
+def results():
+    nets = {"seastar": seastar_portals, "quadrics": quadrics_like}
+    out = {}
+    for netname, net in nets.items():
+        for mode in BATCH + PEROP:
+            label = f"{netname}/{mode}"
+            out[label] = Series(label, [
+                fig2_attribute_cost(mode, s, network=net()) for s in SIZES
+            ])
+    return out
+
+
+def test_ordering_cost_depends_on_network(results, bench_once):
+    table = format_table(
+        "A1: ordering attribute vs fabric ordering (100 puts + complete)",
+        "bytes/put",
+        SIZES,
+        results,
+        unit="ms",
+        scale=1e-3,
+    )
+    print("\n" + table)
+
+    for i, size in enumerate(SIZES):
+        # batch completion: ordering free on both fabrics
+        assert results["seastar/ordering"].values[i] == pytest.approx(
+            results["seastar/none"].values[i], rel=0.02), size
+        assert results["quadrics/ordering"].values[i] == pytest.approx(
+            results["quadrics/none"].values[i], rel=0.10), size
+        # per-op remote completion: free where the fabric orders...
+        assert results["seastar/ordering+remote_complete"].values[i] == (
+            pytest.approx(results["seastar/remote_complete"].values[i],
+                          rel=0.02)), size
+        # ...slight penalty where it does not (software acks + gating)
+        ratio = (results["quadrics/ordering+remote_complete"].values[i]
+                 / results["quadrics/remote_complete"].values[i])
+        assert 1.02 < ratio < 2.5, (size, ratio)
+
+    bench_once(fig2_attribute_cost, "ordering+remote_complete", 256,
+               network=quadrics_like())

@@ -1,0 +1,63 @@
+"""Ablation A2 — remote-completion cost vs NIC completion events.
+
+§III-B: remote completion is "trivial to implement" when the network
+reports it (Portals event queue); without such a mechanism software adds
+a penalty.  We take each fabric and toggle *only* the
+``remote_completion_events`` capability: the extra cost of per-op remote
+completion (delta over the attribute-free baseline) must be larger when
+the hardware events are absent (software application acks through the
+target's injection path).
+"""
+
+import pytest
+
+from repro.bench import fig2_attribute_cost, format_table
+from repro.bench.harness import Series
+from repro.network import infiniband_like, seastar_portals
+
+SIZES = [8, 256, 1024]
+
+
+def delta_rc(network, size):
+    """Extra cost of per-op remote completion over the baseline."""
+    none = fig2_attribute_cost("none", size, network=network)
+    rc = fig2_attribute_cost("remote_complete", size, network=network)
+    return rc - none
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for base_name, base in (("seastar", seastar_portals()),
+                            ("ib", infiniband_like())):
+        for eq in (True, False):
+            label = f"{base_name}/{'EQ' if eq else 'no-EQ'}"
+            net = base.with_(remote_completion_events=eq)
+            out[label] = Series(label,
+                                [delta_rc(net, s) for s in SIZES])
+    return out
+
+
+def test_completion_events_cheaper_than_software(results, bench_once):
+    table = format_table(
+        "A2: extra cost of per-op remote completion (100 puts), by NIC "
+        "completion capability",
+        "bytes/put",
+        SIZES,
+        results,
+        unit="ms",
+        scale=1e-3,
+    )
+    print("\n" + table)
+
+    for i, size in enumerate(SIZES):
+        assert (results["seastar/no-EQ"].values[i]
+                > results["seastar/EQ"].values[i]), size
+        assert (results["ib/no-EQ"].values[i]
+                > results["ib/EQ"].values[i]), size
+        # ...but it stays a "slight penalty", not an order of magnitude
+        assert (results["seastar/no-EQ"].values[i]
+                < 2.0 * results["seastar/EQ"].values[i]), size
+
+    bench_once(fig2_attribute_cost, "remote_complete", 256,
+               network=infiniband_like())

@@ -1,0 +1,55 @@
+"""Ablation A9 — serializer scalability under contention (extends Fig. 2).
+
+The paper measures atomicity at 7 contending origins; this sweeps the
+origin count.  The coarse lock serializes *entire lock-hold spans*
+(grant → transfer → ack → release), so its per-origin time grows roughly
+linearly with contenders; the communication thread serializes only the
+application step and degrades far more gently.
+"""
+
+import pytest
+
+from repro.bench import fig2_attribute_cost, format_table
+from repro.bench.harness import Series
+
+ORIGINS = [2, 4, 8, 12]
+PUTS = 50
+SIZE = 64
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for mode in ("atomicity+thread", "atomicity+lock"):
+        out[mode] = Series(mode, [
+            fig2_attribute_cost(mode, SIZE, n_origins=n,
+                                puts_per_origin=PUTS)
+            for n in ORIGINS
+        ])
+    return out
+
+
+def test_lock_scales_worse_than_thread(results, bench_once):
+    table = format_table(
+        f"A9: {PUTS} atomic puts/origin + complete, vs contention",
+        "origins",
+        ORIGINS,
+        results,
+        unit="ms",
+        scale=1e-3,
+    )
+    print("\n" + table)
+
+    thr = results["atomicity+thread"].values
+    lock = results["atomicity+lock"].values
+    for i, n in enumerate(ORIGINS):
+        assert lock[i] > thr[i], n
+    growth_lock = lock[-1] / lock[0]
+    growth_thread = thr[-1] / thr[0]
+    # the lock's contention growth clearly outpaces the thread's
+    assert growth_lock > 1.5 * growth_thread, (growth_lock, growth_thread)
+    # near-linear growth in contenders for the lock (6x origins -> ~>3x)
+    assert growth_lock > 3.0
+
+    bench_once(fig2_attribute_cost, "atomicity+thread", SIZE,
+               n_origins=4, puts_per_origin=PUTS)

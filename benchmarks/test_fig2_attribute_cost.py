@@ -1,0 +1,80 @@
+"""Figure 2 — the cost of each RMA attribute on a Cray-XT5-like system.
+
+Paper workload: 7 origin processes each do 100 blocking RMA Puts to
+overlapping memory on process 0, then one RMA_Complete.  Series: no
+attributes, ordering, remote completion, atomicity with a coarse-grain
+lock serializer, atomicity with a communication-thread serializer.
+Sizes 8 B – 1 KB.
+
+Shape criteria (DESIGN.md §5):
+
+1. ordering ≈ none (ordering is a natural SeaStar property — the two
+   lines overlap in the paper's plot);
+2. remote completion strictly costlier than both;
+3. atomicity + thread above remote completion but the same order of
+   magnitude ("serialized … with low overhead");
+4. atomicity + coarse lock far above everything (the paper's
+   "significant performance penalty");
+5. every series grows with message size.
+"""
+
+import pytest
+
+from repro.bench import FIG2_ATTR_MODES, fig2_attribute_cost, format_table
+from repro.bench.harness import Series
+
+SIZES = [8, 32, 128, 512, 1024]
+
+
+@pytest.fixture(scope="module")
+def fig2_results():
+    series = {}
+    for mode in FIG2_ATTR_MODES:
+        series[mode] = Series(
+            label=mode,
+            values=[fig2_attribute_cost(mode, size) for size in SIZES],
+        )
+    return series
+
+
+def test_fig2_table_and_shape(fig2_results, bench_once):
+    table = format_table(
+        "Figure 2: time for 100 RMA Puts + 1 RMA Complete (XT5-like)",
+        "bytes/put",
+        SIZES,
+        fig2_results,
+        unit="ms",
+        scale=1e-3,
+    )
+    print("\n" + table)
+
+    none_v = fig2_results["none"].values
+    order_v = fig2_results["ordering"].values
+    rc_v = fig2_results["remote_complete"].values
+    thr_v = fig2_results["atomicity+thread"].values
+    lock_v = fig2_results["atomicity+lock"].values
+
+    for i, size in enumerate(SIZES):
+        # (1) ordering is free on an ordered fabric: lines overlap
+        assert order_v[i] == pytest.approx(none_v[i], rel=0.02), size
+        # (2) remote completion strictly above
+        assert rc_v[i] > 1.2 * none_v[i], size
+        # (3) thread-serialized atomicity above remote completion but
+        #     within the same order of magnitude
+        assert rc_v[i] < thr_v[i] < 8 * rc_v[i], size
+        # (4) coarse lock far above everything else
+        assert lock_v[i] > 3 * thr_v[i], size
+        assert lock_v[i] > 8 * none_v[i], size
+    # (5) growth with size for every series
+    for mode in FIG2_ATTR_MODES:
+        v = fig2_results[mode].values
+        assert v[-1] > v[0], mode
+
+    # wall-clock tracking on the baseline configuration
+    bench_once(fig2_attribute_cost, "none", 1024)
+
+
+def test_fig2_deterministic(fig2_results):
+    """Same seed, same result — the whole experiment is reproducible."""
+    again = fig2_attribute_cost("remote_complete", 128)
+    assert again == fig2_results["remote_complete"].values[SIZES.index(128)]

@@ -1,0 +1,45 @@
+"""Figure 1 (behavioural) — the three MPI-2 synchronization methods.
+
+Figure 1 is an illustration, not a measurement; this bench demonstrates
+each mode working on the simulated machine and reports the cost of one
+synchronized update round under each, which quantifies the paper's §I
+point that "the synchronization methods … add overhead to the basic data
+transfer functions".
+"""
+
+import pytest
+
+from repro.bench import format_table, latency_once
+from repro.bench.harness import Series
+
+MODES = ["mpi2_fence", "mpi2_lock", "strawman", "send_recv"]
+SIZES = [8, 256, 1024]
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        m: Series(m, [latency_once(m, size=s) for s in SIZES]) for m in MODES
+    }
+
+
+def test_sync_mode_costs(results, bench_once):
+    table = format_table(
+        "One remotely-visible 'put' under each interface",
+        "bytes",
+        SIZES,
+        results,
+        unit="µs",
+    )
+    print("\n" + table)
+
+    for i, size in enumerate(SIZES):
+        strawman = results["strawman"].values[i]
+        fence = results["mpi2_fence"].values[i]
+        lock = results["mpi2_lock"].values[i]
+        # MPI-2 synchronization adds overhead over the single-call
+        # strawman put (the motivation of §IV requirement 4)
+        assert fence > strawman, size
+        assert lock > strawman, size
+
+    bench_once(latency_once, "mpi2_fence", 256)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figure 2 as a table and ASCII plot.
+
+"The cost of each attribute on the Cray XT5": 7 origin ranks each issue
+100 blocking RMA Puts to overlapping memory on rank 0, then one
+RMA_Complete, for payload sizes 8 B – 1 KB, under the paper's four
+measured configurations (plus both serializers for atomicity).
+
+Run:  python examples/figure2.py
+"""
+
+from repro.bench import FIG2_ATTR_MODES, fig2_attribute_cost, format_table
+from repro.bench.harness import Series
+
+SIZES = [8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+def ascii_plot(series, sizes, width=60, height=16):
+    """A rough log-x scatter plot, one mark per series."""
+    marks = "ox+*#"
+    all_vals = [v for s in series.values() for v in s.values]
+    lo, hi = min(all_vals), max(all_vals)
+    rows = [[" "] * width for _ in range(height)]
+    import math
+
+    for si, (label, s) in enumerate(series.items()):
+        for i, size in enumerate(sizes):
+            x = int(
+                (math.log(size) - math.log(sizes[0]))
+                / (math.log(sizes[-1]) - math.log(sizes[0]))
+                * (width - 1)
+            )
+            y = int((s.values[i] - lo) / (hi - lo) * (height - 1))
+            rows[height - 1 - y][x] = marks[si % len(marks)]
+    out = [f"{hi / 1000:8.2f} ms +" + "-" * width]
+    for row in rows:
+        out.append(" " * 11 + "|" + "".join(row))
+    out.append(f"{lo / 1000:8.2f} ms +" + "-" * width)
+    out.append(" " * 12 + f"{sizes[0]} B" + " " * (width - 12) + f"{sizes[-1]} B")
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={label}"
+        for i, label in enumerate(series)
+    )
+    out.append("  " + legend)
+    return "\n".join(out)
+
+
+def main():
+    series = {}
+    for mode in FIG2_ATTR_MODES:
+        print(f"running {mode} ...", flush=True)
+        series[mode] = Series(
+            mode, [fig2_attribute_cost(mode, s) for s in SIZES]
+        )
+    print()
+    print(format_table(
+        "Figure 2: time (ms) for 100 RMA Puts + 1 RMA Complete",
+        "bytes/put", SIZES, series, unit="ms", scale=1e-3,
+    ))
+    print()
+    print(ascii_plot(series, SIZES))
+
+
+if __name__ == "__main__":
+    main()

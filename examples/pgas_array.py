@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""PGAS-style programming: a Global-Arrays library on the strawman API.
+
+The paper's §II motivation in miniature: ``repro.ga.GlobalArray`` is a
+library-level global address space built purely on the strawman RMA
+interface.  This example runs a distributed matrix-vector product where
+rows are processed via *work stealing* (an atomic read-inc counter), so
+any rank may compute any row — fetching the row and the vector with
+one-sided gets and accumulating its contribution back, no matter who
+owns what.
+
+Run:  python examples/pgas_array.py
+"""
+
+import numpy as np
+
+from repro import World
+from repro.ga import GlobalArray
+
+N = 48  # matrix is N x N
+
+
+def program(ctx):
+    A = yield from GlobalArray.create(ctx, (N, N))
+    x = yield from GlobalArray.create(ctx, (N,))
+    y = yield from GlobalArray.create(ctx, (N,))
+    counter = yield from GlobalArray.create(ctx, (1,), dtype="int64")
+
+    # rank 0 initializes A and x through one-sided puts only
+    if ctx.rank == 0:
+        rng = np.random.default_rng(7)
+        yield from A.put((slice(0, N), slice(0, N)),
+                         rng.integers(-3, 4, (N, N)).astype(float))
+        yield from x.put(slice(0, N), rng.integers(-2, 3, N).astype(float))
+    yield from y.fill(0.0)
+    yield from counter.fill(0)
+    yield from A.sync()
+    yield from x.sync()
+
+    # work-stolen y = A @ x : grab rows off the shared counter
+    xv = yield from x.get(slice(0, N))
+    rows_done = 0
+    while True:
+        row = yield from counter.read_inc(0)
+        if row >= N:
+            break
+        arow = yield from A.get((row, slice(0, N)))
+        yield from ctx.compute(2.0)  # the flops
+        yield from y.put((row,), np.array([float(arow.reshape(-1) @ xv)]))
+        rows_done += 1
+    yield from y.sync()
+
+    result = None
+    if ctx.rank == 0:
+        yv = yield from y.get(slice(0, N))
+        av = yield from A.get((slice(0, N), slice(0, N)))
+        result = (yv, av, xv)
+    yield from A.destroy()
+    yield from x.destroy()
+    yield from y.destroy()
+    yield from counter.destroy()
+    return (result, rows_done)
+
+
+def main():
+    world = World(n_ranks=6, seed=11)
+    out = world.run(program)
+    (yv, av, xv), _ = out[0]
+    ref = av @ xv
+    err = float(np.abs(yv - ref).max())
+    shares = [r for _, r in out]
+    print(f"distributed mat-vec, {N}x{N} over 6 ranks (work-stolen rows)")
+    print(f"rows per rank: {shares} (sum={sum(shares)})")
+    print(f"max |y - A@x| = {err:.2e}")
+    print(f"simulated time: {world.now:.1f} µs")
+    assert err == 0.0
+    assert sum(shares) == N
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — a simulation-based reproduction of
+"Investigating High Performance RMA Interfaces for the MPI-3 Standard"
+(Tipparaju, Gropp, Ritzdorf, Thakur, Träff — ICPP 2009).
+
+The package provides, over a deterministic discrete-event simulation of
+a parallel machine:
+
+- the paper's **strawman MPI-3 RMA interface** (:mod:`repro.rma`):
+  attribute-configurable put/get/accumulate/xfer, non-collective target
+  memory, request completion, per-rank/ALL_RANKS/collective complete and
+  order, RMW, and the RMI extension;
+- every substrate it needs: event kernel (:mod:`repro.sim`), machine
+  and cache models (:mod:`repro.machine`), NIC/fabric models
+  (:mod:`repro.network`), MPI datatypes (:mod:`repro.datatypes`), a
+  two-sided MPI runtime (:mod:`repro.mpi`);
+- the baselines it is compared against: MPI-2 RMA
+  (:mod:`repro.mpi2rma`), ARMCI and GASNet (:mod:`repro.baselines`);
+- consistency-model checkers (:mod:`repro.consistency`);
+- the experiment harness (:mod:`repro.bench`).
+
+Quickstart
+----------
+>>> from repro import World, RmaAttrs
+>>> from repro.datatypes import BYTE
+>>> def program(ctx):
+...     alloc, tmems = yield from ctx.rma.expose_collective(64)
+...     if ctx.rank == 1:
+...         src = ctx.mem.space.alloc(8, fill=7)
+...         yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+...                                blocking=True, remote_completion=True)
+...     yield from ctx.comm.barrier()
+...     return ctx.mem.load(alloc, 0, 8).tolist() if ctx.rank == 0 else None
+>>> World(n_ranks=2).run(program)[0]
+[7, 7, 7, 7, 7, 7, 7, 7]
+"""
+
+from repro.machine import (
+    MachineConfig,
+    cray_x1e,
+    cray_xt5_catamount,
+    cray_xt5_cnl,
+    generic_cluster,
+    hybrid_accelerator,
+    nec_sx9,
+)
+from repro.network import (
+    NetworkConfig,
+    generic_rdma,
+    infiniband_like,
+    quadrics_like,
+    seastar_portals,
+    shared_memory_like,
+)
+from repro.rma import ALL_RANKS, RmaAttrs, RmaError, TargetMem
+from repro.runtime import RankContext, World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RANKS",
+    "MachineConfig",
+    "NetworkConfig",
+    "RankContext",
+    "RmaAttrs",
+    "RmaError",
+    "TargetMem",
+    "World",
+    "__version__",
+    "cray_x1e",
+    "cray_xt5_catamount",
+    "cray_xt5_cnl",
+    "generic_cluster",
+    "generic_rdma",
+    "hybrid_accelerator",
+    "infiniband_like",
+    "nec_sx9",
+    "quadrics_like",
+    "seastar_portals",
+    "shared_memory_like",
+]

@@ -1,0 +1,34 @@
+"""Related-work RMA interfaces (paper §VI).
+
+Faithful-to-the-comparison models of the two communication subsystems the
+paper contrasts the strawman against:
+
+- :mod:`repro.baselines.armci` — ARMCI: contiguous/vector/strided
+  put/get, daxpy-only accumulate (always serialized), blocking ops
+  ordered / nonblocking ops unordered, and **no way to complete a
+  subset** of operations (only per-op local waits and whole-target /
+  global fences).
+- :mod:`repro.baselines.gasnet` — GASNet: a core API of short, medium,
+  and long active messages (no ordering, none specifiable) plus an
+  extended API with put/get only — **no accumulate and no
+  noncontiguous data**.
+- :mod:`repro.baselines.shmem` — Cray-SHMEM-style: symmetric-heap
+  allocation (the constraint §IV requirement 1 removes), blocking
+  put/get, fence/quiet/barrier_all, and symmetric atomics.
+"""
+
+from repro.baselines.armci import ArmciError, ArmciInterface, build_armci
+from repro.baselines.gasnet import GasnetError, GasnetInterface, build_gasnet
+from repro.baselines.shmem import ShmemError, ShmemInterface, build_shmem
+
+__all__ = [
+    "ArmciError",
+    "ArmciInterface",
+    "GasnetError",
+    "GasnetInterface",
+    "ShmemError",
+    "ShmemInterface",
+    "build_armci",
+    "build_gasnet",
+    "build_shmem",
+]

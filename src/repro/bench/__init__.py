@@ -1,0 +1,26 @@
+"""Experiment harness: paper workloads, sweeps, and table formatting.
+
+The benchmarks under ``benchmarks/`` drive these entry points; keeping
+the workload logic in the library means examples and tests can reuse it
+and the benches stay declarative.
+"""
+
+from repro.bench.harness import Series, format_table, run_sweep
+from repro.bench.workloads import (
+    FIG2_ATTR_MODES,
+    fig2_attribute_cost,
+    halo_exchange_time,
+    latency_once,
+    mpi2_sync_mode_time,
+)
+
+__all__ = [
+    "FIG2_ATTR_MODES",
+    "Series",
+    "fig2_attribute_cost",
+    "format_table",
+    "halo_exchange_time",
+    "latency_once",
+    "mpi2_sync_mode_time",
+    "run_sweep",
+]

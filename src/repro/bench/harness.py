@@ -1,0 +1,70 @@
+"""Sweep running and paper-style table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+__all__ = ["Series", "run_sweep", "format_table"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and y-values over the shared x-axis."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+
+def run_sweep(
+    fn: Callable[..., float],
+    x_values: Sequence,
+    series_params: Dict[str, dict],
+    **common,
+) -> Dict[str, Series]:
+    """Evaluate ``fn(x, **params, **common)`` over a grid.
+
+    ``series_params`` maps a series label to the keyword arguments that
+    distinguish it; ``x_values`` is passed as the first positional
+    argument... no — as ``fn(**params, **common)`` with ``x`` injected
+    under the key ``"size"`` unless a param named ``x_key`` overrides.
+    """
+    x_key = common.pop("x_key", "size")
+    out: Dict[str, Series] = {}
+    for label, params in series_params.items():
+        series = Series(label=label)
+        for x in x_values:
+            kwargs = dict(common)
+            kwargs.update(params)
+            kwargs[x_key] = x
+            series.values.append(fn(**kwargs))
+        out[label] = series
+    return out
+
+
+def format_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Series],
+    unit: str = "µs",
+    scale: float = 1.0,
+    floatfmt: str = "10.3f",
+) -> str:
+    """Render sweep results as an aligned text table (one row per x)."""
+    labels = list(series)
+    widths = [max(12, len(l) + 2) for l in labels]
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:>12} | " + " | ".join(
+        f"{l:>{w}}" for l, w in zip(labels, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(x_values):
+        row = f"{str(x):>12} | " + " | ".join(
+            f"{series[l].values[i] * scale:>{w}{floatfmt[2:]}}"
+            for l, w in zip(labels, widths)
+        )
+        lines.append(row)
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)

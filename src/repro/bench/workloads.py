@@ -1,0 +1,255 @@
+"""Paper workloads.
+
+The central one is :func:`fig2_attribute_cost` — the exact experiment of
+the paper's Figure 2:
+
+    "seven MPI processes (one on each of the XT5 nodes) concurrently do
+    100 puts to overlapping memory regions on process 0, followed by a
+    single RMA Complete call.  The experiment does these puts first with
+    no attributes, then with ordering set, followed by remote completion
+    set, and finally with atomicity attribute.  The Blocking attribute
+    is always set."
+
+Times are *simulated* microseconds (the harness converts to the paper's
+milliseconds for display).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.datatypes import BYTE
+from repro.machine import (
+    MachineConfig,
+    cray_xt5_catamount,
+    cray_xt5_cnl,
+    generic_cluster,
+)
+from repro.network import NetworkConfig, seastar_portals
+from repro.rma import ALL_RANKS, RmaAttrs
+from repro.runtime import World
+
+__all__ = [
+    "FIG2_ATTR_MODES",
+    "fig2_attribute_cost",
+    "latency_once",
+    "halo_exchange_time",
+    "mpi2_sync_mode_time",
+]
+
+#: The four measured configurations of Figure 2, in plot order.
+FIG2_ATTR_MODES = (
+    "none",
+    "ordering",
+    "remote_complete",
+    "atomicity+lock",
+    "atomicity+thread",
+)
+
+
+def _fig2_attrs(mode: str) -> RmaAttrs:
+    base = RmaAttrs(blocking=True)  # "The Blocking attribute is always set"
+    if mode == "none":
+        return base
+    if mode == "ordering":
+        return base.with_(ordering=True)
+    if mode == "remote_complete":
+        return base.with_(remote_completion=True)
+    if mode == "ordering+remote_complete":
+        return base.with_(ordering=True, remote_completion=True)
+    if mode in ("atomicity+lock", "atomicity+thread"):
+        return base.with_(atomicity=True)
+    raise ValueError(f"unknown Figure-2 mode {mode!r}")
+
+
+def fig2_attribute_cost(
+    mode: str,
+    size: int,
+    n_origins: int = 7,
+    puts_per_origin: int = 100,
+    network: Optional[NetworkConfig] = None,
+    machine: Optional[MachineConfig] = None,
+    seed: int = 0,
+) -> float:
+    """Run the Figure-2 workload; returns the elapsed simulated µs.
+
+    ``mode`` selects the attribute set *and* the serializer: the paper
+    measures atomicity twice, once with the communication-thread
+    serializer and once with the coarse-grain process-level lock.
+    The time reported is the slowest origin's "100 puts + 1 complete"
+    span, matching a per-iteration timing on the real machine.
+    """
+    n_ranks = n_origins + 1
+    attrs = _fig2_attrs(mode)
+    if mode == "atomicity+lock":
+        serializer = "lock"
+        machine = machine or cray_xt5_catamount(n_ranks)
+    elif mode == "atomicity+thread":
+        serializer = "thread"
+        machine = machine or cray_xt5_cnl(n_ranks)
+    else:
+        serializer = "auto"
+        machine = machine or cray_xt5_cnl(n_ranks)
+    network = network or seastar_portals()
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(
+            max(size + 64, 4096)
+        )
+        yield from ctx.comm.barrier()
+        elapsed = 0.0
+        if ctx.rank != 0:
+            src = ctx.mem.space.alloc(size, fill=ctx.rank)
+            t0 = ctx.sim.now
+            for _ in range(puts_per_origin):
+                # all origins hit the same (overlapping) region on rank 0
+                yield from ctx.rma.put(
+                    src, 0, size, BYTE, tmems[0], 0, size, BYTE, attrs=attrs,
+                )
+            yield from ctx.rma.complete(ctx.comm, 0)
+            elapsed = ctx.sim.now - t0
+        yield from ctx.comm.barrier()
+        return elapsed
+
+    world = World(machine=machine, network=network, seed=seed,
+                  serializer=serializer)
+    out = world.run(program)
+    return max(out)
+
+
+def latency_once(
+    api: str,
+    size: int = 8,
+    network: Optional[NetworkConfig] = None,
+    seed: int = 0,
+) -> float:
+    """Small-transfer latency of one remotely-complete update through
+    different interfaces (ablation A4).
+
+    ``api``: ``"strawman"`` (single blocking call), ``"mpi2_lock"``
+    (lock/put/unlock), ``"mpi2_fence"`` (fence/put/fence),
+    ``"send_recv"`` (two-sided).
+    Returns simulated µs for one update, averaged over 10 repetitions.
+    """
+    reps = 10
+    network = network or seastar_portals()
+
+    def program(ctx):
+        import numpy as np
+
+        alloc, tmems = yield from ctx.rma.expose_collective(max(64, size))
+        win = yield from ctx.mpi2.win_create(alloc)
+        yield from ctx.comm.barrier()
+        elapsed = 0.0
+        if api == "strawman":
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(size)
+                t0 = ctx.sim.now
+                for _ in range(reps):
+                    yield from ctx.rma.put(
+                        src, 0, size, BYTE, tmems[0], 0, size, BYTE,
+                        blocking=True, remote_completion=True,
+                    )
+                elapsed = (ctx.sim.now - t0) / reps
+        elif api == "mpi2_lock":
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(size)
+                t0 = ctx.sim.now
+                for _ in range(reps):
+                    yield from win.lock(0, shared=True)
+                    yield from win.put(src, 0, size, BYTE, 0, 0)
+                    yield from win.unlock(0)
+                elapsed = (ctx.sim.now - t0) / reps
+        elif api == "mpi2_fence":
+            src = ctx.mem.space.alloc(size)
+            yield from win.fence()
+            t0 = ctx.sim.now
+            for _ in range(reps):
+                if ctx.rank == 1:
+                    yield from win.put(src, 0, size, BYTE, 0, 0)
+                yield from win.fence()
+            elapsed = (ctx.sim.now - t0) / reps
+        elif api == "send_recv":
+            import numpy as np
+
+            data = np.zeros(size, dtype=np.uint8)
+            t0 = ctx.sim.now
+            for _ in range(reps):
+                if ctx.rank == 1:
+                    yield from ctx.comm.send(data, dest=0)
+                    yield from ctx.comm.recv(source=0)  # ack
+                elif ctx.rank == 0:
+                    yield from ctx.comm.recv(source=1)
+                    yield from ctx.comm.send(None, dest=1)
+            elapsed = (ctx.sim.now - t0) / reps
+        else:
+            raise ValueError(f"unknown api {api!r}")
+        yield from ctx.comm.barrier()
+        return elapsed
+
+    out = World(n_ranks=2, network=network, seed=seed).run(program)
+    return max(out)
+
+
+def halo_exchange_time(
+    sync_mode: str,
+    n_ranks: int = 8,
+    halo_bytes: int = 1024,
+    iterations: int = 10,
+    network: Optional[NetworkConfig] = None,
+    seed: int = 0,
+) -> float:
+    """1-D ring halo exchange under each MPI-2 sync mode, or the
+    strawman API (ablation A5).  Returns µs per iteration."""
+    network = network or seastar_portals()
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(2 * halo_bytes)
+        win = yield from ctx.mpi2.win_create(alloc)
+        left = (ctx.rank - 1) % ctx.size
+        right = (ctx.rank + 1) % ctx.size
+        src = ctx.mem.space.alloc(halo_bytes, fill=ctx.rank)
+        yield from ctx.comm.barrier()
+        t0 = ctx.sim.now
+        for _ in range(iterations):
+            if sync_mode == "fence":
+                yield from win.fence()
+                yield from win.put(src, 0, halo_bytes, BYTE, right, 0)
+                yield from win.put(src, 0, halo_bytes, BYTE, left, halo_bytes)
+                yield from win.fence()
+            elif sync_mode == "pscw":
+                yield from win.post([left, right])
+                yield from win.start([left, right])
+                yield from win.put(src, 0, halo_bytes, BYTE, right, 0)
+                yield from win.put(src, 0, halo_bytes, BYTE, left, halo_bytes)
+                yield from win.complete()
+                yield from win.wait()
+            elif sync_mode == "lock":
+                yield from win.lock(right, shared=True)
+                yield from win.put(src, 0, halo_bytes, BYTE, right, 0)
+                yield from win.unlock(right)
+                yield from win.lock(left, shared=True)
+                yield from win.put(src, 0, halo_bytes, BYTE, left, halo_bytes)
+                yield from win.unlock(left)
+                yield from ctx.comm.barrier()
+            elif sync_mode == "strawman":
+                yield from ctx.rma.put(src, 0, halo_bytes, BYTE,
+                                       tmems[right], 0, halo_bytes, BYTE,
+                                       blocking=True)
+                yield from ctx.rma.put(src, 0, halo_bytes, BYTE,
+                                       tmems[left], halo_bytes, halo_bytes,
+                                       BYTE, blocking=True)
+                yield from ctx.rma.complete_collective(ctx.comm)
+            else:
+                raise ValueError(f"unknown sync mode {sync_mode!r}")
+        elapsed = (ctx.sim.now - t0) / iterations
+        yield from ctx.comm.barrier()
+        return elapsed
+
+    out = World(n_ranks=n_ranks, network=network, seed=seed).run(program)
+    return max(out)
+
+
+def mpi2_sync_mode_time(sync_mode: str, **kwargs) -> float:
+    """Alias of :func:`halo_exchange_time` named for the Fig. 1 bench."""
+    return halo_exchange_time(sync_mode, **kwargs)

@@ -1,0 +1,40 @@
+"""Consistency-model machinery (paper §II-B, §III-A).
+
+The paper's taxonomy of memory-consistency requirements drives the
+attribute design; this package makes those models *checkable* against
+execution histories:
+
+- :func:`~repro.consistency.checkers.check_read_your_writes` — the
+  paper's *ordering property* (a single source observes its own writes);
+- :func:`~repro.consistency.checkers.check_causal` — causal consistency
+  (Hutto & Ahamad, the paper's [18]);
+- :func:`~repro.consistency.checkers.check_sequential` — Lamport
+  sequential consistency (the paper's [19]) via serialization search;
+- :class:`~repro.consistency.location.LocationPomset` — Gao & Sarkar
+  location consistency (the paper's [20]): per-location partially
+  ordered multisets of writes with synchronization edges.
+
+Histories can be built by hand (:class:`~repro.consistency.history.History`)
+or extracted from a traced simulation run
+(:func:`~repro.consistency.history.history_from_tracer`).
+"""
+
+from repro.consistency.checkers import (
+    Violation,
+    check_causal,
+    check_read_your_writes,
+    check_sequential,
+)
+from repro.consistency.history import History, MemOp, history_from_tracer
+from repro.consistency.location import LocationPomset
+
+__all__ = [
+    "History",
+    "LocationPomset",
+    "MemOp",
+    "Violation",
+    "check_causal",
+    "check_read_your_writes",
+    "check_sequential",
+    "history_from_tracer",
+]

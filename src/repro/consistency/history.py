@@ -1,0 +1,145 @@
+"""Execution histories of reads and writes.
+
+A :class:`History` is the common input of every checker: a set of
+:class:`MemOp` records, each a read or write by some process on some
+location, ordered per process by *program order*.  Values are opaque
+hashables; reads record the value they returned.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.sim.trace import Tracer
+
+__all__ = ["MemOp", "History", "history_from_tracer"]
+
+_op_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One read or write in a history.
+
+    Attributes
+    ----------
+    process:
+        Issuing process (origin rank).
+    kind:
+        ``"read"`` or ``"write"``.
+    location:
+        Opaque location key.
+    value:
+        Value written, or value the read returned.
+    po_index:
+        Program-order index within ``process`` (strictly increasing).
+    time:
+        Optional wall-clock annotation (application time); checkers
+        never rely on it, but reports include it.
+    op_id:
+        Unique id, for stable references in violation reports.
+    """
+
+    process: int
+    kind: str
+    location: Hashable
+    value: Any
+    po_index: int
+    time: Optional[float] = None
+    op_id: int = field(default_factory=lambda: next(_op_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"kind must be read/write, got {self.kind!r}")
+
+
+class History:
+    """An append-only collection of :class:`MemOp`, with helpers."""
+
+    def __init__(self) -> None:
+        self._ops: List[MemOp] = []
+        self._po_counters: Dict[int, int] = {}
+
+    # -- construction ----------------------------------------------------
+    def write(self, process: int, location: Hashable, value: Any,
+              time: Optional[float] = None) -> MemOp:
+        """Record a write in the next program-order slot of ``process``."""
+        return self._add(process, "write", location, value, time)
+
+    def read(self, process: int, location: Hashable, value: Any,
+             time: Optional[float] = None) -> MemOp:
+        """Record a read (and the value it returned)."""
+        return self._add(process, "read", location, value, time)
+
+    def _add(self, process, kind, location, value, time) -> MemOp:
+        idx = self._po_counters.get(process, 0)
+        self._po_counters[process] = idx + 1
+        op = MemOp(process, kind, location, value, idx, time)
+        self._ops.append(op)
+        return op
+
+    # -- views -------------------------------------------------------------
+    @property
+    def ops(self) -> List[MemOp]:
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def processes(self) -> List[int]:
+        return sorted({op.process for op in self._ops})
+
+    def locations(self) -> List[Hashable]:
+        return sorted({op.location for op in self._ops}, key=repr)
+
+    def by_process(self, process: int) -> List[MemOp]:
+        """Ops of one process in program order."""
+        return sorted(
+            (op for op in self._ops if op.process == process),
+            key=lambda o: o.po_index,
+        )
+
+    def writes_to(self, location: Hashable) -> List[MemOp]:
+        return [o for o in self._ops if o.kind == "write"
+                and o.location == location]
+
+    def writer_of(self, read: MemOp) -> Optional[MemOp]:
+        """The write whose value the read returned (reads-from), if
+        unambiguous.  ``None`` when the read returned an initial value
+        or when no matching write exists; raises if several writes of
+        the same value to the location exist (ambiguous histories should
+        use distinct values per write)."""
+        candidates = [
+            w for w in self.writes_to(read.location) if w.value == read.value
+        ]
+        if not candidates:
+            return None
+        if len(candidates) > 1:
+            raise ValueError(
+                f"ambiguous reads-from for {read}: give writes unique values"
+            )
+        return candidates[0]
+
+
+def history_from_tracer(
+    tracer: Tracer, initial_value: Any = 0
+) -> History:
+    """Build a history from an RMA-engine trace.
+
+    The engine records ``consistency.write`` / ``consistency.read``
+    trace entries (category ``"consistency"``) for small transfers when
+    tracing is enabled; this converts them.  Program order follows
+    trace order per origin rank, which matches issue order because the
+    engine traces at issue time.
+    """
+    hist = History()
+    for rec in tracer.filter(category="consistency"):
+        loc = rec.detail["location"]
+        value = rec.detail["value"]
+        if rec.kind == "write":
+            hist.write(rec.rank, loc, value, time=rec.time)
+        elif rec.kind == "read":
+            hist.read(rec.rank, loc, value, time=rec.time)
+    return hist

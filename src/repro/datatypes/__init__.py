@@ -1,0 +1,90 @@
+"""MPI-style datatype engine.
+
+The strawman MPI-3 RMA API (paper §IV, requirement 7) reuses MPI
+datatypes for noncontiguous (strided / scatter-gather) transfers and for
+heterogeneity (endianness conversion between dissimilar nodes).  This
+package implements that machinery over NumPy byte buffers:
+
+- predefined primitives (:data:`BYTE`, :data:`INT32`, :data:`FLOAT64`, …);
+- derived constructors: :func:`contiguous`, :func:`vector`,
+  :func:`hvector`, :func:`indexed`, :func:`hindexed`, :func:`struct_type`;
+- a pack/unpack engine (:mod:`repro.datatypes.pack`) that flattens any
+  datatype into coalesced byte segments and performs byte-order
+  conversion when origin and target endianness differ.
+"""
+
+from repro.datatypes.base import Datatype, DatatypeError, Segment
+from repro.datatypes.predefined import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    FLOAT32,
+    FLOAT64,
+    INT,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    LONG,
+    PREDEFINED,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    Primitive,
+)
+from repro.datatypes.derived import (
+    Contiguous,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Struct,
+    Vector,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    struct_type,
+    vector,
+)
+from repro.datatypes.pack import pack, unpack, unpack_swapped
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "Contiguous",
+    "DOUBLE",
+    "Datatype",
+    "DatatypeError",
+    "FLOAT",
+    "FLOAT32",
+    "FLOAT64",
+    "Hindexed",
+    "Hvector",
+    "INT",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "Indexed",
+    "LONG",
+    "PREDEFINED",
+    "Primitive",
+    "Segment",
+    "Struct",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "Vector",
+    "contiguous",
+    "hindexed",
+    "hvector",
+    "indexed",
+    "pack",
+    "struct_type",
+    "unpack",
+    "unpack_swapped",
+    "vector",
+]

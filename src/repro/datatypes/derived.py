@@ -1,0 +1,285 @@
+"""Derived datatype constructors.
+
+These mirror the MPI type constructors the strawman API leans on for
+requirement 7 (strided/vector and scatter/gather transfers):
+
+- :func:`contiguous` — ``count`` back-to-back copies of a base type;
+- :func:`vector` / :func:`hvector` — regularly strided blocks (stride in
+  base-type extents / in bytes);
+- :func:`indexed` / :func:`hindexed` — irregular scatter/gather blocks;
+- :func:`struct_type` — heterogeneous records.
+
+All constructors eagerly flatten into coalesced byte segments (see
+:mod:`repro.datatypes.base`), so deeply nested constructions cost nothing
+at transfer time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.datatypes.base import Datatype, DatatypeError, Segment, coalesce
+
+__all__ = [
+    "Contiguous",
+    "Vector",
+    "Hvector",
+    "Indexed",
+    "Hindexed",
+    "Struct",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "struct_type",
+]
+
+
+def _replicate(base: Datatype, byte_offsets: Sequence[int]) -> List[Segment]:
+    """Copies of ``base``'s segments at each byte offset, in order."""
+    segs: List[Segment] = []
+    for off in byte_offsets:
+        for seg in base.segments:
+            segs.append(Segment(off + seg.disp, seg.nbytes, seg.elem_size))
+    return segs
+
+
+class Contiguous(Datatype):
+    """``count`` consecutive instances of ``base``."""
+
+    def __init__(self, count: int, base: Datatype) -> None:
+        if count < 0:
+            raise DatatypeError(f"negative count: {count}")
+        self.count = count
+        self.base = base
+        self.typename = f"contiguous({count})"
+        self.elem_np = base.elem_np
+        self._size = count * base.size
+        self._extent = count * base.extent
+        self._segments = coalesce(
+            _replicate(base, [i * base.extent for i in range(count)])
+        )
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklength`` base elements, start-to-start
+    spaced ``stride`` base extents apart (MPI ``Type_vector``)."""
+
+    def __init__(
+        self, count: int, blocklength: int, stride: int, base: Datatype
+    ) -> None:
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("count and blocklength must be >= 0")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride
+        self.base = base
+        self.typename = f"vector({count},{blocklength},{stride})"
+        self.elem_np = base.elem_np
+        ext = base.extent
+        segs: List[Segment] = []
+        for i in range(count):
+            block_start = i * stride * ext
+            segs.extend(
+                _replicate(
+                    base, [block_start + j * ext for j in range(blocklength)]
+                )
+            )
+        self._segments = coalesce(segs)
+        self._size = count * blocklength * base.size
+        # MPI extent: from first byte to last byte of the type map,
+        # covering the stride pattern.
+        if count == 0 or blocklength == 0:
+            self._extent = 0
+        else:
+            self._extent = ((count - 1) * stride + blocklength) * ext
+
+
+class Hvector(Datatype):
+    """Like :class:`Vector` but ``stride_bytes`` is in bytes."""
+
+    def __init__(
+        self, count: int, blocklength: int, stride_bytes: int, base: Datatype
+    ) -> None:
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("count and blocklength must be >= 0")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride_bytes
+        self.base = base
+        self.typename = f"hvector({count},{blocklength},{stride_bytes}B)"
+        self.elem_np = base.elem_np
+        ext = base.extent
+        segs: List[Segment] = []
+        for i in range(count):
+            block_start = i * stride_bytes
+            segs.extend(
+                _replicate(
+                    base, [block_start + j * ext for j in range(blocklength)]
+                )
+            )
+        self._segments = coalesce(segs)
+        self._size = count * blocklength * base.size
+        if count == 0 or blocklength == 0:
+            self._extent = 0
+        else:
+            self._extent = (count - 1) * stride_bytes + blocklength * ext
+
+
+class Indexed(Datatype):
+    """Irregular blocks: ``blocklengths[i]`` base elements at
+    ``displacements[i]`` (in base extents) — MPI ``Type_indexed``."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        base: Datatype,
+    ) -> None:
+        if len(blocklengths) != len(displacements):
+            raise DatatypeError(
+                "blocklengths and displacements must have equal length"
+            )
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("negative blocklength")
+        self.blocklengths = list(blocklengths)
+        self.displacements = list(displacements)
+        self.base = base
+        self.typename = f"indexed({len(blocklengths)} blocks)"
+        self.elem_np = base.elem_np
+        ext = base.extent
+        segs: List[Segment] = []
+        for blen, disp in zip(blocklengths, displacements):
+            segs.extend(
+                _replicate(base, [(disp + j) * ext for j in range(blen)])
+            )
+        self._segments = coalesce(segs)
+        self._size = sum(blocklengths) * base.size
+        if self._segments:
+            hi = max(
+                (d + b) * ext for b, d in zip(blocklengths, displacements)
+            )
+            self._extent = hi
+        else:
+            self._extent = 0
+
+
+class Hindexed(Datatype):
+    """Like :class:`Indexed` but displacements are in bytes."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        byte_displacements: Sequence[int],
+        base: Datatype,
+    ) -> None:
+        if len(blocklengths) != len(byte_displacements):
+            raise DatatypeError(
+                "blocklengths and byte_displacements must have equal length"
+            )
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("negative blocklength")
+        self.blocklengths = list(blocklengths)
+        self.byte_displacements = list(byte_displacements)
+        self.base = base
+        self.typename = f"hindexed({len(blocklengths)} blocks)"
+        self.elem_np = base.elem_np
+        ext = base.extent
+        segs: List[Segment] = []
+        for blen, disp in zip(blocklengths, byte_displacements):
+            segs.extend(_replicate(base, [disp + j * ext for j in range(blen)]))
+        self._segments = coalesce(segs)
+        self._size = sum(blocklengths) * base.size
+        if self._segments:
+            self._extent = max(
+                d + b * ext for b, d in zip(blocklengths, byte_displacements)
+            )
+        else:
+            self._extent = 0
+
+
+class Struct(Datatype):
+    """Heterogeneous records: block ``i`` is ``blocklengths[i]``
+    instances of ``types[i]`` at byte offset ``byte_displacements[i]``."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        byte_displacements: Sequence[int],
+        types: Sequence[Datatype],
+        extent: int = None,  # type: ignore[assignment]
+    ) -> None:
+        if not (len(blocklengths) == len(byte_displacements) == len(types)):
+            raise DatatypeError("struct argument lists must have equal length")
+        if any(b < 0 for b in blocklengths):
+            raise DatatypeError("negative blocklength")
+        self.blocklengths = list(blocklengths)
+        self.byte_displacements = list(byte_displacements)
+        self.types = list(types)
+        self.typename = f"struct({len(types)} fields)"
+        elem_kinds = {t.elem_np for t in types if t.size > 0}
+        self.elem_np = elem_kinds.pop() if len(elem_kinds) == 1 else None
+        segs: List[Segment] = []
+        hi = 0
+        for blen, disp, typ in zip(blocklengths, byte_displacements, types):
+            for j in range(blen):
+                base_off = disp + j * typ.extent
+                for seg in typ.segments:
+                    segs.append(
+                        Segment(base_off + seg.disp, seg.nbytes, seg.elem_size)
+                    )
+            if blen:
+                hi = max(hi, disp + blen * typ.extent)
+        self._segments = coalesce(segs)
+        self._size = sum(
+            b * t.size for b, t in zip(blocklengths, types)
+        )
+        self._extent = extent if extent is not None else hi
+
+
+# ---------------------------------------------------------------------
+# Functional constructors (the public spelling used throughout repro)
+# ---------------------------------------------------------------------
+
+def contiguous(count: int, base: Datatype) -> Contiguous:
+    """``count`` back-to-back instances of ``base``."""
+    return Contiguous(count, base)
+
+
+def vector(count: int, blocklength: int, stride: int, base: Datatype) -> Vector:
+    """Strided blocks; ``stride`` counts base-type extents."""
+    return Vector(count, blocklength, stride, base)
+
+
+def hvector(
+    count: int, blocklength: int, stride_bytes: int, base: Datatype
+) -> Hvector:
+    """Strided blocks; stride given in bytes."""
+    return Hvector(count, blocklength, stride_bytes, base)
+
+
+def indexed(
+    blocklengths: Sequence[int], displacements: Sequence[int], base: Datatype
+) -> Indexed:
+    """Scatter/gather blocks; displacements count base-type extents."""
+    return Indexed(blocklengths, displacements, base)
+
+
+def hindexed(
+    blocklengths: Sequence[int],
+    byte_displacements: Sequence[int],
+    base: Datatype,
+) -> Hindexed:
+    """Scatter/gather blocks; displacements in bytes."""
+    return Hindexed(blocklengths, byte_displacements, base)
+
+
+def struct_type(
+    blocklengths: Sequence[int],
+    byte_displacements: Sequence[int],
+    types: Sequence[Datatype],
+    extent: int = None,  # type: ignore[assignment]
+) -> Struct:
+    """Heterogeneous record type; optionally force the extent (padding)."""
+    return Struct(blocklengths, byte_displacements, types, extent)

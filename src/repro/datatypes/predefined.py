@@ -1,0 +1,102 @@
+"""Predefined (primitive) datatypes.
+
+Primitives know their NumPy dtype so the pack engine can view byte runs
+at the right granularity for arithmetic (accumulate) and byte-order
+conversion.  The canonical aliases (:data:`INT`, :data:`LONG`,
+:data:`FLOAT`, :data:`DOUBLE`) match common MPI C bindings on LP64
+platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.datatypes.base import Datatype, Segment
+
+__all__ = [
+    "Primitive",
+    "BYTE",
+    "CHAR",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FLOAT32",
+    "FLOAT64",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "PREDEFINED",
+]
+
+
+class Primitive(Datatype):
+    """A fixed-size machine type.
+
+    Parameters
+    ----------
+    name:
+        Canonical name (e.g. ``"int32"``).
+    np_dtype:
+        The *native-endian* NumPy dtype; per-node endianness is applied
+        by the memory/pack layers, not baked into the type object.
+    """
+
+    def __init__(self, name: str, np_dtype: np.dtype) -> None:
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        size = self.np_dtype.itemsize
+        self.typename = name
+        self.elem_np = self.np_dtype.name
+        self._size = size
+        self._extent = size
+        self._segments = (Segment(0, size, size),)
+
+    def __repr__(self) -> str:
+        return f"<Primitive {self.name}>"
+
+
+BYTE = Primitive("byte", np.uint8)
+CHAR = Primitive("char", np.uint8)
+INT8 = Primitive("int8", np.int8)
+INT16 = Primitive("int16", np.int16)
+INT32 = Primitive("int32", np.int32)
+INT64 = Primitive("int64", np.int64)
+UINT8 = Primitive("uint8", np.uint8)
+UINT16 = Primitive("uint16", np.uint16)
+UINT32 = Primitive("uint32", np.uint32)
+UINT64 = Primitive("uint64", np.uint64)
+FLOAT32 = Primitive("float32", np.float32)
+FLOAT64 = Primitive("float64", np.float64)
+
+#: C-binding style aliases (LP64).
+INT = INT32
+LONG = INT64
+FLOAT = FLOAT32
+DOUBLE = FLOAT64
+
+#: Registry of all predefined types by name.
+PREDEFINED: Dict[str, Primitive] = {
+    t.name: t
+    for t in (
+        BYTE,
+        CHAR,
+        INT8,
+        INT16,
+        INT32,
+        INT64,
+        UINT8,
+        UINT16,
+        UINT32,
+        UINT64,
+        FLOAT32,
+        FLOAT64,
+    )
+}

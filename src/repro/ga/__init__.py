@@ -1,0 +1,13 @@
+"""A Global-Arrays-style distributed array library.
+
+The paper motivates the strawman interface as an implementation layer
+for "library-based RMA approaches, such as SHMEM and Global Arrays"
+(§II).  This package is that downstream consumer: a distributed dense
+array addressed by *global* indices, built entirely on the strawman API
+(:class:`repro.rma.api.RmaInterface`) — one-sided get/put/accumulate on
+arbitrary global regions, plus an atomic read-and-increment.
+"""
+
+from repro.ga.global_array import GaError, GlobalArray
+
+__all__ = ["GaError", "GlobalArray"]

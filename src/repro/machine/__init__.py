@@ -1,0 +1,60 @@
+"""Simulated machine model.
+
+Models the architectural diversity of the paper's §III-B:
+
+- :class:`~repro.machine.address_space.AddressSpace` — one per rank;
+  allocations are NumPy byte buffers with per-node pointer width and
+  endianness (hybrid systems, §III-B3).
+- cache models (:mod:`repro.machine.cache`) — fully coherent
+  (Cray XT-like), non-coherent write-through scalar cache (NEC SX-like,
+  §III-B2, where remote writes leave stale cached lines until a fence),
+  and uncached.
+- :class:`~repro.machine.config.MachineConfig` plus presets:
+  :func:`~repro.machine.config.cray_xt5_catamount`,
+  :func:`~repro.machine.config.cray_xt5_cnl`,
+  :func:`~repro.machine.config.nec_sx9`,
+  :func:`~repro.machine.config.hybrid_accelerator`,
+  :func:`~repro.machine.config.generic_cluster`.
+"""
+
+from repro.machine.address_space import AddressSpace, Allocation, MemoryError_
+from repro.machine.cache import (
+    CacheModel,
+    CoherentCache,
+    NoCache,
+    WriteThroughNonCoherentCache,
+)
+from repro.machine.config import (
+    MachineConfig,
+    MachineTimings,
+    NodeConfig,
+    cray_x1e,
+    cray_xt5_catamount,
+    cray_xt5_cnl,
+    generic_cluster,
+    hybrid_accelerator,
+    nec_sx9,
+)
+from repro.machine.node import Node, RankMemory, build_nodes
+
+__all__ = [
+    "AddressSpace",
+    "Allocation",
+    "CacheModel",
+    "CoherentCache",
+    "MachineConfig",
+    "MachineTimings",
+    "MemoryError_",
+    "NoCache",
+    "Node",
+    "NodeConfig",
+    "RankMemory",
+    "WriteThroughNonCoherentCache",
+    "build_nodes",
+    "cray_x1e",
+    "cray_xt5_catamount",
+    "cray_xt5_cnl",
+    "generic_cluster",
+    "hybrid_accelerator",
+    "nec_sx9",
+]

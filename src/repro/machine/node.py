@@ -1,0 +1,99 @@
+"""Nodes and per-rank memory stacks.
+
+A :class:`Node` groups the ranks placed on one physical node and carries
+the node's :class:`~repro.machine.config.NodeConfig`.  Each rank gets a
+:class:`RankMemory`: the address space plus the cache model through which
+that rank's *CPU* accesses go.  The NIC writes through
+:meth:`RankMemory.nic_write`, which is what makes coherent and
+non-coherent nodes observably different.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.machine.address_space import AddressSpace, Allocation
+from repro.machine.cache import CacheModel
+from repro.machine.config import MachineConfig, NodeConfig
+
+__all__ = ["Node", "RankMemory", "build_nodes"]
+
+
+class RankMemory:
+    """One rank's memory stack: address space + CPU-side cache model."""
+
+    def __init__(self, rank: int, node_cfg: NodeConfig) -> None:
+        self.rank = rank
+        self.node_cfg = node_cfg
+        self.space = AddressSpace(
+            rank,
+            pointer_bits=node_cfg.pointer_bits,
+            endianness=node_cfg.endianness,
+        )
+        self.cache: CacheModel = node_cfg.make_cache(self.space)
+
+    # -- CPU paths -------------------------------------------------------
+    def load(self, alloc: Allocation, offset: int, n: int) -> np.ndarray:
+        """CPU read through the cache (may be stale on non-coherent nodes)."""
+        return self.cache.load(alloc, offset, n)
+
+    def store(self, alloc: Allocation, offset: int, data: np.ndarray) -> None:
+        """CPU write through the cache."""
+        self.cache.store(alloc, offset, data)
+
+    def fence(self) -> None:
+        """Memory fence: after this, loads observe all remote writes."""
+        self.cache.fence()
+
+    # -- NIC path --------------------------------------------------------
+    def nic_write(self, alloc: Allocation, offset: int, data: np.ndarray) -> None:
+        """Remote data deposited by the NIC (DMA, not snooped on
+        non-coherent nodes)."""
+        self.cache.remote_write(alloc, offset, data)
+
+    def nic_read(self, alloc: Allocation, offset: int, n: int) -> np.ndarray:
+        """The NIC reads memory directly (gets for remote ranks)."""
+        return self.space.read(alloc, offset, n)
+
+    @property
+    def coherent(self) -> bool:
+        """Whether this rank's CPU cache is coherent with NIC writes."""
+        return self.cache.coherent
+
+
+class Node:
+    """A physical node hosting one or more ranks."""
+
+    def __init__(self, node_id: int, cfg: NodeConfig, ranks: List[int]) -> None:
+        self.node_id = node_id
+        self.cfg = cfg
+        self.ranks = list(ranks)
+        self.memories: Dict[int, RankMemory] = {
+            r: RankMemory(r, cfg) for r in ranks
+        }
+
+    def memory(self, rank: int) -> RankMemory:
+        """The memory stack of a rank hosted here."""
+        try:
+            return self.memories[rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {rank} is not hosted on node {self.node_id}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.node_id} ranks={self.ranks}>"
+
+
+def build_nodes(config: MachineConfig) -> List[Node]:
+    """Instantiate every node and rank memory for a machine config."""
+    nodes = []
+    for node_id in range(config.n_nodes):
+        ranks = [
+            node_id * config.ranks_per_node + i
+            for i in range(config.ranks_per_node)
+        ]
+        nodes.append(Node(node_id, config.node_config(node_id), ranks))
+    return nodes

@@ -1,0 +1,34 @@
+"""A simulated MPI runtime.
+
+This is the two-sided substrate the paper's RMA interfaces are compared
+against (and implemented over, where a software protocol needs target
+cooperation).  It provides:
+
+- tag-matched, non-overtaking point-to-point messaging
+  (:meth:`~repro.mpi.comm.Comm.send` / :meth:`~repro.mpi.comm.Comm.recv`
+  and their nonblocking ``i``-variants returning
+  :class:`~repro.mpi.request.Request`);
+- communicators with context isolation, :meth:`~repro.mpi.comm.Comm.dup`
+  and :meth:`~repro.mpi.comm.Comm.split`;
+- collectives: barrier (dissemination), bcast (binomial tree), gather,
+  scatter, allgather, reduce, allreduce, alltoall.
+
+All user-facing calls are generators meant for ``yield from`` inside a
+rank program, mirroring how blocking MPI calls suspend a process.
+"""
+
+from repro.mpi.comm import Comm, Group
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.endpoint import Message, MpiEndpoint
+from repro.mpi.request import Request, Status
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "Group",
+    "Message",
+    "MpiEndpoint",
+    "Request",
+    "Status",
+]

@@ -1,0 +1,15 @@
+"""MPI wildcard and tag-space constants."""
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "COLL_TAG_BASE", "MAX_USER_TAG"]
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+#: Largest tag available to applications; larger tags are reserved for
+#: the runtime's internal protocols (collectives, RMA software paths).
+MAX_USER_TAG = 2**20 - 1
+
+#: Base of the internal tag space used by collective algorithms.
+COLL_TAG_BASE = 2**20

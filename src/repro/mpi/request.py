@@ -1,0 +1,94 @@
+"""Requests and statuses for nonblocking operations.
+
+A :class:`Request` wraps a kernel event.  The same class backs MPI-style
+``isend``/``irecv`` and the strawman RMA operations' request argument —
+matching the paper's design decision to reuse "requests for completion
+of nonblocking operations" (§IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional
+
+from repro.sim.events import AllOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["Request", "Status"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion metadata of a receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation.
+
+    ``wait``/``waitall`` are generators (``yield from``); ``test`` is an
+    immediate poll.  The value carried by the request depends on the
+    operation: received object for ``irecv``, ``None`` for ``isend``,
+    fetched data for RMA gets, etc.
+    """
+
+    def __init__(self, sim: "Simulator", event: Optional[Event] = None,
+                 kind: str = "generic") -> None:
+        self.sim = sim
+        self.event = event if event is not None else sim.event()
+        self.kind = kind
+        self.status: Optional[Status] = None
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation finished."""
+        return self.event.triggered
+
+    def test(self) -> bool:
+        """Nonblocking completion poll (MPI_Test)."""
+        return self.event.triggered
+
+    def wait(self) -> Generator[Event, Any, Any]:
+        """Suspend until complete; returns the operation's value."""
+        if not self.event.triggered:
+            yield self.event
+        return self.event.value
+
+    @staticmethod
+    def waitall(requests: Iterable["Request"]) -> Generator[Event, Any, List[Any]]:
+        """Wait for every request; returns their values in order."""
+        reqs = list(requests)
+        if not reqs:
+            return []
+        pending = [r.event for r in reqs if not r.event.triggered]
+        if pending:
+            sim = reqs[0].sim
+            yield AllOf(sim, pending)
+        return [r.event.value for r in reqs]
+
+    @staticmethod
+    def waitany(requests: Iterable["Request"]) -> Generator[Event, Any, int]:
+        """Wait until at least one request completes; returns its index."""
+        reqs = list(requests)
+        if not reqs:
+            raise ValueError("waitany on empty request list")
+        for i, r in enumerate(reqs):
+            if r.complete:
+                return i
+        from repro.sim.events import AnyOf
+
+        sim = reqs[0].sim
+        yield AnyOf(sim, [r.event for r in reqs])
+        for i, r in enumerate(reqs):
+            if r.complete:
+                return i
+        raise AssertionError("AnyOf fired but no request complete")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "complete" if self.complete else "pending"
+        return f"<Request {self.kind} {state}>"

@@ -1,0 +1,32 @@
+"""The MPI-2 one-sided interface — the baseline the paper criticises.
+
+Implements windows and the three synchronization methods of Figure 1:
+
+- **fence** (active target, collective);
+- **post/start/complete/wait** (active target, group-scoped);
+- **lock/unlock** (passive target, shared or exclusive).
+
+Faithfully enforces the MPI-2 restrictions the paper calls out (§II-A):
+
+- windows are created **collectively** (``win_create``), unlike the
+  strawman's non-collective ``target_mem``;
+- all communication must happen inside an epoch;
+- concurrent/overlapping Put/Get accesses to the same target region in
+  one epoch are **erroneous** and raise :class:`Mpi2Error`
+  ("MPI-2 RMA makes overlapping RMA operations with Get and/or Put
+  erroneous; PGAS languages make overlapping operations valid but
+  undefined").
+"""
+
+from repro.mpi2rma.epoch import AccessTracker, Mpi2Error
+from repro.mpi2rma.locks import WindowLockManager
+from repro.mpi2rma.window import Mpi2Interface, Win, build_mpi2
+
+__all__ = [
+    "AccessTracker",
+    "Mpi2Error",
+    "Mpi2Interface",
+    "Win",
+    "WindowLockManager",
+    "build_mpi2",
+]

@@ -1,0 +1,95 @@
+"""Epoch state and the MPI-2 overlapping-access correctness rules.
+
+MPI-2 defines precise (and restrictive) correctness conditions inside an
+access epoch; the paper's §II-A lists them among the reasons the model is
+a poor PGAS target.  :class:`AccessTracker` enforces the core rule: in
+one epoch, a location may be the target of multiple *accumulates with
+the same operation*, but any other overlap involving a Put or Get is
+erroneous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Mpi2Error", "AccessTracker"]
+
+
+class Mpi2Error(RuntimeError):
+    """An MPI-2 RMA usage error (wrong epoch, overlapping access, …)."""
+
+
+class AccessTracker:
+    """Records (target, byte-interval, kind) accesses within one epoch.
+
+    ``kind`` is ``"put"``, ``"get"``, or ``("acc", op)``.
+    """
+
+    def __init__(self) -> None:
+        #: per target rank: list of (lo, hi, kind)
+        self._accesses: Dict[int, List[Tuple[int, int, object]]] = {}
+
+    @staticmethod
+    def _conflicts(a: object, b: object) -> bool:
+        # acc+acc with the same reduction op is the one permitted overlap
+        if isinstance(a, tuple) and isinstance(b, tuple) and a == b:
+            return False
+        return True
+
+    def check_and_record(
+        self, target: int, lo: int, hi: int, kind: object
+    ) -> None:
+        """Validate an access against the epoch history, then record it.
+
+        Raises :class:`Mpi2Error` on an erroneous overlap.
+        """
+        if hi <= lo:
+            return
+        entries = self._accesses.setdefault(target, [])
+        for (elo, ehi, ekind) in entries:
+            if lo < ehi and elo < hi and self._conflicts(kind, ekind):
+                raise Mpi2Error(
+                    f"overlapping RMA access [{lo}, {hi}) as {kind!r} "
+                    f"conflicts with earlier [{elo}, {ehi}) as {ekind!r} "
+                    f"on target {target} within one epoch (erroneous in "
+                    "MPI-2; the strawman API permits it as undefined)"
+                )
+        entries.append((lo, hi, kind))
+
+    def reset(self) -> None:
+        """Start a new epoch."""
+        self._accesses.clear()
+
+    def targets(self) -> List[int]:
+        """Targets touched in the current epoch."""
+        return sorted(self._accesses)
+
+
+class EpochState:
+    """Which epochs this rank currently has open on a window."""
+
+    def __init__(self) -> None:
+        self.fence_active = False
+        self.start_group: Optional[List[int]] = None
+        self.post_group: Optional[List[int]] = None
+        self.locked_target: Optional[int] = None
+        self.lock_shared = False
+
+    @property
+    def access_open(self) -> bool:
+        """May this rank issue RMA operations right now?"""
+        return (
+            self.fence_active
+            or self.start_group is not None
+            or self.locked_target is not None
+        )
+
+    def allowed_target(self, target: int) -> bool:
+        """Is ``target`` reachable in the current access epoch?"""
+        if self.fence_active:
+            return True
+        if self.start_group is not None:
+            return target in self.start_group
+        if self.locked_target is not None:
+            return target == self.locked_target
+        return False

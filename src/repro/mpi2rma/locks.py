@@ -1,0 +1,145 @@
+"""Passive-target window locks (MPI_Win_lock / MPI_Win_unlock).
+
+One :class:`WindowLockManager` per rank arbitrates the locks of every
+window whose memory that rank exposes.  Lock traffic is NIC-level
+control packets, so the target application never calls anything —
+faithful to passive-target semantics.
+
+Grant policy: FIFO with reader sharing — a shared request joins current
+shared holders only if no exclusive request is queued ahead of it, so
+writers cannot starve.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Set, Tuple
+
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.nic import Nic
+    from repro.sim.core import Simulator
+
+__all__ = ["WindowLockManager"]
+
+
+class _LockState:
+    __slots__ = ("holders", "exclusive", "queue")
+
+    def __init__(self) -> None:
+        self.holders: Set[int] = set()
+        self.exclusive = False
+        self.queue: Deque[Tuple[int, bool]] = deque()  # (rank, shared)
+
+
+class WindowLockManager:
+    """Target-side lock tables plus origin-side grant plumbing."""
+
+    def __init__(self, sim: "Simulator", rank: int, nic: "Nic") -> None:
+        self.sim = sim
+        self.rank = rank
+        self.nic = nic
+        self._states: Dict[object, _LockState] = {}
+        self._grant_events: Dict[object, object] = {}  # (win_id, target) -> Event
+        nic.register_handler("mpi2.lock_req", self._on_lock_req)
+        nic.register_handler("mpi2.lock_grant", self._on_grant)
+        nic.register_handler("mpi2.unlock", self._on_unlock)
+
+    # -- origin side -----------------------------------------------------
+    def request(self, win_id: object, target: int, shared: bool):
+        """Acquire the window lock at ``target`` (``yield from``)."""
+        key = (win_id, target)
+        if key in self._grant_events:
+            raise RuntimeError(
+                f"rank {self.rank}: window lock for {key} already requested"
+            )
+        ev = self.sim.event()
+        self._grant_events[key] = ev
+        pkt = Packet(
+            src=self.rank, dst=target, kind="mpi2.lock_req",
+            payload={"win_id": win_id, "shared": shared},
+        )
+        self.nic.send(pkt)
+        yield ev
+        del self._grant_events[key]
+
+    def release(self, win_id: object, target: int) -> None:
+        """Send the unlock (fire-and-forget)."""
+        pkt = Packet(
+            src=self.rank, dst=target, kind="mpi2.unlock",
+            payload={"win_id": win_id},
+        )
+        self.nic.send(pkt)
+
+    def _on_grant(self, packet: Packet) -> None:
+        key = (packet.payload["win_id"], packet.src)
+        ev = self._grant_events.get(key)
+        if ev is None:
+            raise RuntimeError(
+                f"rank {self.rank}: unexpected window-lock grant {key}"
+            )
+        ev.succeed()
+
+    # -- target side -----------------------------------------------------
+    def _state(self, win_id: object) -> _LockState:
+        st = self._states.get(win_id)
+        if st is None:
+            st = self._states[win_id] = _LockState()
+        return st
+
+    def _grant(self, win_id: object, rank: int) -> None:
+        pkt = Packet(
+            src=self.rank, dst=rank, kind="mpi2.lock_grant",
+            payload={"win_id": win_id},
+        )
+        self.nic.send(pkt)
+
+    def _on_lock_req(self, packet: Packet) -> None:
+        win_id = packet.payload["win_id"]
+        shared = packet.payload["shared"]
+        st = self._state(win_id)
+        if self._can_grant(st, shared):
+            st.holders.add(packet.src)
+            st.exclusive = not shared
+            self._grant(win_id, packet.src)
+        else:
+            st.queue.append((packet.src, shared))
+
+    @staticmethod
+    def _can_grant(st: _LockState, shared: bool) -> bool:
+        if not st.holders:
+            return not st.queue  # empty queue: grant immediately
+        if st.exclusive:
+            return False
+        # shared holders present: more readers may join only if no
+        # writer is waiting (no-starvation)
+        return shared and not st.queue
+
+    def _on_unlock(self, packet: Packet) -> None:
+        win_id = packet.payload["win_id"]
+        st = self._state(win_id)
+        if packet.src not in st.holders:
+            raise RuntimeError(
+                f"rank {self.rank}: unlock from {packet.src} which does not "
+                f"hold the lock on window {win_id}"
+            )
+        st.holders.discard(packet.src)
+        if st.holders:
+            return
+        st.exclusive = False
+        self._drain_queue(win_id, st)
+
+    def _drain_queue(self, win_id: object, st: _LockState) -> None:
+        if not st.queue:
+            return
+        rank, shared = st.queue.popleft()
+        st.holders.add(rank)
+        st.exclusive = not shared
+        self._grant(win_id, rank)
+        if shared:
+            # admit the contiguous run of shared requests behind it
+            while st.queue and st.queue[0][1]:
+                nxt, _ = st.queue.popleft()
+                st.holders.add(nxt)
+                self._grant(win_id, nxt)

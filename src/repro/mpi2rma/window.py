@@ -1,0 +1,272 @@
+"""MPI-2 windows and the three synchronization methods (paper Fig. 1).
+
+A :class:`Win` is created **collectively** (the restriction the strawman
+drops) and supports ``put``/``get``/``accumulate`` plus:
+
+- :meth:`Win.fence` — Figure 1a;
+- :meth:`Win.post` / :meth:`Win.start` / :meth:`Win.complete` /
+  :meth:`Win.wait` — Figure 1b;
+- :meth:`Win.lock` / :meth:`Win.unlock` — Figure 1c.
+
+Data movement reuses the strawman engine with no attributes (pure RDMA),
+which mirrors how an MPI implementation would sit on a native RMA layer;
+the MPI-2 semantics — epochs, collective windows, erroneous overlaps —
+live entirely in this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from repro.datatypes.base import Datatype
+from repro.machine.address_space import Allocation
+from repro.mpi.comm import Comm
+from repro.mpi2rma.epoch import AccessTracker, EpochState, Mpi2Error
+from repro.mpi2rma.locks import WindowLockManager
+from repro.rma.attributes import RmaAttrs
+from repro.rma.target_mem import TargetMem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime import World
+
+__all__ = ["Win", "Mpi2Interface", "build_mpi2"]
+
+_NO_ATTRS = RmaAttrs()
+_POST_TAG = 1
+_COMPLETE_TAG = 2
+
+
+class Win:
+    """One rank's handle on a collectively created window."""
+
+    def __init__(
+        self,
+        iface: "Mpi2Interface",
+        win_id: object,
+        comm: Comm,
+        alloc: Allocation,
+        tmems: List[TargetMem],
+    ) -> None:
+        self._iface = iface
+        self.win_id = win_id
+        self.comm = comm
+        self.alloc = alloc
+        self._tmems = tmems
+        self._epoch = EpochState()
+        self._tracker = AccessTracker()
+        self._freed = False
+
+    # -- helpers ---------------------------------------------------------
+    @property
+    def _engine(self):
+        return self._iface.engine
+
+    def _check_open(self, target: int) -> None:
+        if self._freed:
+            raise Mpi2Error("operation on a freed window")
+        if not self._epoch.access_open:
+            raise Mpi2Error(
+                "RMA operation outside an access epoch (MPI-2 requires "
+                "fence, start, or lock first)"
+            )
+        if not self._epoch.allowed_target(target):
+            raise Mpi2Error(
+                f"target {target} is not part of the current access epoch"
+            )
+
+    def _record(self, target: int, disp: int, dtype: Datatype, count: int,
+                kind: object) -> None:
+        lo, hi = dtype.byte_range(count)
+        self._tracker.check_and_record(target, disp + lo, disp + hi, kind)
+
+    # -- data movement -----------------------------------------------------
+    def put(self, origin_alloc: Allocation, origin_offset: int, count: int,
+            dtype: Datatype, target: int, target_disp: int,
+            target_count: Optional[int] = None,
+            target_dtype: Optional[Datatype] = None):
+        """MPI_Put (``yield from``; completes at epoch close)."""
+        self._check_open(target)
+        t_count = count if target_count is None else target_count
+        t_dtype = dtype if target_dtype is None else target_dtype
+        self._record(target, target_disp, t_dtype, t_count, "put")
+        yield from self._engine.issue_put(
+            origin_alloc, origin_offset, count, dtype,
+            self._tmems[target], target_disp, t_count, t_dtype, _NO_ATTRS,
+        )
+
+    def get(self, origin_alloc: Allocation, origin_offset: int, count: int,
+            dtype: Datatype, target: int, target_disp: int,
+            target_count: Optional[int] = None,
+            target_dtype: Optional[Datatype] = None):
+        """MPI_Get (``yield from``; data valid after epoch close)."""
+        self._check_open(target)
+        t_count = count if target_count is None else target_count
+        t_dtype = dtype if target_dtype is None else target_dtype
+        self._record(target, target_disp, t_dtype, t_count, "get")
+        ev = yield from self._engine.issue_get(
+            origin_alloc, origin_offset, count, dtype,
+            self._tmems[target], target_disp, t_count, t_dtype, _NO_ATTRS,
+        )
+        self._iface._pending_gets.append(ev)
+
+    def accumulate(self, origin_alloc: Allocation, origin_offset: int,
+                   count: int, dtype: Datatype, target: int,
+                   target_disp: int, op: str = "sum"):
+        """MPI_Accumulate: MPI-2 allows any reduce op; same-op overlaps
+        are legal, anything else is erroneous."""
+        self._check_open(target)
+        self._record(target, target_disp, dtype, count, ("acc", op))
+        yield from self._engine.issue_accumulate(
+            origin_alloc, origin_offset, count, dtype,
+            self._tmems[target], target_disp, count, dtype,
+            _NO_ATTRS.with_(atomicity=True), op=op,
+        )
+
+    # -- fence (Fig. 1a) ---------------------------------------------------
+    def fence(self):
+        """Collective: closes the previous fence epoch and opens a new one."""
+        if self._freed:
+            raise Mpi2Error("fence on a freed window")
+        if self._epoch.start_group is not None or self._epoch.locked_target is not None:
+            raise Mpi2Error("fence while a start/lock epoch is open")
+        yield from self._drain_local_completion()
+        yield from self._engine.complete_all()
+        yield from self.comm.barrier()
+        self._tracker.reset()
+        self._epoch.fence_active = True
+
+    # -- post/start/complete/wait (Fig. 1b) ---------------------------------
+    def post(self, origin_ranks: Sequence[int]):
+        """Expose local memory to ``origin_ranks`` (target side)."""
+        if self._epoch.post_group is not None:
+            raise Mpi2Error("post while an exposure epoch is already open")
+        self._epoch.post_group = list(origin_ranks)
+        for origin in self._epoch.post_group:
+            yield from self._iface._win_comm(self).send(
+                None, origin, _POST_TAG
+            )
+
+    def start(self, target_ranks: Sequence[int]):
+        """Open an access epoch toward ``target_ranks`` (origin side);
+        waits for each target's matching post."""
+        if self._epoch.start_group is not None:
+            raise Mpi2Error("start while an access epoch is already open")
+        if self._epoch.fence_active:
+            raise Mpi2Error("start inside a fence epoch")
+        for target in target_ranks:
+            yield from self._iface._win_comm(self).recv(target, _POST_TAG)
+        self._epoch.start_group = list(target_ranks)
+        self._tracker.reset()
+
+    def complete(self):
+        """Close the start epoch: force remote completion at each target
+        and notify it."""
+        if self._epoch.start_group is None:
+            raise Mpi2Error("complete without a matching start")
+        yield from self._drain_local_completion()
+        for target in self._epoch.start_group:
+            yield from self._engine.complete_one(
+                self.comm.group.world_rank(target)
+            )
+            yield from self._iface._win_comm(self).send(
+                None, target, _COMPLETE_TAG
+            )
+        self._epoch.start_group = None
+        self._tracker.reset()
+
+    def wait(self):
+        """Close the post epoch: wait for every origin's complete."""
+        if self._epoch.post_group is None:
+            raise Mpi2Error("wait without a matching post")
+        for origin in self._epoch.post_group:
+            yield from self._iface._win_comm(self).recv(origin, _COMPLETE_TAG)
+        self._epoch.post_group = None
+
+    # -- lock/unlock (Fig. 1c) ----------------------------------------------
+    def lock(self, target: int, shared: bool = True):
+        """Open a passive-target epoch toward ``target``."""
+        if self._epoch.access_open:
+            raise Mpi2Error("lock while another access epoch is open")
+        world_target = self.comm.group.world_rank(target)
+        yield self._engine.sim.timeout(self._engine.timings.lock_op)
+        yield from self._iface.lock_mgr.request(
+            self.win_id, world_target, shared
+        )
+        self._epoch.locked_target = target
+        self._epoch.lock_shared = shared
+        self._tracker.reset()
+
+    def unlock(self, target: int):
+        """Close the passive-target epoch; all ops are remotely complete
+        when unlock returns."""
+        if self._epoch.locked_target != target:
+            raise Mpi2Error(f"unlock({target}) without a matching lock")
+        world_target = self.comm.group.world_rank(target)
+        yield from self._drain_local_completion()
+        yield from self._engine.complete_one(world_target)
+        self._iface.lock_mgr.release(self.win_id, world_target)
+        self._epoch.locked_target = None
+        self._tracker.reset()
+
+    # -- lifecycle -----------------------------------------------------------
+    def free(self):
+        """Collective window destruction."""
+        if self._freed:
+            raise Mpi2Error("double free of window")
+        yield from self._drain_local_completion()
+        yield from self._engine.complete_all()
+        yield from self.comm.barrier()
+        self._engine.withdraw(self._tmems[self.comm.rank])
+        self._freed = True
+
+    def _drain_local_completion(self):
+        """Wait for this rank's outstanding gets (their data must be in
+        origin buffers before the epoch close returns)."""
+        pending = self._iface._pending_gets
+        if pending:
+            from repro.sim.events import AllOf
+
+            not_done = [ev for ev in pending if not ev.triggered]
+            if not_done:
+                yield AllOf(self._engine.sim, not_done)
+            pending.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Win {self.win_id} rank={self.comm.rank}/{self.comm.size}>"
+
+
+class Mpi2Interface:
+    """Per-rank frontend (``ctx.mpi2``)."""
+
+    def __init__(self, engine, comm_world: Comm,
+                 lock_mgr: WindowLockManager) -> None:
+        self.engine = engine
+        self.comm_world = comm_world
+        self.lock_mgr = lock_mgr
+        self._win_seq = itertools.count()
+        self._win_comms: Dict[object, Comm] = {}
+        self._pending_gets: List[Any] = []
+
+    def win_create(self, alloc: Allocation, comm: Optional[Comm] = None):
+        """Collective window creation (``yield from``) — the MPI-2
+        requirement the strawman API removes (§IV req. 1)."""
+        comm = comm if comm is not None else self.comm_world
+        yield self.engine.sim.timeout(self.engine.registration_cost(alloc.size))
+        tmem = self.engine.expose(alloc)
+        tmems = yield from comm.allgather(tmem)
+        win_comm = yield from comm.dup()
+        win_id = ("win",) + comm.context + (next(self._win_seq),)
+        win = Win(self, win_id, comm, alloc, tmems)
+        self._win_comms[win_id] = win_comm
+        return win
+
+    def _win_comm(self, win: Win) -> Comm:
+        return self._win_comms[win.win_id]
+
+
+def build_mpi2(world: "World") -> None:
+    """Attach an :class:`Mpi2Interface` to every rank context."""
+    for rank, ctx in world.contexts.items():
+        lock_mgr = WindowLockManager(world.sim, rank, world.nics[rank])
+        ctx.mpi2 = Mpi2Interface(ctx.rma.engine, ctx.comm, lock_mgr)

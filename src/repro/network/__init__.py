@@ -1,0 +1,47 @@
+"""Simulated interconnect.
+
+Models the network properties the paper's §III-B keys on:
+
+- **ordering** — whether the fabric delivers packets between a pair of
+  ranks in injection order (Cray SeaStar/Portals: yes; Quadrics
+  QSNetII/III: no);
+- **remote-completion events** — whether the NIC hardware tells the
+  *origin* when a message has landed in target memory (Portals event
+  queue: yes; plain RDMA without acks: no);
+- **active messages** — whether the NIC can run a user handler at the
+  target without the target process calling anything (Portals on the XT:
+  no; GASNet-style NICs: yes);
+- **small atomics** — word-granularity network atomics (never arbitrary
+  sections — paper §V notes networks cannot atomically access arbitrary
+  remote regions).
+
+Timing follows LogGP: per-message origin overhead ``o``, injection gap
+``g``, per-byte time ``G`` (serialization), wire latency ``L``.  All
+times in microseconds.
+"""
+
+from repro.network.config import (
+    NetworkConfig,
+    generic_rdma,
+    infiniband_like,
+    quadrics_like,
+    seastar_portals,
+    shared_memory_like,
+)
+from repro.network.fabric import Fabric
+from repro.network.nic import Nic
+from repro.network.packet import ACK_SIZE, HEADER_SIZE, Packet
+
+__all__ = [
+    "ACK_SIZE",
+    "Fabric",
+    "HEADER_SIZE",
+    "NetworkConfig",
+    "Nic",
+    "Packet",
+    "generic_rdma",
+    "infiniband_like",
+    "quadrics_like",
+    "seastar_portals",
+    "shared_memory_like",
+]

@@ -1,0 +1,167 @@
+"""Network configuration and named presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "NetworkConfig",
+    "seastar_portals",
+    "quadrics_like",
+    "infiniband_like",
+    "generic_rdma",
+    "shared_memory_like",
+]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Interconnect personality + LogGP cost model (times in µs).
+
+    Attributes
+    ----------
+    latency:
+        ``L`` — wire latency for any packet.
+    overhead_send / overhead_recv:
+        ``o`` — CPU time charged to the origin to start an injection /
+        to a software receive handler at the target.
+    gap:
+        ``g`` — minimum NIC-side spacing between message injections.
+    byte_time:
+        ``G`` — serialization time per payload byte (1/bandwidth).
+    ordered:
+        Packets between a (src, dst) pair arrive in injection order.
+    remote_completion_events:
+        The NIC hardware acks delivery to the origin (Portals EQ).  When
+        false, remote completion must be built in software (target
+        round-trip through its CPU).
+    active_messages:
+        The NIC can run registered handlers at the target without target
+        CPU participation by the application.
+    small_atomics:
+        Word-size network atomics (CAS / fetch-add) exist in hardware.
+    jitter:
+        Max extra delay drawn per packet on unordered fabrics (models
+        adaptive routing spread).
+    mtu:
+        Largest data payload per packet; larger transfers fragment.
+        Fragmentation is what makes concurrent non-atomic access to
+        overlapping regions observably interleave (paper §II-A/§IV
+        requirement 3: overlapping ops are permitted but undefined).
+    """
+
+    name: str = "generic"
+    latency: float = 4.0
+    overhead_send: float = 0.4
+    overhead_recv: float = 0.4
+    gap: float = 0.2
+    byte_time: float = 0.0006  # ~1.7 GB/s
+    ordered: bool = True
+    remote_completion_events: bool = True
+    active_messages: bool = True
+    small_atomics: bool = False
+    jitter: float = 2.0
+    mtu: int = 4096
+
+    def __post_init__(self) -> None:
+        for field_name in ("latency", "overhead_send", "overhead_recv", "gap",
+                           "byte_time", "jitter"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+        if self.mtu < 8:
+            raise ValueError("mtu must be >= 8 bytes")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """NIC injection occupancy for an ``nbytes``-payload message."""
+        return max(self.gap, nbytes * self.byte_time)
+
+    def with_(self, **kwargs) -> "NetworkConfig":
+        """Copy with fields replaced (ablation convenience)."""
+        return replace(self, **kwargs)
+
+
+def seastar_portals() -> NetworkConfig:
+    """Cray XT5 SeaStar with Portals.
+
+    Ordered delivery is a natural property; the event-queue mechanism
+    lets the origin check remote completion (paper §V-A); no active
+    messages (paper §III-B1).
+    """
+    return NetworkConfig(
+        name="seastar-portals",
+        latency=2.2,
+        overhead_send=4.0,  # Portals put software path on the XT5 (~µs)
+        overhead_recv=1.0,
+        gap=0.3,
+        byte_time=0.0005,  # ~2 GB/s
+        ordered=True,
+        remote_completion_events=True,
+        active_messages=False,
+        small_atomics=False,
+    )
+
+
+def quadrics_like() -> NetworkConfig:
+    """Quadrics QSNetII/III-flavoured fabric: low latency, **no ordering
+    guarantee** (paper §III-B1), but remote completion events and even
+    NIC-side handlers exist."""
+    return NetworkConfig(
+        name="quadrics-like",
+        latency=2.5,
+        overhead_send=0.8,
+        overhead_recv=0.8,
+        gap=0.25,
+        byte_time=0.001,
+        ordered=False,
+        remote_completion_events=True,
+        active_messages=True,
+        small_atomics=True,
+        jitter=3.0,
+    )
+
+
+def infiniband_like() -> NetworkConfig:
+    """InfiniBand-flavoured RDMA fabric: ordered within a connection,
+    local completions only — **no remote-completion events** — so remote
+    completion costs a software round trip."""
+    return NetworkConfig(
+        name="infiniband-like",
+        latency=3.0,
+        overhead_send=0.7,
+        overhead_recv=0.7,
+        gap=0.2,
+        byte_time=0.0004,
+        ordered=True,
+        remote_completion_events=False,
+        active_messages=False,
+        small_atomics=True,
+    )
+
+
+def generic_rdma() -> NetworkConfig:
+    """A permissive fabric with every capability — useful as the
+    best-case baseline in ablations."""
+    return NetworkConfig(
+        name="generic-rdma",
+        ordered=True,
+        remote_completion_events=True,
+        active_messages=True,
+        small_atomics=True,
+    )
+
+
+def shared_memory_like() -> NetworkConfig:
+    """Intra-node transport: negligible latency, high bandwidth."""
+    return NetworkConfig(
+        name="shared-memory",
+        latency=0.15,
+        overhead_send=0.05,
+        overhead_recv=0.05,
+        gap=0.02,
+        byte_time=0.0001,
+        ordered=True,
+        remote_completion_events=True,
+        active_messages=True,
+        small_atomics=True,
+        jitter=0.0,
+    )

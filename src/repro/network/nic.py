@@ -1,0 +1,105 @@
+"""The network interface controller.
+
+Each rank owns a :class:`Nic`.  Sending goes through an injection queue
+drained by a NIC engine process that charges LogGP serialization
+(``max(g, bytes*G)``) per packet, then hands the packet to the fabric.
+``Packet.ev_injected`` triggers when serialization finishes — that is
+the *local completion* point of a transfer (the origin buffer is free).
+
+On the receive side, packets are dispatched to handlers registered by
+kind.  Handlers model NIC hardware (RDMA deposit, tag-match DMA): they
+run without the target process calling anything.  Anything requiring
+target CPU time (software acks, AM handlers, the communication-thread
+serializer) is layered above by enqueueing work from inside a handler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.network.config import NetworkConfig
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """One rank's NIC: injection engine + receive dispatch."""
+
+    def __init__(self, sim: "Simulator", rank: int, fabric: Fabric) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.fabric = fabric
+        self.config: NetworkConfig = fabric.config
+        self._queue: Store = Store(sim)
+        self._handlers: Dict[str, Callable[[Packet], None]] = {}
+        self._default_handler: Optional[Callable[[Packet], None]] = None
+        fabric.attach(rank, self._on_deliver)
+        self._engine = sim.spawn(self._injector(), name=f"nic-{rank}")
+        # stats
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_received = 0
+
+    # -- send path -------------------------------------------------------
+    def send(self, packet: Packet) -> Packet:
+        """Queue ``packet`` for injection.
+
+        Creates ``ev_injected`` if absent.  If the packet wants an ack
+        and the fabric supports remote-completion events,
+        ``ev_remote_complete`` is created too (callers may wait on it).
+        """
+        if packet.src != self.rank:
+            raise ValueError(
+                f"packet src {packet.src} does not match NIC rank {self.rank}"
+            )
+        if packet.ev_injected is None:
+            packet.ev_injected = self.sim.event()
+        if (
+            packet.want_ack
+            and self.config.remote_completion_events
+            and packet.ev_remote_complete is None
+        ):
+            packet.ev_remote_complete = self.sim.event()
+        self._queue.put(packet)
+        return packet
+
+    def _injector(self):
+        while True:
+            packet: Packet = yield from self._queue.get()
+            yield self.sim.timeout(self.config.serialization_time(packet.wire_bytes))
+            self.packets_sent += 1
+            self.bytes_sent += packet.wire_bytes
+            if packet.ev_injected is not None:
+                packet.ev_injected.succeed(self.sim.now)
+            self.fabric.transmit(packet)
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets waiting for injection (diagnostic)."""
+        return len(self._queue)
+
+    # -- receive path ----------------------------------------------------
+    def register_handler(self, kind: str, fn: Callable[[Packet], None]) -> None:
+        """Dispatch packets of ``kind`` to ``fn`` on delivery."""
+        if kind in self._handlers:
+            raise ValueError(f"handler for {kind!r} already registered")
+        self._handlers[kind] = fn
+
+    def register_default_handler(self, fn: Callable[[Packet], None]) -> None:
+        """Catch-all for kinds without a specific handler."""
+        self._default_handler = fn
+
+    def _on_deliver(self, packet: Packet) -> None:
+        self.packets_received += 1
+        handler = self._handlers.get(packet.kind, self._default_handler)
+        if handler is None:
+            raise RuntimeError(
+                f"rank {self.rank}: no handler for packet kind {packet.kind!r}"
+            )
+        handler(packet)

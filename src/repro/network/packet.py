@@ -1,0 +1,69 @@
+"""Packets — the unit of transfer on the simulated fabric."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+__all__ = ["Packet", "HEADER_SIZE", "ACK_SIZE"]
+
+#: Fixed per-packet header bytes charged on the wire.
+HEADER_SIZE = 32
+#: Size of a hardware-generated ack (remote-completion event).
+ACK_SIZE = 8
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One message on the fabric.
+
+    Attributes
+    ----------
+    src, dst:
+        Origin and destination ranks.
+    kind:
+        Dispatch key at the destination NIC (e.g. ``"rma.put"``,
+        ``"p2p.msg"``, ``"rma.ack"``).
+    payload:
+        Free-form dict; data payloads are NumPy ``uint8`` arrays under
+        the ``"data"`` key by convention.
+    data_bytes:
+        Payload size charged to serialization (0 for control packets).
+    want_ack:
+        Request a hardware delivery ack when the fabric supports
+        remote-completion events.
+    ev_injected:
+        Triggers when the origin NIC finished serializing the packet
+        (local completion of the transfer at the origin).
+    ev_remote_complete:
+        Triggers when the data is known (at the origin) to have landed
+        at the target — via hardware ack or a software protocol.  Only
+        created when someone intends to wait on it.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    data_bytes: int = 0
+    want_ack: bool = False
+    ev_injected: Optional["Event"] = None
+    ev_remote_complete: Optional["Event"] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire including the fixed header."""
+        return HEADER_SIZE + self.data_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet #{self.packet_id} {self.kind} {self.src}->{self.dst} "
+            f"{self.data_bytes}B>"
+        )

@@ -1,0 +1,70 @@
+"""RMA attributes (paper §III-A, §IV).
+
+The strawman API's key flexibility: every operation carries an
+attribute set selecting which guarantees it needs.
+
+- ``ordering`` — read/write consistency w.r.t. a single origin: two
+  operations from the same origin to the same target apply in issue
+  order (the paper's *ordering property*).
+- ``remote_completion`` — the operation's completion (of its request,
+  or of the call itself when blocking) means the data has reached
+  target memory, not merely left the origin.
+- ``atomicity`` — the whole operation applies exclusively with respect
+  to other atomic operations on the same target (serializer-enforced;
+  needed for sequential-consistency-style usage).
+- ``blocking`` — single-call RMA (§IV req. 4): the call itself waits
+  for completion (local, or remote if ``remote_completion`` is set).
+
+Attributes may be set per call or as a per-communicator default; the
+paper suggests "permitting the use of the most stringent rules while
+debugging", which :meth:`RmaAttrs.strict` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["RmaAttrs", "ALL_RANKS"]
+
+#: Target-rank wildcard for ``complete``/``order`` (paper §IV:
+#: ``MPI_ALL_RANKS``).
+ALL_RANKS = -1
+
+
+@dataclass(frozen=True)
+class RmaAttrs:
+    """An attribute set for one RMA operation (or a communicator default)."""
+
+    ordering: bool = False
+    remote_completion: bool = False
+    atomicity: bool = False
+    blocking: bool = False
+
+    @classmethod
+    def none(cls) -> "RmaAttrs":
+        """No guarantees — the unrestricted high-performance mode."""
+        return cls()
+
+    @classmethod
+    def strict(cls) -> "RmaAttrs":
+        """Every guarantee on — the paper's debugging mode."""
+        return cls(
+            ordering=True, remote_completion=True, atomicity=True, blocking=True
+        )
+
+    def with_(self, **kwargs) -> "RmaAttrs":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)
+
+    def merged(self, override: Optional["RmaAttrs"]) -> "RmaAttrs":
+        """Per-call override wins when provided, else self (the default)."""
+        return override if override is not None else self
+
+    def __str__(self) -> str:
+        on = [
+            name
+            for name in ("ordering", "remote_completion", "atomicity", "blocking")
+            if getattr(self, name)
+        ]
+        return "+".join(on) if on else "none"

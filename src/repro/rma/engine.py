@@ -1,0 +1,1296 @@
+"""The strawman RMA protocol engine.
+
+One :class:`RmaEngine` per rank.  It owns every wire protocol behind the
+strawman API and enforces each attribute with the cheapest mechanism the
+fabric/machine combination offers (paper §III-B: "when they are offered
+as features by the underlying network, [attributes] are trivial to
+implement", otherwise software protocols add a penalty):
+
+ordering
+    Every operation between an (origin, target) pair carries a sequence
+    number and a *barrier*: the highest sequence number that must be
+    applied at the target before this operation may apply.  The
+    ordering attribute sets ``barrier = seq - 1``; ``rma_order`` sets a
+    standing barrier for subsequent operations.  On an ordered fabric
+    the gate never actually delays anything (the attribute is free); on
+    an unordered fabric late fragments are buffered at the target.
+
+remote completion
+    Three strategies, picked per operation:
+
+    - ``hw``  — per-fragment hardware delivery acks (Portals event
+      queue); valid only when delivery *is* application (non-atomic op,
+      coherent target, no gating).
+    - ``sw``  — the target engine acks when the operation has been
+      *applied* (needed for atomic ops, non-coherent targets, and gated
+      ops on unordered fabrics).
+    - ``flush`` — nothing per-op; ``rma_complete`` sends a watermark
+      flush and the target answers once everything up to the watermark
+      has applied.  This is the default for attribute-free operations.
+
+atomicity
+    Routed through the machine's serializer (thread / coarse lock /
+    progress — :mod:`repro.rma.serializer`).  With the coarse lock the
+    origin acquires the target's process-level lock around the whole
+    operation and application happens directly (exclusivity by lock);
+    with the thread/progress serializers fragments are staged at the
+    target and applied as one FIFO job.
+
+Transfers fragment at the fabric MTU; fragments of concurrent
+*non-atomic* operations to overlapping memory interleave — exactly the
+"permitted but undefined" behaviour the paper asks for (§IV req. 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datatypes.base import Datatype
+from repro.machine.address_space import Allocation
+from repro.machine.config import MachineConfig, MachineTimings
+from repro.machine.node import RankMemory
+from repro.mpi.request import Request
+from repro.network.nic import Nic
+from repro.network.packet import Packet
+from repro.rma.attributes import RmaAttrs
+from repro.rma.layout import (
+    Fragment,
+    apply_accumulate,
+    apply_put_fragment,
+    fragment_layout,
+    read_layout,
+)
+from repro.rma.serializer import Serializer, make_serializer
+from repro.rma.target_mem import RmaError, TargetMem
+from repro.sim.events import AllOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime import World
+    from repro.sim.core import Simulator
+
+__all__ = ["RmaEngine", "OpRecord", "build_rma"]
+
+_op_counter = itertools.count(1)
+
+#: Accumulate operations supported by the engine.
+ACC_OPS = ("sum", "prod", "min", "max", "replace", "daxpy")
+#: Read-modify-write operations (paper §V: conditional and unconditional).
+RMW_OPS = ("cas", "fetch_add", "swap")
+
+
+@dataclass
+class OpRecord:
+    """Origin-side record of one outstanding write-style operation."""
+
+    op_key: Tuple[int, int]
+    dst: int
+    seq: int
+    kind: str
+    remote_mode: str  # "hw" | "sw" | "flush"
+    ev_local: Event
+    ev_remote: Optional[Event]
+    nbytes: int
+
+
+class _OriginPeer:
+    """Origin-side per-target state."""
+
+    __slots__ = ("last_seq", "order_barrier", "outstanding",
+                 "last_atomic_seq")
+
+    def __init__(self) -> None:
+        self.last_seq = 0
+        self.order_barrier = 0
+        self.outstanding: List[OpRecord] = []
+        #: Sequence number of the most recent atomic op issued to this
+        #: target (atomic application is deferred, which matters for
+        #: deciding whether delivery == application downstream).
+        self.last_atomic_seq = 0
+
+    def alloc_seq(self) -> int:
+        self.last_seq += 1
+        return self.last_seq
+
+
+class _InboundOp:
+    """Target-side record of one in-flight inbound operation."""
+
+    __slots__ = (
+        "desc",
+        "seq",
+        "barrier",
+        "src",
+        "frags",
+        "nfrags",
+        "arrived",
+        "applied_frags",
+        "gate_open",
+        "staged",
+    )
+
+    def __init__(self, desc: Dict[str, Any]) -> None:
+        self.desc = desc
+        self.seq: int = desc["seq"]
+        self.barrier: int = desc["barrier"]
+        self.src: int = desc["src"]
+        self.nfrags: int = desc.get("nfrags", 1)
+        self.frags: List[Fragment] = []
+        self.arrived = 0
+        self.applied_frags = 0
+        self.gate_open = False
+        self.staged = False  # atomic op already handed to the serializer
+
+
+class _TargetPeer:
+    """Target-side per-origin state."""
+
+    __slots__ = ("applied_upto", "applied_extra", "inbound", "gated",
+                 "flush_waiters", "draining")
+
+    def __init__(self) -> None:
+        self.applied_upto = 0
+        self.applied_extra: set = set()
+        self.inbound: Dict[int, _InboundOp] = {}
+        self.gated: List[_InboundOp] = []
+        #: (watermark, flush_id, origin_rank) triples awaiting the watermark.
+        self.flush_waiters: List[Tuple[int, int, int]] = []
+        #: Reentrancy guard for gate draining (applying a gated op can
+        #: recursively mark further ops applied).
+        self.draining = False
+
+    def barrier_ok(self, barrier: int) -> bool:
+        return self.applied_upto >= barrier
+
+
+class _PendingGet:
+    """Origin-side reassembly state for a get reply."""
+
+    __slots__ = ("buffer", "received", "ev_done", "alloc", "offset", "dtype",
+                 "count", "swap", "location")
+
+    def __init__(self, total: int, alloc, offset, dtype, count, swap,
+                 location=None) -> None:
+        self.buffer = np.empty(total, dtype=np.uint8)
+        self.received = 0
+        self.ev_done: Optional[Event] = None
+        self.alloc = alloc
+        self.offset = offset
+        self.dtype = dtype
+        self.count = count
+        self.swap = swap
+        self.location = location
+
+
+class RmaEngine:
+    """Per-rank RMA protocol engine (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        rank: int,
+        nic: Nic,
+        mem: RankMemory,
+        machine: MachineConfig,
+        serializer_kind: str = "auto",
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.nic = nic
+        self.mem = mem
+        self.machine = machine
+        self.timings: MachineTimings = machine.timings
+        self.network = nic.config
+        self.tracer = tracer
+
+        self._exposures: Dict[int, Allocation] = {}
+        self._next_mem_id = 1
+        self._origin_peers: Dict[int, _OriginPeer] = {}
+        self._target_peers: Dict[int, _TargetPeer] = {}
+        self._sw_ack_waiters: Dict[Tuple[int, int], Event] = {}
+        self._pending_gets: Dict[Tuple[int, int], _PendingGet] = {}
+        self._pending_replies: Dict[Tuple[int, int], Event] = {}
+        self._flush_waiters: Dict[int, Event] = {}
+        self._next_flush_id = 1
+        self._rmi_handlers: Dict[str, Callable[..., Any]] = {}
+
+        nic.register_handler("rma.frag", self._on_frag)
+        nic.register_handler("rma.get_req", self._on_get_req)
+        nic.register_handler("rma.get_reply", self._on_get_reply)
+        nic.register_handler("rma.ack", self._on_ack)
+        nic.register_handler("rma.flush_req", self._on_flush_req)
+        nic.register_handler("rma.flush_ack", self._on_flush_ack)
+        nic.register_handler("rma.rmw_req", self._on_rmw_req)
+        nic.register_handler("rma.reply", self._on_reply)
+        nic.register_handler("rma.rmi_req", self._on_rmi_req)
+        nic.register_handler("rma.lock_req", self._on_lock_req)
+        nic.register_handler("rma.lock_grant", self._on_lock_grant)
+        nic.register_handler("rma.unlock", self._on_unlock)
+
+        self.serializer: Serializer = make_serializer(serializer_kind, self)
+
+        # statistics
+        self.stats: Dict[str, int] = {
+            "puts": 0,
+            "gets": 0,
+            "accumulates": 0,
+            "rmws": 0,
+            "rmis": 0,
+            "completes": 0,
+            "orders": 0,
+            "bytes_put": 0,
+            "bytes_got": 0,
+            "gated_frags": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Memory exposure
+    # ------------------------------------------------------------------
+    def expose(self, alloc: Allocation) -> TargetMem:
+        """Register local memory for remote access (non-collective)."""
+        if alloc.rank != self.rank:
+            raise RmaError(
+                f"rank {self.rank} cannot expose memory owned by rank "
+                f"{alloc.rank}"
+            )
+        self.mem.space.buffer(alloc)  # validates liveness
+        mem_id = self._next_mem_id
+        self._next_mem_id += 1
+        self._exposures[mem_id] = alloc
+        return TargetMem(
+            rank=self.rank,
+            mem_id=mem_id,
+            size=alloc.size,
+            pointer_bits=self.mem.space.pointer_bits,
+            endianness=self.mem.space.endianness,
+            coherent=self.mem.coherent,
+        )
+
+    def registration_cost(self, nbytes: int) -> float:
+        """NIC registration cost for exposing ``nbytes`` (charged by the
+        generator-based exposure paths; plain :meth:`expose` is the
+        zero-time registration-cache hit)."""
+        pages = -(-max(nbytes, 1) // 4096)
+        return (self.timings.mem_register_base
+                + pages * self.timings.mem_register_per_page)
+
+    def withdraw(self, tmem: TargetMem) -> None:
+        """Deregister; later remote access through it is an error."""
+        if tmem.rank != self.rank or tmem.mem_id not in self._exposures:
+            raise RmaError(f"cannot withdraw unknown target_mem {tmem}")
+        del self._exposures[tmem.mem_id]
+
+    def _resolve(self, mem_id: int) -> Allocation:
+        alloc = self._exposures.get(mem_id)
+        if alloc is None:
+            raise RmaError(
+                f"rank {self.rank}: RMA access to unknown/withdrawn "
+                f"target_mem id {mem_id}"
+            )
+        return alloc
+
+    def register_rmi(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a remote-method-invocation handler (§IV extension)."""
+        if name in self._rmi_handlers:
+            raise RmaError(f"RMI handler {name!r} already registered")
+        self._rmi_handlers[name] = fn
+
+    # ------------------------------------------------------------------
+    # Peers
+    # ------------------------------------------------------------------
+    def _origin_peer(self, dst: int) -> _OriginPeer:
+        peer = self._origin_peers.get(dst)
+        if peer is None:
+            peer = self._origin_peers[dst] = _OriginPeer()
+        return peer
+
+    def _target_peer(self, src: int) -> _TargetPeer:
+        peer = self._target_peers.get(src)
+        if peer is None:
+            peer = self._target_peers[src] = _TargetPeer()
+        return peer
+
+    # ------------------------------------------------------------------
+    # Issue path helpers
+    # ------------------------------------------------------------------
+    def send_control(self, dst: int, kind: str, payload: Dict[str, Any],
+                     data_bytes: int = 0, want_ack: bool = False) -> Packet:
+        """Inject a small protocol packet."""
+        pkt = Packet(src=self.rank, dst=dst, kind=kind, payload=payload,
+                     data_bytes=data_bytes, want_ack=want_ack)
+        self.nic.send(pkt)
+        return pkt
+
+    def _pick_remote_mode(self, attrs: RmaAttrs, tmem: TargetMem,
+                          barrier: int, atomic_via_serializer: bool,
+                          lock_serialized: bool,
+                          peer: "_OriginPeer") -> str:
+        if lock_serialized or atomic_via_serializer:
+            # Atomic semantics are only established at application time,
+            # so atomic ops always track an application ack: the lock
+            # serializer needs it to release the lock, and a blocking
+            # atomic call returns only once the exclusive update is in.
+            return "sw"
+        if attrs.remote_completion:
+            # A hardware delivery ack (Portals EQ) equals remote
+            # completion only when delivery == application: coherent
+            # target, and either no gating barrier, or an ordered fabric
+            # where every op covered by the barrier applies at its own
+            # (earlier) delivery — i.e. none of them was atomic.
+            barrier_instant = barrier == 0 or (
+                self.network.ordered
+                and not (0 < peer.last_atomic_seq <= barrier)
+            )
+            hw_ok = (
+                tmem.coherent
+                and barrier_instant
+                and self.network.remote_completion_events
+            )
+            return "hw" if hw_ok else "sw"
+        return "flush"
+
+    def _atomic_routing(self, attrs: RmaAttrs) -> Tuple[bool, bool]:
+        """(via_serializer_queue, via_origin_lock) for this op."""
+        if not attrs.atomicity:
+            return False, False
+        if self.serializer.kind == "lock":
+            return False, True
+        return True, False
+
+    def issue_put(
+        self,
+        origin_alloc: Allocation,
+        origin_offset: int,
+        origin_count: int,
+        origin_dtype: Datatype,
+        tmem: TargetMem,
+        target_disp: int,
+        target_count: int,
+        target_dtype: Datatype,
+        attrs: RmaAttrs,
+    ):
+        """Issue a put; returns an :class:`OpRecord` (``yield from``)."""
+        rec = yield from self._issue_write(
+            "put", origin_alloc, origin_offset, origin_count, origin_dtype,
+            tmem, target_disp, target_count, target_dtype, attrs, {},
+        )
+        self.stats["puts"] += 1
+        self.stats["bytes_put"] += rec.nbytes
+        return rec
+
+    def issue_accumulate(
+        self,
+        origin_alloc: Allocation,
+        origin_offset: int,
+        origin_count: int,
+        origin_dtype: Datatype,
+        tmem: TargetMem,
+        target_disp: int,
+        target_count: int,
+        target_dtype: Datatype,
+        attrs: RmaAttrs,
+        op: str = "sum",
+        scale: float = 1.0,
+    ):
+        """Issue an accumulate (remote update); returns an OpRecord."""
+        if op not in ACC_OPS:
+            raise RmaError(f"unknown accumulate op {op!r}; choose from {ACC_OPS}")
+        if target_dtype.elem_np is None:
+            raise RmaError(
+                "accumulate requires a datatype with a uniform element type"
+            )
+        extra = {"acc_op": op, "acc_scale": scale,
+                 "np_elem": target_dtype.elem_np}
+        rec = yield from self._issue_write(
+            "acc", origin_alloc, origin_offset, origin_count, origin_dtype,
+            tmem, target_disp, target_count, target_dtype, attrs, extra,
+        )
+        self.stats["accumulates"] += 1
+        return rec
+
+    def _validate_pair(
+        self,
+        origin_count: int,
+        origin_dtype: Datatype,
+        tmem: TargetMem,
+        target_disp: int,
+        target_count: int,
+        target_dtype: Datatype,
+    ) -> int:
+        o_bytes = origin_count * origin_dtype.size
+        t_bytes = target_count * target_dtype.size
+        if o_bytes != t_bytes:
+            raise RmaError(
+                f"origin layout ({o_bytes} B) does not match target layout "
+                f"({t_bytes} B)"
+            )
+        lo, hi = target_dtype.byte_range(target_count)
+        tmem.check_access(target_disp, lo, hi)
+        return o_bytes
+
+    def _issue_write(
+        self, kind, origin_alloc, origin_offset, origin_count, origin_dtype,
+        tmem, target_disp, target_count, target_dtype, attrs, extra,
+    ):
+        from repro.datatypes.pack import pack
+
+        dst = tmem.rank
+        nbytes = self._validate_pair(
+            origin_count, origin_dtype, tmem, target_disp, target_count,
+            target_dtype,
+        )
+        pack_cost = (
+            0.0
+            if origin_dtype.is_contiguous
+            else nbytes * self.timings.mem_copy_per_byte
+        )
+        yield self.sim.timeout(
+            self.timings.call_overhead + self.network.overhead_send + pack_cost
+        )
+        wire = pack(
+            self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
+            origin_count,
+        )
+        if nbytes == 0:
+            ev = Event(self.sim).succeed()
+            return OpRecord((self.rank, 0), dst, 0, kind, "hw", ev, ev, 0)
+
+        via_queue, via_lock = self._atomic_routing(attrs)
+        if via_lock:
+            yield from self.serializer.origin_acquire(dst)
+
+        peer = self._origin_peer(dst)
+        seq = peer.alloc_seq()
+        barrier = seq - 1 if attrs.ordering else peer.order_barrier
+        mode = self._pick_remote_mode(attrs, tmem, barrier, via_queue,
+                                      via_lock, peer)
+        if via_queue or via_lock:
+            peer.last_atomic_seq = seq
+        op_key = (self.rank, next(_op_counter))
+
+        frags = fragment_layout(target_dtype, target_count, wire, self.network.mtu)
+        desc = {
+            "op_key": op_key,
+            "src": self.rank,
+            "seq": seq,
+            "barrier": barrier,
+            "kind": kind,
+            "mem_id": tmem.mem_id,
+            "base_disp": target_disp,
+            "nfrags": len(frags),
+            "atomic_queue": via_queue,
+            "ack": mode,
+            "swap": self.mem.space.endianness != tmem.endianness,
+            "coherent": tmem.coherent,
+            "total_bytes": nbytes,
+        }
+        desc.update(extra)
+
+        inject_evs, hw_evs = [], []
+        for frag in frags:
+            pkt = Packet(
+                src=self.rank, dst=dst, kind="rma.frag",
+                payload={"desc": desc, "frag": frag},
+                data_bytes=len(frag.data),
+                want_ack=(mode == "hw"),
+            )
+            self.nic.send(pkt)
+            inject_evs.append(pkt.ev_injected)
+            if mode == "hw":
+                hw_evs.append(pkt.ev_remote_complete)
+
+        ev_local = inject_evs[0] if len(inject_evs) == 1 else AllOf(self.sim, inject_evs)
+        if mode == "hw":
+            ev_remote: Optional[Event] = (
+                hw_evs[0] if len(hw_evs) == 1 else AllOf(self.sim, hw_evs)
+            )
+        elif mode == "sw":
+            ev_remote = self.sim.event()
+            self._sw_ack_waiters[op_key] = ev_remote
+        else:
+            ev_remote = None
+
+        rec = OpRecord(op_key, dst, seq, kind, mode, ev_local, ev_remote, nbytes)
+        peer.outstanding.append(rec)
+
+        if self.tracer is not None and self.tracer.enabled and nbytes <= 16:
+            # consistency-litmus support: small writes are recorded with
+            # their value so checkers can rebuild reads-from relations
+            self.tracer.record(
+                self.sim.now, "consistency", "write", rank=self.rank,
+                location=(dst, tmem.mem_id, target_disp),
+                value=tuple(wire.tolist()),
+            )
+        if via_lock:
+            self.sim.spawn(self._release_lock_after(dst, rec),
+                           name=f"lockrel-{self.rank}")
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "rma", f"{kind}_issue",
+                               rank=self.rank, dst=dst, seq=seq,
+                               bytes=nbytes, attrs=str(attrs))
+        return rec
+
+    def _release_lock_after(self, dst: int, rec: OpRecord):
+        assert rec.ev_remote is not None
+        if not rec.ev_remote.triggered:
+            yield rec.ev_remote
+        yield from self.serializer.origin_release(dst)
+
+    # ------------------------------------------------------------------
+    # Get
+    # ------------------------------------------------------------------
+    def issue_get(
+        self,
+        origin_alloc: Allocation,
+        origin_offset: int,
+        origin_count: int,
+        origin_dtype: Datatype,
+        tmem: TargetMem,
+        target_disp: int,
+        target_count: int,
+        target_dtype: Datatype,
+        attrs: RmaAttrs,
+    ):
+        """Issue a get; returns the completion :class:`Event` whose value
+        is ``None`` once data sits in the origin buffer."""
+        dst = tmem.rank
+        nbytes = self._validate_pair(
+            origin_count, origin_dtype, tmem, target_disp, target_count,
+            target_dtype,
+        )
+        # validate origin range before any waiting
+        from repro.datatypes.pack import check_bounds
+
+        check_bounds(
+            self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
+            origin_count,
+        )
+        yield self.sim.timeout(
+            self.timings.call_overhead + self.network.overhead_send
+        )
+        ev_done = self.sim.event()
+        if nbytes == 0:
+            ev_done.succeed()
+            return ev_done
+
+        via_queue, via_lock = self._atomic_routing(attrs)
+        if via_lock:
+            yield from self.serializer.origin_acquire(dst)
+        peer = self._origin_peer(dst)
+        seq = peer.alloc_seq()
+        barrier = seq - 1 if attrs.ordering else peer.order_barrier
+        op_key = (self.rank, next(_op_counter))
+        pend = _PendingGet(
+            nbytes, origin_alloc, origin_offset, origin_dtype, origin_count,
+            swap=self.mem.space.endianness != tmem.endianness,
+            location=(dst, tmem.mem_id, target_disp),
+        )
+        pend.ev_done = ev_done
+        self._pending_gets[op_key] = pend
+        self.send_control(
+            dst, "rma.get_req",
+            {
+                "op_key": op_key, "src": self.rank, "seq": seq,
+                "barrier": barrier, "kind": "get", "mem_id": tmem.mem_id,
+                "base_disp": target_disp, "count": target_count,
+                "dtype": target_dtype, "atomic_queue": via_queue,
+                "total_bytes": nbytes,
+            },
+        )
+        if via_lock:
+            self.sim.spawn(self._release_lock_after_event(dst, ev_done),
+                           name=f"lockrel-{self.rank}")
+        self.stats["gets"] += 1
+        self.stats["bytes_got"] += nbytes
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "rma", "get_issue",
+                               rank=self.rank, dst=dst, seq=seq, bytes=nbytes)
+        return ev_done
+
+    def _release_lock_after_event(self, dst: int, ev: Event):
+        if not ev.triggered:
+            yield ev
+        yield from self.serializer.origin_release(dst)
+
+    # ------------------------------------------------------------------
+    # Get-accumulate: atomic fetch-and-op on a whole section — the
+    # natural generalization of §V's RMW discussion (and what MPI-3
+    # eventually standardized as MPI_Get_accumulate).
+    # ------------------------------------------------------------------
+    def issue_get_accumulate(
+        self,
+        origin_alloc: Allocation,
+        origin_offset: int,
+        origin_count: int,
+        origin_dtype: Datatype,
+        tmem: TargetMem,
+        target_disp: int,
+        target_count: int,
+        target_dtype: Datatype,
+        op: str = "sum",
+        scale: float = 1.0,
+    ):
+        """Atomically fetch the target section and apply ``op`` to it;
+        the *old* contents land in the origin buffer.  Returns the
+        completion event (``yield from``).
+
+        Always atomic: routed through the serializer (or the process
+        lock).  ``op="replace"`` gives a section-sized swap;
+        ``origin_count == 0`` with ``op="sum"``/scale 0 degenerates to
+        an atomic get.
+        """
+        from repro.datatypes.pack import check_bounds, pack
+
+        if op not in ACC_OPS:
+            raise RmaError(f"unknown accumulate op {op!r}; choose from {ACC_OPS}")
+        if target_dtype.elem_np is None:
+            raise RmaError(
+                "get_accumulate requires a datatype with a uniform element type"
+            )
+        nbytes = self._validate_pair(
+            origin_count, origin_dtype, tmem, target_disp, target_count,
+            target_dtype,
+        )
+        check_bounds(
+            self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
+            origin_count,
+        )
+        dst = tmem.rank
+        yield self.sim.timeout(
+            self.timings.call_overhead + self.network.overhead_send
+        )
+        ev_done = self.sim.event()
+        if nbytes == 0:
+            ev_done.succeed()
+            return ev_done
+        wire = pack(
+            self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
+            origin_count,
+        )
+        via_lock = self.serializer.kind == "lock"
+        if via_lock:
+            yield from self.serializer.origin_acquire(dst)
+        peer = self._origin_peer(dst)
+        seq = peer.alloc_seq()
+        peer.last_atomic_seq = seq
+        op_key = (self.rank, next(_op_counter))
+        pend = _PendingGet(
+            nbytes, origin_alloc, origin_offset, origin_dtype, origin_count,
+            swap=self.mem.space.endianness != tmem.endianness,
+            location=(dst, tmem.mem_id, target_disp),
+        )
+        pend.ev_done = ev_done
+        self._pending_gets[op_key] = pend
+        frags = fragment_layout(target_dtype, target_count, wire,
+                                self.network.mtu)
+        desc = {
+            "op_key": op_key, "src": self.rank, "seq": seq,
+            "barrier": peer.order_barrier, "kind": "getacc",
+            "mem_id": tmem.mem_id, "base_disp": target_disp,
+            "nfrags": len(frags), "atomic_queue": not via_lock,
+            "ack": "none", "swap": pend.swap, "coherent": tmem.coherent,
+            "total_bytes": nbytes, "acc_op": op, "acc_scale": scale,
+            "np_elem": target_dtype.elem_np,
+            "reply_dtype": target_dtype, "reply_count": target_count,
+        }
+        for frag in frags:
+            self.nic.send(Packet(
+                src=self.rank, dst=dst, kind="rma.frag",
+                payload={"desc": desc, "frag": frag},
+                data_bytes=len(frag.data),
+            ))
+        if via_lock:
+            self.sim.spawn(self._release_lock_after_event(dst, ev_done),
+                           name=f"lockrel-{self.rank}")
+        self.stats["accumulates"] += 1
+        self.stats["gets"] += 1
+        return ev_done
+
+    def _serve_getacc(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        """Read the old section, apply the update, reply with the old."""
+        desc = op.desc
+        alloc = self._resolve(desc["mem_id"])
+        old = read_layout(self.mem, alloc, desc["base_disp"],
+                          desc["reply_dtype"], desc["reply_count"])
+        for frag in op.frags:
+            apply_accumulate(
+                self.mem, alloc, desc["base_disp"], frag, desc["swap"],
+                desc["np_elem"], desc["acc_op"], desc["acc_scale"],
+                self.mem.space.np_byteorder,
+            )
+        if not self.mem.coherent:
+            self.mem.cache.invalidate_range(
+                alloc, desc["base_disp"], desc["total_bytes"]
+            )
+        self._op_applied(peer, op)
+        mtu = self.network.mtu
+        total = old.size
+        nfrags = max(1, -(-total // mtu))
+        for i in range(nfrags):
+            chunk = old[i * mtu : (i + 1) * mtu]
+            self.send_control(
+                desc["src"], "rma.get_reply",
+                {"op_key": desc["op_key"], "wire_off": i * mtu,
+                 "data": chunk, "total": total},
+                data_bytes=len(chunk),
+            )
+
+    # ------------------------------------------------------------------
+    # RMW (paper §V: conditional and unconditional read-modify-write)
+    # ------------------------------------------------------------------
+    def issue_rmw(
+        self,
+        tmem: TargetMem,
+        target_disp: int,
+        np_elem: str,
+        op: str,
+        operand,
+        compare=None,
+        attrs: Optional[RmaAttrs] = None,
+    ):
+        """Issue a CAS / fetch-and-add / swap; returns the completion
+        event whose value is the *old* target value."""
+        if op not in RMW_OPS:
+            raise RmaError(f"unknown RMW op {op!r}; choose from {RMW_OPS}")
+        if op == "cas" and compare is None:
+            raise RmaError("cas requires a compare value")
+        elem_size = np.dtype(np_elem).itemsize
+        tmem.check_access(target_disp, 0, elem_size)
+        dst = tmem.rank
+        yield self.sim.timeout(
+            self.timings.call_overhead + self.network.overhead_send
+        )
+        # RMWs are atomic by definition.  Hardware atomics serve when the
+        # fabric has them; otherwise the op routes through the serializer.
+        use_hw = self.network.small_atomics and elem_size <= 8
+        via_lock = (not use_hw) and self.serializer.kind == "lock"
+        if via_lock:
+            yield from self.serializer.origin_acquire(dst)
+        peer = self._origin_peer(dst)
+        seq = peer.alloc_seq()
+        barrier = peer.order_barrier
+        op_key = (self.rank, next(_op_counter))
+        ev = self.sim.event()
+        self._pending_replies[op_key] = ev
+        self.send_control(
+            dst, "rma.rmw_req",
+            {
+                "op_key": op_key, "src": self.rank, "seq": seq,
+                "barrier": barrier, "kind": "rmw", "mem_id": tmem.mem_id,
+                "base_disp": target_disp, "np_elem": np_elem, "op": op,
+                "operand": operand, "compare": compare,
+                "atomic_queue": not use_hw and not via_lock,
+                "endianness": tmem.endianness,
+            },
+            data_bytes=elem_size,
+        )
+        if via_lock:
+            self.sim.spawn(self._release_lock_after_event(dst, ev),
+                           name=f"lockrel-{self.rank}")
+        self.stats["rmws"] += 1
+        return ev
+
+    # ------------------------------------------------------------------
+    # RMI (the xfer optype expansion discussed in §IV)
+    # ------------------------------------------------------------------
+    def issue_rmi(self, dst: int, name: str, args: tuple, attrs: RmaAttrs):
+        """Invoke a registered remote method; completion value is the
+        handler's return value."""
+        if not (self.network.active_messages or self.machine.threads_allowed):
+            raise RmaError(
+                "RMI requires active messages or a communication thread "
+                "(paper §V: not trivial on all architectures)"
+            )
+        yield self.sim.timeout(
+            self.timings.call_overhead + self.network.overhead_send
+        )
+        peer = self._origin_peer(dst)
+        seq = peer.alloc_seq()
+        barrier = seq - 1 if attrs.ordering else peer.order_barrier
+        op_key = (self.rank, next(_op_counter))
+        ev = self.sim.event()
+        self._pending_replies[op_key] = ev
+        from repro.mpi.endpoint import payload_nbytes
+
+        self.send_control(
+            dst, "rma.rmi_req",
+            {
+                "op_key": op_key, "src": self.rank, "seq": seq,
+                "barrier": barrier, "kind": "rmi", "name": name,
+                "args": args,
+            },
+            data_bytes=payload_nbytes(args),
+        )
+        self.stats["rmis"] += 1
+        return ev
+
+    # ------------------------------------------------------------------
+    # Completion and ordering (MPI_RMA_complete / MPI_RMA_order)
+    # ------------------------------------------------------------------
+    def complete_one(self, dst: int):
+        """Wait for remote completion of all prior ops to ``dst``."""
+        yield self.sim.timeout(self.timings.call_overhead)
+        yield from self._complete_peer(dst)
+        self.stats["completes"] += 1
+
+    def complete_all(self):
+        """Remote-complete every target with outstanding traffic
+        (``MPI_ALL_RANKS``)."""
+        yield self.sim.timeout(self.timings.call_overhead)
+        events = []
+        for dst in sorted(self._origin_peers):
+            events.extend(self._completion_events(dst))
+        if events:
+            yield AllOf(self.sim, events)
+        self.stats["completes"] += 1
+
+    def _complete_peer(self, dst: int):
+        events = self._completion_events(dst)
+        if len(events) == 1:
+            yield events[0]
+        elif events:
+            yield AllOf(self.sim, events)
+
+    def _completion_events(self, dst: int) -> List[Event]:
+        peer = self._origin_peers.get(dst)
+        if peer is None or not peer.outstanding:
+            return []
+        events: List[Event] = []
+        flush_watermark = 0
+        for rec in peer.outstanding:
+            if rec.ev_remote is not None:
+                events.append(rec.ev_remote)
+            else:
+                flush_watermark = max(flush_watermark, rec.seq)
+        if flush_watermark:
+            flush_id = self._next_flush_id
+            self._next_flush_id += 1
+            ev = self.sim.event()
+            self._flush_waiters[flush_id] = ev
+            self.send_control(
+                dst, "rma.flush_req",
+                {"watermark": flush_watermark, "flush_id": flush_id,
+                 "src": self.rank},
+            )
+            events.append(ev)
+        peer.outstanding.clear()
+        return events
+
+    def order_one(self, dst: int) -> None:
+        """Order subsequent ops to ``dst`` after all prior ones — a pure
+        origin-side barrier annotation, no network traffic (the paper's
+        "weaker form of synchronization")."""
+        peer = self._origin_peer(dst)
+        peer.order_barrier = peer.last_seq
+        self.stats["orders"] += 1
+
+    def order_all(self) -> None:
+        for peer in self._origin_peers.values():
+            peer.order_barrier = peer.last_seq
+        self.stats["orders"] += 1
+
+    # ------------------------------------------------------------------
+    # Target side: fragments
+    # ------------------------------------------------------------------
+    def _on_frag(self, packet: Packet) -> None:
+        desc = packet.payload["desc"]
+        frag: Fragment = packet.payload["frag"]
+        peer = self._target_peer(desc["src"])
+        op = peer.inbound.get(desc["seq"])
+        if op is None:
+            op = _InboundOp(desc)
+            peer.inbound[desc["seq"]] = op
+            if not peer.barrier_ok(op.barrier):
+                self.stats["gated_frags"] += 1
+                peer.gated.append(op)
+            else:
+                op.gate_open = not desc["atomic_queue"]
+        op.arrived += 1
+        if desc["atomic_queue"] or desc["kind"] == "getacc":
+            # getacc buffers even on the lock-serializer path: the old
+            # contents must be read before any fragment applies
+            op.frags.append(frag)
+            if op.arrived == op.nfrags and peer.barrier_ok(op.barrier):
+                self._stage_atomic(peer, op)
+        elif op.gate_open:
+            self._apply_write_frag(peer, op, frag)
+        else:
+            op.frags.append(frag)
+
+    def _apply_write_frag(self, peer: _TargetPeer, op: _InboundOp,
+                          frag: Fragment) -> None:
+        desc = op.desc
+        alloc = self._resolve(desc["mem_id"])
+        if desc["kind"] == "put":
+            apply_put_fragment(self.mem, alloc, desc["base_disp"], frag,
+                               desc["swap"])
+        else:
+            apply_accumulate(
+                self.mem, alloc, desc["base_disp"], frag, desc["swap"],
+                desc["np_elem"], desc["acc_op"], desc["acc_scale"],
+                self.mem.space.np_byteorder,
+            )
+        op.applied_frags += 1
+        if op.applied_frags == op.nfrags:
+            self._finish_write_op(peer, op)
+
+    def _finish_write_op(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        if self.mem.coherent:
+            self._op_applied(peer, op)
+        else:
+            # Non-coherent target: the target must be involved to make
+            # the deposit visible (invalidate stale scalar-cache lines)
+            # before the op may count as applied (paper §III-B2).
+            self.sim.spawn(self._invalidate_then_apply(peer, op),
+                           name=f"inval-{self.rank}")
+
+    def _invalidate_then_apply(self, peer: _TargetPeer, op: _InboundOp):
+        desc = op.desc
+        yield self.sim.timeout(
+            self.timings.am_handler + self.timings.cache_fence
+        )
+        alloc = self._resolve(desc["mem_id"])
+        self.mem.cache.invalidate_range(
+            alloc, desc["base_disp"], desc["total_bytes"]
+        )
+        self._op_applied(peer, op)
+
+    def _stage_atomic(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        if op.staged:
+            return
+        op.staged = True
+        desc = op.desc
+
+        def job():
+            nbytes = desc["total_bytes"]
+            cost = nbytes * self.timings.mem_copy_per_byte
+            if desc["kind"] in ("acc", "getacc"):
+                cost += nbytes * self.timings.accumulate_per_byte
+            yield self.sim.timeout(cost)
+            if desc["kind"] == "getacc":
+                self._serve_getacc(peer, op)
+                return
+            alloc = self._resolve(desc["mem_id"])
+            for frag in op.frags:
+                if desc["kind"] == "put":
+                    apply_put_fragment(self.mem, alloc, desc["base_disp"],
+                                       frag, desc["swap"])
+                else:
+                    apply_accumulate(
+                        self.mem, alloc, desc["base_disp"], frag,
+                        desc["swap"], desc["np_elem"], desc["acc_op"],
+                        desc["acc_scale"], self.mem.space.np_byteorder,
+                    )
+            if not self.mem.coherent:
+                yield self.sim.timeout(self.timings.cache_fence)
+                self.mem.cache.invalidate_range(
+                    alloc, desc["base_disp"], desc["total_bytes"]
+                )
+            self._op_applied(peer, op)
+
+        self.serializer.submit_job(job)
+
+    # ------------------------------------------------------------------
+    # Target side: gets / rmw / rmi
+    # ------------------------------------------------------------------
+    def _on_get_req(self, packet: Packet) -> None:
+        desc = packet.payload
+        peer = self._target_peer(desc["src"])
+        op = _InboundOp(desc)
+        op.nfrags = 1
+        peer.inbound[op.seq] = op
+        if not peer.barrier_ok(op.barrier):
+            peer.gated.append(op)
+            return
+        self._serve(peer, op)
+
+    def _on_rmw_req(self, packet: Packet) -> None:
+        desc = packet.payload
+        peer = self._target_peer(desc["src"])
+        op = _InboundOp(desc)
+        op.nfrags = 1
+        peer.inbound[op.seq] = op
+        if not peer.barrier_ok(op.barrier):
+            peer.gated.append(op)
+            return
+        self._serve(peer, op)
+
+    def _on_rmi_req(self, packet: Packet) -> None:
+        desc = packet.payload
+        peer = self._target_peer(desc["src"])
+        op = _InboundOp(desc)
+        op.nfrags = 1
+        peer.inbound[op.seq] = op
+        if not peer.barrier_ok(op.barrier):
+            peer.gated.append(op)
+            return
+        self._serve(peer, op)
+
+    def _serve(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        """Execute a control-style inbound op (get / rmw / rmi)."""
+        desc = op.desc
+        kind = desc["kind"]
+        if kind == "get":
+            if desc["atomic_queue"]:
+                self._stage_get(peer, op)
+            else:
+                self._serve_get(peer, op)
+        elif kind == "rmw":
+            if desc["atomic_queue"]:
+                def job(op=op, peer=peer):
+                    yield self.sim.timeout(self.timings.lock_op)
+                    self._execute_rmw(peer, op)
+                self.serializer.submit_job(job)
+            else:
+                self._execute_rmw(peer, op)
+        elif kind == "rmi":
+            def job(op=op, peer=peer):
+                yield self.sim.timeout(self.timings.am_handler)
+                self._execute_rmi(peer, op)
+            if self.machine.threads_allowed and self.serializer.kind == "thread":
+                self.serializer.submit_job(job)
+            else:
+                self.sim.spawn(job(), name=f"rmi-{self.rank}")
+        else:  # pragma: no cover - defensive
+            raise RmaError(f"unknown inbound op kind {kind!r}")
+
+    def _serve_get(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        desc = op.desc
+        alloc = self._resolve(desc["mem_id"])
+        data = read_layout(self.mem, alloc, desc["base_disp"], desc["dtype"],
+                           desc["count"])
+        self._op_applied(peer, op)
+        mtu = self.network.mtu
+        total = data.size
+        nfrags = max(1, -(-total // mtu))
+        for i in range(nfrags):
+            chunk = data[i * mtu : (i + 1) * mtu]
+            self.send_control(
+                desc["src"], "rma.get_reply",
+                {"op_key": desc["op_key"], "wire_off": i * mtu,
+                 "data": chunk, "total": total},
+                data_bytes=len(chunk),
+            )
+
+    def _stage_get(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        def job():
+            yield self.sim.timeout(
+                op.desc["total_bytes"] * self.timings.mem_copy_per_byte
+            )
+            self._serve_get(peer, op)
+
+        self.serializer.submit_job(job)
+
+    def _execute_rmw(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        desc = op.desc
+        alloc = self._resolve(desc["mem_id"])
+        np_dt = np.dtype(desc["np_elem"]).newbyteorder(
+            self.mem.space.np_byteorder
+        )
+        disp = desc["base_disp"]
+        raw = self.mem.nic_read(alloc, disp, np_dt.itemsize)
+        old = raw.view(np_dt)[0]
+        rmw_op = desc["op"]
+        if rmw_op == "fetch_add":
+            new = old + np_dt.type(desc["operand"])
+        elif rmw_op == "swap":
+            new = np_dt.type(desc["operand"])
+        elif rmw_op == "cas":
+            new = (
+                np_dt.type(desc["operand"])
+                if old == np_dt.type(desc["compare"])
+                else old
+            )
+        else:  # pragma: no cover - validated at issue
+            raise RmaError(f"unknown RMW op {rmw_op!r}")
+        out = np.array([new], dtype=np_dt).view(np.uint8)
+        self.mem.nic_write(alloc, disp, out)
+        self._op_applied(peer, op)
+        self.send_control(
+            desc["src"], "rma.reply",
+            {"op_key": desc["op_key"], "value": old.item()},
+            data_bytes=np_dt.itemsize,
+        )
+
+    def _execute_rmi(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        desc = op.desc
+        fn = self._rmi_handlers.get(desc["name"])
+        if fn is None:
+            raise RmaError(
+                f"rank {self.rank}: no RMI handler named {desc['name']!r}"
+            )
+        result = fn(*desc["args"])
+        self._op_applied(peer, op)
+        from repro.mpi.endpoint import payload_nbytes
+
+        self.send_control(
+            desc["src"], "rma.reply",
+            {"op_key": desc["op_key"], "value": result},
+            data_bytes=payload_nbytes(result),
+        )
+
+    # ------------------------------------------------------------------
+    # Applied-watermark bookkeeping
+    # ------------------------------------------------------------------
+    def _op_applied(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        desc = op.desc
+        peer.inbound.pop(op.seq, None)
+        if op.seq == peer.applied_upto + 1:
+            peer.applied_upto = op.seq
+            while peer.applied_upto + 1 in peer.applied_extra:
+                peer.applied_extra.discard(peer.applied_upto + 1)
+                peer.applied_upto += 1
+        else:
+            peer.applied_extra.add(op.seq)
+        if desc.get("ack") == "sw":
+            self.send_control(desc["src"], "rma.ack", {"op_key": desc["op_key"]})
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "rma", "applied",
+                               rank=self.rank, src=desc["src"], seq=op.seq,
+                               kind_=desc["kind"])
+        self._drain_gated(peer)
+        self._answer_flushes(peer)
+
+    def _drain_gated(self, peer: _TargetPeer) -> None:
+        if peer.draining:
+            return  # the outer drain loop will re-scan after each release
+        peer.draining = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                peer.gated.sort(key=lambda o: o.seq)
+                for i, op in enumerate(peer.gated):
+                    if peer.barrier_ok(op.barrier):
+                        peer.gated.pop(i)
+                        self._release_gated_op(peer, op)
+                        progress = True
+                        break
+        finally:
+            peer.draining = False
+
+    def _release_gated_op(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        kind = op.desc["kind"]
+        if kind in ("get", "rmw", "rmi"):
+            self._serve(peer, op)
+        elif op.desc["atomic_queue"] or kind == "getacc":
+            if op.arrived == op.nfrags:
+                self._stage_atomic(peer, op)
+            # else: staged when the last fragment arrives (_on_frag
+            # re-checks the barrier, which is now satisfied)
+        else:
+            op.gate_open = True
+            buffered, op.frags = op.frags, []
+            for frag in buffered:
+                self._apply_write_frag(peer, op, frag)
+
+    def _answer_flushes(self, peer: _TargetPeer) -> None:
+        ready = [w for w in peer.flush_waiters if w[0] <= peer.applied_upto]
+        if not ready:
+            return
+        peer.flush_waiters = [
+            w for w in peer.flush_waiters if w[0] > peer.applied_upto
+        ]
+        for _watermark, flush_id, src in ready:
+            self.send_control(src, "rma.flush_ack", {"flush_id": flush_id})
+
+    # ------------------------------------------------------------------
+    # Origin-side protocol packet handlers
+    # ------------------------------------------------------------------
+    def _on_ack(self, packet: Packet) -> None:
+        ev = self._sw_ack_waiters.pop(packet.payload["op_key"], None)
+        if ev is not None:
+            ev.succeed(self.sim.now)
+
+    def _on_flush_req(self, packet: Packet) -> None:
+        p = packet.payload
+        peer = self._target_peer(p["src"])
+        if peer.applied_upto >= p["watermark"]:
+            self.send_control(p["src"], "rma.flush_ack",
+                              {"flush_id": p["flush_id"]})
+        else:
+            peer.flush_waiters.append((p["watermark"], p["flush_id"], p["src"]))
+
+    def _on_flush_ack(self, packet: Packet) -> None:
+        ev = self._flush_waiters.pop(packet.payload["flush_id"], None)
+        if ev is not None:
+            ev.succeed(self.sim.now)
+
+    def _on_get_reply(self, packet: Packet) -> None:
+        p = packet.payload
+        pend = self._pending_gets.get(p["op_key"])
+        if pend is None:
+            raise RmaError(f"rank {self.rank}: stray get reply {p['op_key']}")
+        chunk = p["data"]
+        pend.buffer[p["wire_off"] : p["wire_off"] + len(chunk)] = chunk
+        pend.received += len(chunk)
+        if pend.received >= p["total"]:
+            del self._pending_gets[p["op_key"]]
+            self.sim.spawn(self._finish_get(pend), name=f"getfin-{self.rank}")
+
+    def _finish_get(self, pend: _PendingGet):
+        from repro.datatypes.pack import unpack, unpack_swapped
+
+        yield self.sim.timeout(
+            self.network.overhead_recv
+            + pend.buffer.size * self.timings.mem_copy_per_byte
+        )
+        buf = self.mem.space.buffer(pend.alloc)
+        if pend.swap:
+            unpack_swapped(pend.buffer, buf, pend.offset, pend.dtype, pend.count)
+        else:
+            unpack(pend.buffer, buf, pend.offset, pend.dtype, pend.count)
+        if (self.tracer is not None and self.tracer.enabled
+                and pend.buffer.size <= 16):
+            self.tracer.record(
+                self.sim.now, "consistency", "read", rank=self.rank,
+                location=pend.location, value=tuple(pend.buffer.tolist()),
+            )
+        assert pend.ev_done is not None
+        pend.ev_done.succeed()
+
+    def _on_reply(self, packet: Packet) -> None:
+        ev = self._pending_replies.pop(packet.payload["op_key"], None)
+        if ev is not None:
+            ev.succeed(packet.payload["value"])
+
+    # -- lock-serializer packets (delegated) -----------------------------
+    def _lock_serializer(self):
+        from repro.rma.serializer import CoarseLockSerializer
+
+        if not isinstance(self.serializer, CoarseLockSerializer):
+            raise RmaError(
+                f"rank {self.rank}: received a process-lock packet but the "
+                f"serializer is {self.serializer.kind!r}"
+            )
+        return self.serializer
+
+    def _on_lock_req(self, packet: Packet) -> None:
+        self._lock_serializer().on_lock_req(packet)
+
+    def _on_lock_grant(self, packet: Packet) -> None:
+        self._lock_serializer().on_grant(packet)
+
+    def _on_unlock(self, packet: Packet) -> None:
+        self._lock_serializer().on_unlock(packet)
+
+
+def build_rma(world: "World") -> None:
+    """Construct one engine + frontend per rank and attach to contexts."""
+    from repro.rma.api import RmaInterface
+
+    for rank, ctx in world.contexts.items():
+        engine = RmaEngine(
+            world.sim,
+            rank,
+            world.nics[rank],
+            world.memories[rank],
+            world.machine,
+            serializer_kind=world.serializer_kind,
+            tracer=world.tracer,
+        )
+        ctx.rma = RmaInterface(engine, ctx.comm)

@@ -1,0 +1,73 @@
+"""Target memory descriptors (paper §IV–V).
+
+A :class:`TargetMem` describes memory on some rank that other ranks may
+access remotely.  Crucially — and unlike MPI-2's ``MPI_Win`` — it is
+created **non-collectively**: the owner calls
+:meth:`~repro.rma.api.RmaInterface.expose` locally and is "responsible
+for passing the target_mem object to the MPI processes that need to
+access memory remotely" (§V).  The descriptor is plain immutable data,
+safe to ship in a message.
+
+It also answers §III-B3/§IV's heterogeneity concern: the descriptor
+carries the *target's* pointer width and endianness, so an origin in a
+32-bit little-endian address space can address memory in a 64-bit
+big-endian one, with the engine converting representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TargetMem", "RmaError"]
+
+
+class RmaError(RuntimeError):
+    """Protocol/usage error in the RMA layer."""
+
+
+@dataclass(frozen=True)
+class TargetMem:
+    """A descriptor of remotely accessible memory.
+
+    Attributes
+    ----------
+    rank:
+        The owning (target) rank.
+    mem_id:
+        Opaque registration id within the owner's RMA engine.
+    size:
+        Bytes exposed.
+    pointer_bits:
+        Address width of the owner's address space (32 or 64).
+    endianness:
+        Byte order of the owner's node (``"little"``/``"big"``).
+    coherent:
+        Whether the owner's node keeps CPU caches coherent with NIC
+        writes.  Origins use this to pick the completion protocol: a
+        non-coherent target (NEC SX style) must be involved in making
+        deposited data visible, so completion is application-time, not
+        delivery-time (paper §III-B2).
+    """
+
+    rank: int
+    mem_id: int
+    size: int
+    pointer_bits: int
+    endianness: str
+    coherent: bool = True
+
+    def check_access(self, disp: int, nbytes_lo: int, nbytes_hi: int) -> None:
+        """Validate a byte range ``[disp+lo, disp+hi)`` against the
+        exposed region and the target's address width."""
+        lo = disp + nbytes_lo
+        hi = disp + nbytes_hi
+        if lo < 0 or hi > self.size:
+            raise RmaError(
+                f"RMA access [{lo}, {hi}) outside target_mem of {self.size} "
+                f"bytes on rank {self.rank}"
+            )
+        if hi >= 2 ** self.pointer_bits:
+            raise RmaError(
+                f"displacement {hi} not addressable in the target's "
+                f"{self.pointer_bits}-bit address space"
+            )

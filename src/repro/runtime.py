@@ -1,0 +1,283 @@
+"""The World: assembles a simulated machine and runs SPMD programs.
+
+A :class:`World` builds the whole stack — simulator, fabric, one NIC +
+address space + MPI endpoint (+ RMA engines, once constructed) per rank
+— and runs *rank programs*: generator functions with the signature
+``program(ctx, *args)`` where ``ctx`` is that rank's
+:class:`RankContext`.  This mirrors how an MPI job launches N copies of
+the same executable.
+
+Example
+-------
+>>> from repro.runtime import World
+>>> def program(ctx):
+...     value = yield from ctx.comm.bcast(ctx.rank * 10, root=2)
+...     return value
+>>> World(n_ranks=4).run(program)
+[20, 20, 20, 20]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.machine.config import MachineConfig, generic_cluster
+from repro.machine.node import Node, RankMemory, build_nodes
+from repro.mpi.comm import Comm, Group
+from repro.mpi.endpoint import MpiEndpoint
+from repro.network.config import NetworkConfig, generic_rdma
+from repro.network.fabric import Fabric
+from repro.network.nic import Nic
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+__all__ = ["World", "RankContext"]
+
+
+class RankContext:
+    """Everything one rank's program can touch.
+
+    Attributes
+    ----------
+    rank, size:
+        World rank and job size.
+    sim:
+        The shared simulator (for ``ctx.sim.now`` timestamps and
+        explicit ``yield ctx.sim.timeout(...)`` compute phases).
+    comm:
+        This rank's ``COMM_WORLD``.
+    mem:
+        The rank's :class:`~repro.machine.node.RankMemory` (address
+        space + cache model).
+    nic:
+        The rank's NIC (mostly for stats).
+    rma / mpi2 / armci / gasnet:
+        Interface frontends, attached by the World when the respective
+        subsystem is built.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        rank: int,
+        sim: Simulator,
+        comm: Comm,
+        mem: RankMemory,
+        nic: Nic,
+    ) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.n_ranks
+        self.sim = sim
+        self.comm = comm
+        self.mem = mem
+        self.nic = nic
+        self.rma: Any = None
+        self.mpi2: Any = None
+        self.armci: Any = None
+        self.gasnet: Any = None
+        self.shmem: Any = None
+
+    def compute(self, duration: float):
+        """A local compute phase of ``duration`` µs (``yield from``)."""
+        yield self.sim.timeout(duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankContext rank={self.rank}/{self.size}>"
+
+
+class World:
+    """A complete simulated parallel machine.
+
+    Parameters
+    ----------
+    n_ranks:
+        Job size; ignored when ``machine`` is given (the machine's rank
+        count wins).
+    machine:
+        :class:`~repro.machine.config.MachineConfig`; defaults to a
+        generic coherent cluster with one rank per node.
+    network:
+        :class:`~repro.network.config.NetworkConfig`; defaults to
+        :func:`~repro.network.config.generic_rdma`.
+    seed:
+        Master seed for every stochastic model element.
+    trace:
+        Enable structured tracing (``world.tracer``).
+    serializer:
+        Atomicity serializer for the strawman RMA engine: ``"auto"``
+        (thread where the machine allows it, else coarse lock),
+        ``"thread"``, ``"lock"``, or ``"progress"``.
+    eager_threshold:
+        Two-sided messages above this size use the rendezvous protocol.
+    intra_node_network:
+        Personality for transfers between ranks sharing a node; defaults
+        to :func:`~repro.network.config.shared_memory_like` when the
+        machine places multiple ranks per node, else no distinction.
+    """
+
+    def __init__(
+        self,
+        n_ranks: Optional[int] = None,
+        machine: Optional[MachineConfig] = None,
+        network: Optional[NetworkConfig] = None,
+        seed: int = 0,
+        trace: bool = False,
+        serializer: str = "auto",
+        eager_threshold: int = 16384,
+        intra_node_network: Optional[NetworkConfig] = None,
+    ) -> None:
+        if machine is None:
+            machine = generic_cluster(n_nodes=n_ranks if n_ranks else 8)
+        if n_ranks is not None and machine.n_ranks != n_ranks:
+            if machine.ranks_per_node != 1:
+                raise ValueError(
+                    "n_ranks conflicts with the machine config; pass one "
+                    "or the other"
+                )
+            machine = machine.with_nodes(n_ranks)
+        self.machine = machine
+        self.network = network if network is not None else generic_rdma()
+        self.n_ranks = machine.n_ranks
+        self.serializer_kind = serializer
+
+        if intra_node_network is None and machine.ranks_per_node > 1:
+            from repro.network.config import shared_memory_like
+
+            intra_node_network = shared_memory_like()
+        self.intra_node_network = intra_node_network
+
+        self.sim = Simulator()
+        self.tracer = Tracer(enabled=trace)
+        self.rng = RngRegistry(seed)
+        self.fabric = Fabric(
+            self.sim, self.network, rng=self.rng, tracer=self.tracer,
+            intra_config=intra_node_network,
+            same_node=(
+                (lambda a, b: machine.node_of_rank(a) == machine.node_of_rank(b))
+                if intra_node_network is not None else None
+            ),
+        )
+        self.nodes: List[Node] = build_nodes(machine)
+        self.memories: Dict[int, RankMemory] = {}
+        self.nics: Dict[int, Nic] = {}
+        self.endpoints: Dict[int, MpiEndpoint] = {}
+        self.contexts: Dict[int, RankContext] = {}
+
+        world_group = Group(range(self.n_ranks))
+        for node in self.nodes:
+            for rank in node.ranks:
+                mem = node.memory(rank)
+                nic = Nic(self.sim, rank, self.fabric)
+                ep = MpiEndpoint(self.sim, rank, nic, machine.timings,
+                                 eager_threshold=eager_threshold)
+                comm = Comm(ep, world_group, context=("world",))
+                self.memories[rank] = mem
+                self.nics[rank] = nic
+                self.endpoints[rank] = ep
+                self.contexts[rank] = RankContext(
+                    self, rank, self.sim, comm, mem, nic
+                )
+        self.sim.context["world"] = self
+        self._attach_subsystems()
+
+    # ------------------------------------------------------------------
+    def _attach_subsystems(self) -> None:
+        """Build and attach the RMA/baseline frontends to each context.
+
+        Imported lazily to keep layering acyclic (those packages import
+        machine/network/mpi, not the runtime).
+        """
+        try:
+            from repro.rma.engine import build_rma
+        except ImportError:  # pragma: no cover - during bootstrap only
+            build_rma = None
+        if build_rma is not None:
+            build_rma(self)
+        try:
+            from repro.mpi2rma.window import build_mpi2
+        except ImportError:  # pragma: no cover
+            build_mpi2 = None
+        if build_mpi2 is not None:
+            build_mpi2(self)
+        try:
+            from repro.baselines.armci import build_armci
+        except ImportError:  # pragma: no cover
+            build_armci = None
+        if build_armci is not None:
+            build_armci(self)
+        try:
+            from repro.baselines.gasnet import build_gasnet
+        except ImportError:  # pragma: no cover
+            build_gasnet = None
+        if build_gasnet is not None:
+            build_gasnet(self)
+        try:
+            from repro.baselines.shmem import build_shmem
+        except ImportError:  # pragma: no cover
+            build_shmem = None
+        if build_shmem is not None:
+            build_shmem(self)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Any],
+        *args: Any,
+        limit: Optional[float] = None,
+        ranks: Optional[List[int]] = None,
+    ) -> List[Any]:
+        """Run ``program(ctx, *args)`` on every rank (or on ``ranks``).
+
+        Returns per-rank return values in rank order.  Any rank raising
+        propagates; a deadlock (event loop drained with ranks still
+        blocked) raises :class:`~repro.sim.core.SimulationError`.
+        """
+        target_ranks = list(ranks) if ranks is not None else list(range(self.n_ranks))
+        procs = {}
+        for rank in target_ranks:
+            ctx = self.contexts[rank]
+            procs[rank] = self.sim.spawn(
+                program(ctx, *args), name=f"rank-{rank}"
+            )
+        # Stop when every rank program has finished — daemon processes
+        # (NIC engines, serializer workers, progress pollers) never
+        # terminate, so draining the heap is not a useful stop condition.
+        pending = set(procs.values())
+        for proc in procs.values():
+            proc.add_callback(lambda ev: pending.discard(ev))
+        while pending:
+            nxt = self.sim.next_event_time()
+            if nxt is None:
+                break
+            if limit is not None and nxt > limit:
+                break
+            self.sim.step()
+        results = []
+        blocked = []
+        for rank in target_ranks:
+            proc = procs[rank]
+            if not proc.triggered:
+                blocked.append(rank)
+            elif not proc.ok:
+                raise proc.exception  # type: ignore[misc]
+        if blocked:
+            raise SimulationError(
+                f"ranks {blocked} never completed "
+                f"({'time limit reached' if limit is not None else 'deadlock'})"
+            )
+        for rank in target_ranks:
+            results.append(procs[rank].value)
+        return results
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (µs)."""
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<World {self.n_ranks} ranks on {self.machine.name} over "
+            f"{self.network.name}>"
+        )

@@ -1,0 +1,191 @@
+"""The simulator event loop.
+
+The loop is a binary heap of ``(time, priority, seq, callback)`` entries.
+``seq`` is a monotonically increasing counter so that entries scheduled at
+the same simulated time and priority execute in scheduling order; this is
+what makes the whole simulation deterministic, independent of hash seeds
+or dict iteration order.
+
+Simulated time is a ``float`` in *microseconds* by convention throughout
+:mod:`repro` (the network configs document their units the same way), but
+the kernel itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Simulator", "SimulationError"]
+
+#: Default priority for scheduled callbacks.  Lower runs first among
+#: entries at the same timestamp.
+NORMAL = 1
+#: Priority used for event-callback processing, so that events triggered
+#: "now" are observed before ordinary callbacks scheduled "now".
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. running a finished loop)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated clock value.
+
+    Notes
+    -----
+    All mutation of simulation state must happen from inside callbacks or
+    processes run by this loop.  The class is single-threaded on purpose:
+    simulated concurrency comes from interleaving coroutines, not OS
+    threads, which keeps runs reproducible.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now: float = float(start_time)
+        self._heap: List[Tuple[float, int, int, Callable[[], None]]] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._processes_spawned: int = 0
+        #: Arbitrary per-simulation scratch space used by higher layers
+        #: (e.g. the runtime stores the World here so that deeply nested
+        #: components can find global services without threading them
+        #: through every constructor).
+        self.context: dict = {}
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = NORMAL,
+    ) -> None:
+        """Run ``callback`` after ``delay`` simulated time units.
+
+        ``delay`` must be non-negative; a zero delay runs the callback at
+        the current time, after everything already scheduled for this
+        instant at the same priority.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._seq, callback)
+        )
+        self._seq += 1
+
+    def schedule_urgent(self, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at the current time, urgent priority."""
+        heapq.heappush(self._heap, (self._now, URGENT, self._seq, callback))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Event / process factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event` bound to this loop."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process running ``generator``.
+
+        The generator yields :class:`Event` objects and is resumed with
+        each event's value once it triggers (or has the event's exception
+        thrown into it if the event failed).  The returned
+        :class:`Process` is itself an event that triggers when the
+        generator returns; its value is the generator's return value.
+        """
+        self._processes_spawned += 1
+        if name is None:
+            name = f"proc-{self._processes_spawned}"
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback.
+
+        Returns ``False`` when the heap is empty, ``True`` otherwise.
+        """
+        if not self._heap:
+            return False
+        time, _prio, _seq, callback = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError("heap time went backwards")
+        self._now = time
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_complete(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; return its value.
+
+        Raises
+        ------
+        SimulationError
+            If the heap drains (deadlock) or ``limit`` is reached before
+            the event triggers.
+        """
+        while not event.triggered:
+            if limit is not None and self._heap and self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} reached before event triggered"
+                )
+            if not self.step():
+                raise SimulationError(
+                    "event loop drained before event triggered (deadlock?)"
+                )
+        if not event.ok:
+            raise event.exception  # type: ignore[misc]
+        return event.value
+
+    def pending_count(self) -> int:
+        """Number of callbacks currently scheduled (diagnostic)."""
+        return len(self._heap)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next scheduled callback, or ``None``."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self._now} pending={len(self._heap)}>"

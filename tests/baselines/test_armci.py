@@ -1,0 +1,195 @@
+"""Tests for the ARMCI-style baseline (§VI semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ArmciError
+from repro.network import quadrics_like
+from repro.runtime import World
+
+
+class TestContiguous:
+    def test_blocking_put_get_roundtrip(self):
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(1024)
+            result = None
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(100)
+                ctx.mem.store(src, 0, (np.arange(100) % 250).astype(np.uint8))
+                yield from ctx.armci.put(src, 0, ptrs[0], 50, 100)
+                yield from ctx.armci.fence(ptrs[0])
+                dst = ctx.mem.space.alloc(100)
+                yield from ctx.armci.get(dst, 0, ptrs[0], 50, 100)
+                result = ctx.mem.load(dst, 0, 100).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        out = World(n_ranks=2).run(program)
+        assert out[1] == [i % 250 for i in range(100)]
+
+    def test_blocking_puts_are_ordered_even_on_unordered_fabric(self):
+        """§VI: 'All blocking operations are ordered by the library.'"""
+
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(64)
+            result = None
+            if ctx.rank == 1:
+                a = ctx.mem.space.alloc(8, fill=1)
+                b = ctx.mem.space.alloc(8, fill=2)
+                yield from ctx.armci.put(a, 0, ptrs[0], 0, 8)
+                yield from ctx.armci.put(b, 0, ptrs[0], 0, 8)
+                yield from ctx.armci.all_fence()
+                yield from ctx.comm.send("go", dest=0)
+            elif ctx.rank == 0:
+                yield from ctx.comm.recv(source=1)
+                result = ctx.mem.load(alloc, 0, 8).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        for seed in range(10):
+            out = World(n_ranks=2, network=quadrics_like(), seed=seed).run(
+                program
+            )
+            assert out[0] == [2] * 8, f"seed {seed}: ordering violated"
+
+    def test_nonblocking_returns_handle(self):
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(64)
+            result = None
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8, fill=6)
+                h = yield from ctx.armci.nb_put(src, 0, ptrs[0], 0, 8)
+                yield from ctx.armci.wait(h)
+                yield from ctx.armci.fence(ptrs[0])
+                dst = ctx.mem.space.alloc(8)
+                h2 = yield from ctx.armci.nb_get(dst, 0, ptrs[0], 0, 8)
+                yield from ctx.armci.wait_all([h2])
+                result = ctx.mem.load(dst, 0, 8).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        assert World(n_ranks=2).run(program)[1] == [6] * 8
+
+
+class TestStrided:
+    def test_put_strided_lands_in_pattern(self):
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(256)
+            result = None
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(64)
+                ctx.mem.store(src, 0, np.arange(64, dtype=np.uint8))
+                # 4 blocks of 8 bytes: tight at origin, spread at target
+                yield from ctx.armci.put_strided(
+                    src, 0, 8, ptrs[0], 0, 16, block=8, count=4
+                )
+                yield from ctx.armci.fence(ptrs[0])
+                yield from ctx.comm.send("go", dest=0)
+            elif ctx.rank == 0:
+                yield from ctx.comm.recv(source=1)
+                result = ctx.mem.load(alloc, 0, 64).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        out = World(n_ranks=2).run(program)
+        got = out[0]
+        for b in range(4):
+            assert got[b * 16 : b * 16 + 8] == list(range(b * 8, b * 8 + 8))
+            assert got[b * 16 + 8 : b * 16 + 16] == [0] * 8
+
+    def test_get_strided(self):
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(64)
+            if ctx.rank == 0:
+                ctx.mem.store(alloc, 0, np.arange(64, dtype=np.uint8))
+            yield from ctx.comm.barrier()
+            result = None
+            if ctx.rank == 1:
+                dst = ctx.mem.space.alloc(16)
+                yield from ctx.armci.get_strided(
+                    dst, 0, 4, ptrs[0], 0, 16, block=4, count=4
+                )
+                result = ctx.mem.load(dst, 0, 16).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        out = World(n_ranks=2).run(program)
+        assert out[1] == [0, 1, 2, 3, 16, 17, 18, 19, 32, 33, 34, 35,
+                          48, 49, 50, 51]
+
+
+class TestVector:
+    def test_put_vector_chunks(self):
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(64)
+            result = None
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(16)
+                ctx.mem.store(src, 0, np.arange(16, dtype=np.uint8))
+                yield from ctx.armci.put_vector(
+                    src, [(0, 4), (8, 4)], ptrs[0], [(10, 4), (20, 4)]
+                )
+                yield from ctx.armci.fence(ptrs[0])
+                yield from ctx.comm.send("go", dest=0)
+            elif ctx.rank == 0:
+                yield from ctx.comm.recv(source=1)
+                result = ctx.mem.load(alloc, 0, 32).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        got = World(n_ranks=2).run(program)[0]
+        assert got[10:14] == [0, 1, 2, 3]
+        assert got[20:24] == [8, 9, 10, 11]
+
+    def test_vector_length_mismatch_rejected(self):
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(64)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(16)
+                yield from ctx.armci.put_vector(
+                    src, [(0, 4)], ptrs[0], [(0, 8)]
+                )
+
+        with pytest.raises(ArmciError, match="lengths differ"):
+            World(n_ranks=2).run(program)
+
+
+class TestAccumulate:
+    def test_daxpy_accumulate(self):
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(64)
+            if ctx.rank == 0:
+                ctx.mem.space.view(alloc, "float64")[:4] = [1, 2, 3, 4]
+            yield from ctx.comm.barrier()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(32)
+                ctx.mem.space.view(src, "float64")[:4] = [10, 10, 10, 10]
+                yield from ctx.armci.acc(src, 0, ptrs[0], 0, 4, scale=2.0)
+                yield from ctx.armci.fence(ptrs[0])
+                yield from ctx.comm.send("go", dest=0)
+                yield from ctx.comm.barrier()
+                return None
+            yield from ctx.comm.recv(source=1)
+            result = ctx.mem.space.view(alloc, "float64")[:4].tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        assert World(n_ranks=2).run(program)[0] == [21, 22, 23, 24]
+
+    def test_concurrent_accumulates_serialized(self):
+        """§VI: 'Accumulate operations are serialized.'"""
+
+        def program(ctx):
+            alloc, ptrs = yield from ctx.armci.malloc(8)
+            if ctx.rank != 0:
+                src = ctx.mem.space.alloc(8)
+                ctx.mem.space.view(src, "float64")[0] = 1.0
+                for _ in range(10):
+                    yield from ctx.armci.acc(src, 0, ptrs[0], 0, 1)
+            yield from ctx.comm.barrier()
+            yield from ctx.armci.all_fence()
+            if ctx.rank == 0:
+                return float(ctx.mem.space.view(alloc, "float64")[0])
+
+        out = World(n_ranks=4).run(program)
+        assert out[0] == 30.0

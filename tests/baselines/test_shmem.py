@@ -1,0 +1,173 @@
+"""Tests for the SHMEM-style baseline (symmetric heap semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ShmemError
+from repro.network import quadrics_like
+from repro.runtime import World
+
+
+class TestSymmetricHeap:
+    def test_malloc_is_collective_and_symmetric(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(256)
+            # the same handle is valid toward every PE
+            yield from ctx.shmem.p(sym, 0, ctx.rank + 1,
+                                   pe=(ctx.rank + 1) % ctx.size)
+            yield from ctx.shmem.barrier_all()
+            return int(ctx.shmem.local_view(sym, "int64")[0])
+
+        out = World(n_ranks=4).run(program)
+        assert out == [4, 1, 2, 3]
+
+    def test_free_then_use_rejected(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(64)
+            yield from ctx.shmem.shmem_free(sym)
+            yield from ctx.shmem.get(sym, 0, 8, pe=0)
+
+        with pytest.raises(ShmemError, match="not a live symmetric"):
+            World(n_ranks=2).run(program)
+
+    def test_my_pe_n_pes(self):
+        def program(ctx):
+            return (ctx.shmem.my_pe, ctx.shmem.n_pes)
+            yield  # pragma: no cover
+
+        assert World(n_ranks=3).run(program) == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestPutGet:
+    def test_putmem_getmem_roundtrip(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(128)
+            result = None
+            if ctx.rank == 1:
+                yield from ctx.shmem.put(
+                    sym, 16, np.arange(32, dtype=np.uint8), pe=0
+                )
+                yield from ctx.shmem.quiet()
+                got = yield from ctx.shmem.get(sym, 16, 32, pe=0)
+                result = got.tolist()
+            yield from ctx.shmem.barrier_all()
+            return result
+
+        assert World(n_ranks=2).run(program)[1] == list(range(32))
+
+    def test_typed_p_and_g(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(64)
+            result = None
+            if ctx.rank == 1:
+                yield from ctx.shmem.p(sym, 2, 3.5, pe=0, dtype="float64")
+                yield from ctx.shmem.quiet()
+                result = yield from ctx.shmem.g(sym, 2, pe=0, dtype="float64")
+            yield from ctx.shmem.barrier_all()
+            return result
+
+        assert World(n_ranks=2).run(program)[1] == 3.5
+
+
+class TestFenceQuiet:
+    def test_fence_orders_puts_on_unordered_fabric(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(16)
+            result = None
+            if ctx.rank == 1:
+                yield from ctx.shmem.put(sym, 0, np.full(8, 1, np.uint8), pe=0)
+                yield from ctx.shmem.fence()
+                yield from ctx.shmem.put(sym, 0, np.full(8, 2, np.uint8), pe=0)
+                yield from ctx.shmem.quiet()
+                yield from ctx.comm.send("done", dest=0)
+            elif ctx.rank == 0:
+                yield from ctx.comm.recv(source=1)
+                result = int(ctx.shmem.local_view(sym)[0])
+            yield from ctx.comm.barrier()
+            return result
+
+        for seed in range(8):
+            out = World(n_ranks=2, network=quadrics_like(), seed=seed).run(
+                program
+            )
+            assert out[0] == 2, f"seed {seed}"
+
+    def test_quiet_gives_remote_visibility(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(8)
+            result = None
+            if ctx.rank == 1:
+                yield from ctx.shmem.put(sym, 0, np.full(8, 9, np.uint8), pe=0)
+                yield from ctx.shmem.quiet()
+                yield from ctx.comm.send("go", dest=0)
+            elif ctx.rank == 0:
+                yield from ctx.comm.recv(source=1)
+                result = ctx.shmem.local_view(sym).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        assert World(n_ranks=2).run(program)[0] == [9] * 8
+
+
+class TestAtomics:
+    def test_fetch_inc_counts(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(8)
+            yield from ctx.shmem.barrier_all()
+            fetched = []
+            for _ in range(4):
+                v = yield from ctx.shmem.atomic_fetch_inc(sym, 0, pe=0)
+                fetched.append(int(v))
+            yield from ctx.shmem.barrier_all()
+            if ctx.rank == 0:
+                return (int(ctx.shmem.local_view(sym, "int64")[0]), fetched)
+            return (None, fetched)
+
+        out = World(n_ranks=3).run(program)
+        assert out[0][0] == 12
+        all_f = sorted(v for _, f in out for v in f)
+        assert all_f == list(range(12))
+
+    def test_cswap(self):
+        def program(ctx):
+            sym = yield from ctx.shmem.shmem_malloc(8)
+            yield from ctx.shmem.barrier_all()
+            old = None
+            if ctx.rank != 0:
+                old = yield from ctx.shmem.atomic_cswap(
+                    sym, 0, cond=0, value=ctx.rank, pe=0
+                )
+            yield from ctx.shmem.barrier_all()
+            if ctx.rank == 0:
+                return int(ctx.shmem.local_view(sym, "int64")[0])
+            return int(old)
+
+        out = World(n_ranks=3).run(program)
+        winner = out[0]
+        assert winner in (1, 2)
+        assert sorted(out[1:]) == sorted([0, winner])
+
+
+class TestWaitUntil:
+    def test_flag_synchronization_idiom(self):
+        """Producer puts data then sets the flag; consumer spins."""
+
+        def program(ctx):
+            data = yield from ctx.shmem.shmem_malloc(64)
+            flag = yield from ctx.shmem.shmem_malloc(8)
+            result = None
+            if ctx.rank == 1:
+                yield from ctx.shmem.put(
+                    data, 0, np.full(64, 5, np.uint8), pe=0
+                )
+                yield from ctx.shmem.fence()  # data before flag
+                yield from ctx.shmem.p(flag, 0, 1, pe=0)
+                yield from ctx.shmem.quiet()
+            elif ctx.rank == 0:
+                yield from ctx.shmem.wait_until(flag, 0, 1)
+                result = ctx.shmem.local_view(data).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        out = World(n_ranks=2).run(program)
+        assert out[0] == [5] * 64

@@ -1,0 +1,210 @@
+"""Litmus tests for the consistency checkers (§II-B / §III-A models)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import (
+    History,
+    check_causal,
+    check_read_your_writes,
+    check_sequential,
+)
+
+
+def h_write_read_ok():
+    h = History()
+    h.write(0, "x", 1)
+    h.read(0, "x", 1)
+    return h
+
+
+class TestReadYourWrites:
+    def test_clean_history_passes(self):
+        assert check_read_your_writes(h_write_read_ok()) == []
+
+    def test_stale_own_read_detected(self):
+        h = History()
+        h.write(0, "x", 1)
+        h.read(0, "x", 0)  # never saw own write
+        v = check_read_your_writes(h)
+        assert len(v) == 1
+        assert "wrote 1" in v[0].message
+
+    def test_guarantee_waived_when_other_writers_exist(self):
+        """The paper scopes the property to unaltered destinations."""
+        h = History()
+        h.write(0, "x", 1)
+        h.write(1, "x", 2)  # another source altered it
+        h.read(0, "x", 2)
+        assert check_read_your_writes(h) == []
+
+    def test_latest_write_wins(self):
+        h = History()
+        h.write(0, "x", 1)
+        h.write(0, "x", 2)
+        h.read(0, "x", 1)  # stale: own older write
+        assert len(check_read_your_writes(h)) == 1
+
+    def test_multiple_locations_independent(self):
+        h = History()
+        h.write(0, "x", 1)
+        h.write(0, "y", 2)
+        h.read(0, "x", 1)
+        h.read(0, "y", 2)
+        assert check_read_your_writes(h) == []
+
+
+class TestCausal:
+    def test_clean_history_passes(self):
+        assert check_causal(h_write_read_ok()) == []
+
+    def test_causally_overwritten_read_detected(self):
+        # P0: w(x,1); P1 reads 1 (so w1 -> r), then writes x=2;
+        # P0 then reads... P2 reads 2 then reads 1: reading 1 after
+        # having (causally) seen 2 violates causality.
+        h = History()
+        h.write(0, "x", 1)
+        h.write(1, "x", 2)
+        # make w(x,1) causally precede w(x,2):
+        # P1 read 1 before writing 2
+        h2 = History()
+        h2.write(0, "x", 1)
+        h2.read(1, "x", 1)
+        h2.write(1, "x", 2)
+        h2.read(2, "x", 2)
+        h2.read(2, "x", 1)  # goes back to the causally older write
+        v = check_causal(h2)
+        assert len(v) == 1
+        assert v[0].model == "causal"
+
+    def test_concurrent_writes_any_order_is_causal(self):
+        """Unrelated accesses may be observed in any order (paper: the
+        Causal Consistency model)."""
+        h = History()
+        h.write(0, "x", 1)
+        h.write(1, "x", 2)  # concurrent with the other write
+        h.read(2, "x", 2)
+        h.read(2, "x", 1)  # OK: w1 and w2 are causally unrelated
+        assert check_causal(h) == []
+
+    def test_program_order_is_causal(self):
+        h = History()
+        h.write(0, "x", 1)
+        h.write(0, "x", 2)  # program order: 1 -> 2
+        h.read(1, "x", 2)
+        h.read(1, "x", 1)  # reads-from w2 then goes back past it
+        v = check_causal(h)
+        assert len(v) == 1
+
+
+class TestSequential:
+    def test_clean_history_passes(self):
+        assert check_sequential(h_write_read_ok()) == []
+
+    def test_classic_iriw_violation(self):
+        """Independent reads of independent writes observed in opposite
+        orders — causally fine, sequentially impossible."""
+        h = History()
+        h.write(0, "x", 1)
+        h.write(1, "y", 1)
+        # P2 sees x then not-y; P3 sees y then not-x
+        h.read(2, "x", 1)
+        h.read(2, "y", 0)  # initial
+        h.read(3, "y", 1)
+        h.read(3, "x", 0)  # initial
+        v = check_sequential(h)
+        assert len(v) == 1
+        # but it IS causally consistent
+        assert check_causal(h) == []
+
+    def test_interleaving_found_when_exists(self):
+        h = History()
+        h.write(0, "x", 1)
+        h.read(1, "x", 0)  # read before the write in the serialization
+        h.read(1, "x", 1)
+        assert check_sequential(h) == []
+
+    def test_write_read_write_read(self):
+        h = History()
+        h.write(0, "x", 1)
+        h.write(1, "x", 2)
+        h.read(0, "x", 2)
+        h.read(1, "x", 1)
+        # needs w1 < r0(2)=... w0=1 < w1=2 < r0 reads 2 ok; r1 reads 1
+        # after w1=2 would be stale -> no serialization exists
+        assert len(check_sequential(h)) == 1
+
+    def test_cap_on_history_size(self):
+        h = History()
+        for i in range(20):
+            h.write(0, "x", i)
+        with pytest.raises(ValueError, match="capped"):
+            check_sequential(h)
+
+
+class TestModelLadder:
+    """sequential ⊆ causal ⊆ read-your-writes (admissibility)."""
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_stronger_model_implies_weaker(self, data):
+        h = History()
+        n_procs = data.draw(st.integers(1, 3))
+        n_ops = data.draw(st.integers(1, 8))
+        written = {}
+        value_counter = [0]
+        for _ in range(n_ops):
+            proc = data.draw(st.integers(0, n_procs - 1))
+            loc = data.draw(st.sampled_from(["x", "y"]))
+            if data.draw(st.booleans()):
+                value_counter[0] += 1
+                h.write(proc, loc, value_counter[0])
+                written.setdefault(loc, []).append(value_counter[0])
+            else:
+                choices = [0] + written.get(loc, [])
+                h.read(proc, loc, data.draw(st.sampled_from(choices)))
+        try:
+            seq_ok = check_sequential(h) == []
+        except ValueError:
+            return
+        causal_ok = check_causal(h) == []
+        ryw_ok = check_read_your_writes(h) == []
+        if seq_ok:
+            assert causal_ok, f"sequential but not causal: {h.ops}"
+        if causal_ok:
+            assert ryw_ok, f"causal but not read-your-writes: {h.ops}"
+
+
+class TestHistory:
+    def test_program_order_indices(self):
+        h = History()
+        a = h.write(0, "x", 1)
+        b = h.write(0, "x", 2)
+        c = h.write(1, "x", 3)
+        assert (a.po_index, b.po_index, c.po_index) == (0, 1, 0)
+
+    def test_writer_of_resolves(self):
+        h = History()
+        w = h.write(0, "x", 5)
+        r = h.read(1, "x", 5)
+        assert h.writer_of(r) is w
+
+    def test_writer_of_initial_value(self):
+        h = History()
+        r = h.read(0, "x", 0)
+        assert h.writer_of(r) is None
+
+    def test_ambiguous_values_rejected(self):
+        h = History()
+        h.write(0, "x", 5)
+        h.write(1, "x", 5)
+        r = h.read(2, "x", 5)
+        with pytest.raises(ValueError, match="ambiguous"):
+            h.writer_of(r)
+
+    def test_invalid_kind_rejected(self):
+        from repro.consistency import MemOp
+
+        with pytest.raises(ValueError):
+            MemOp(0, "update", "x", 1, 0)

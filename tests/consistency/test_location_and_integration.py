@@ -1,0 +1,129 @@
+"""Tests for location consistency and trace-to-history integration."""
+
+import numpy as np
+
+from repro.consistency import (
+    History,
+    LocationPomset,
+    check_read_your_writes,
+    history_from_tracer,
+)
+from repro.datatypes import BYTE
+from repro.network import quadrics_like
+from repro.rma import RmaAttrs
+from repro.runtime import World
+
+
+class TestLocationPomset:
+    def test_initial_value_readable(self):
+        p = LocationPomset("x", initial=0)
+        assert p.legal_read_values(0) == [0]
+
+    def test_own_write_hides_initial(self):
+        p = LocationPomset("x")
+        p.write(0, 10)
+        vals = p.legal_read_values(0)
+        assert vals == [10]  # own program order dominates the initial write
+
+    def test_unsynchronized_remote_write_leaves_frontier_wide(self):
+        """Without synchronization a reader may see either value — the
+        non-coherent-machine behaviour (paper §III-B2)."""
+        p = LocationPomset("x")
+        p.write(0, 10)
+        assert sorted(p.legal_read_values(1)) == [0, 10]
+
+    def test_synchronization_narrows_frontier(self):
+        p = LocationPomset("x")
+        p.write(0, 10)
+        p.synchronize(before_process=0, after_process=1)  # e.g. a fence pair
+        assert p.legal_read_values(1) == [10]
+
+    def test_two_unordered_writers(self):
+        p = LocationPomset("x")
+        p.write(0, 1)
+        p.write(1, 2)
+        vals = sorted(p.legal_read_values(2))
+        assert vals == [0, 1, 2]  # nothing dominated for an outside reader
+
+    def test_observation_pins_reader_forward(self):
+        p = LocationPomset("x")
+        w1 = p.write(0, 1)
+        p.write(0, 2)  # dominates w1 in program order
+        p.observe(1, w1)
+        # reader saw w1; w2 not yet known -> may see w1 or w2? w1 is not
+        # dominated by anything the reader knows, so both remain legal
+        assert sorted(p.legal_read_values(1)) == [1, 2]
+
+    def test_is_legal_read(self):
+        p = LocationPomset("x")
+        p.write(0, 1)
+        assert p.is_legal_read(1, 0)
+        assert p.is_legal_read(1, 1)
+        assert not p.is_legal_read(1, 99)
+
+
+class TestTraceIntegration:
+    def test_history_extracted_from_traced_run(self):
+        """A put-then-ordered-get run yields a read-your-writes-clean
+        history straight from the engine trace."""
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8, fill=42)
+                dst = ctx.mem.space.alloc(8)
+                attrs = RmaAttrs(ordering=True, blocking=True)
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       attrs=attrs)
+                yield from ctx.rma.get(dst, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       attrs=attrs)
+            yield from ctx.comm.barrier()
+
+        w = World(n_ranks=2, network=quadrics_like(), trace=True)
+        w.run(program)
+        hist = history_from_tracer(w.tracer)
+        writes = [o for o in hist.ops if o.kind == "write"]
+        reads = [o for o in hist.ops if o.kind == "read"]
+        assert len(writes) == 1
+        assert len(reads) == 1
+        assert reads[0].value == (42,) * 8
+        assert check_read_your_writes(hist) == []
+
+    def test_unordered_run_can_produce_violating_history(self):
+        """Attribute-free put+get on an unordered fabric: for some seed
+        the extracted history violates read-your-writes — demonstrating
+        why the ordering attribute exists."""
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8, fill=42)
+                dst = ctx.mem.space.alloc(8)
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE)
+                yield from ctx.rma.get(dst, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       blocking=True)
+            yield from ctx.comm.barrier()
+
+        violated = False
+        for seed in range(30):
+            w = World(n_ranks=2, network=quadrics_like(), seed=seed,
+                      trace=True)
+            w.run(program)
+            hist = history_from_tracer(w.tracer)
+            if check_read_your_writes(hist):
+                violated = True
+                break
+        assert violated
+
+    def test_large_transfers_not_traced(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(1024)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(512)
+                yield from ctx.rma.put(src, 0, 512, BYTE, tmems[0], 0, 512,
+                                       BYTE, blocking=True)
+            yield from ctx.comm.barrier()
+
+        w = World(n_ranks=2, trace=True)
+        w.run(program)
+        assert history_from_tracer(w.tracer).ops == []

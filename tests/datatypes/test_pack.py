@@ -1,0 +1,225 @@
+"""Tests for the pack/unpack engine, including property-based roundtrips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import (
+    BYTE,
+    FLOAT64,
+    INT16,
+    INT32,
+    DatatypeError,
+    contiguous,
+    hindexed,
+    indexed,
+    pack,
+    struct_type,
+    unpack,
+    unpack_swapped,
+    vector,
+)
+from repro.datatypes.pack import check_bounds, swap_inplace
+
+
+def buf_of(n, fill=0):
+    return np.full(n, fill, dtype=np.uint8)
+
+
+class TestPackContiguous:
+    def test_roundtrip(self):
+        buf = np.arange(64, dtype=np.uint8)
+        wire = pack(buf, 8, contiguous(16, BYTE), 1)
+        assert wire.tolist() == list(range(8, 24))
+        out = buf_of(64)
+        unpack(wire, out, 0, contiguous(16, BYTE), 1)
+        assert out[:16].tolist() == list(range(8, 24))
+
+    def test_count_multiplies(self):
+        buf = np.arange(100, dtype=np.uint8)
+        wire = pack(buf, 0, contiguous(10, BYTE), 3)
+        assert wire.size == 30
+
+    def test_zero_count(self):
+        wire = pack(buf_of(10), 0, BYTE, 0)
+        assert wire.size == 0
+
+
+class TestPackStrided:
+    def test_vector_gathers_blocks(self):
+        buf = np.arange(48, dtype=np.uint8)
+        t = vector(3, 1, 2, INT32)  # int32 at bytes 0-3, 8-11, 16-19
+        wire = pack(buf, 0, t, 1)
+        assert wire.tolist() == [0, 1, 2, 3, 8, 9, 10, 11, 16, 17, 18, 19]
+
+    def test_vector_scatter_on_unpack(self):
+        t = vector(2, 1, 3, INT32)
+        wire = np.arange(8, dtype=np.uint8)
+        out = buf_of(32, fill=255)
+        unpack(wire, out, 0, t, 1)
+        assert out[0:4].tolist() == [0, 1, 2, 3]
+        assert out[12:16].tolist() == [4, 5, 6, 7]
+        assert out[4:12].tolist() == [255] * 8  # gap untouched
+
+    def test_indexed_roundtrip(self):
+        t = indexed([2, 3], [1, 6], INT16)
+        src = np.arange(64, dtype=np.uint8)
+        wire = pack(src, 10, t, 1)
+        dst = buf_of(64)
+        unpack(wire, dst, 10, t, 1)
+        for seg in t.segments:
+            s = 10 + seg.disp
+            assert (dst[s : s + seg.nbytes] == src[s : s + seg.nbytes]).all()
+
+
+class TestBounds:
+    def test_overrun_rejected(self):
+        with pytest.raises(DatatypeError, match="outside buffer"):
+            pack(buf_of(10), 8, INT32, 1)
+
+    def test_negative_offset_area_rejected(self):
+        with pytest.raises(DatatypeError):
+            pack(buf_of(10), -1, INT32, 1)
+
+    def test_exact_fit_ok(self):
+        pack(buf_of(8), 4, INT32, 1)
+
+    def test_wrong_buffer_dtype_rejected(self):
+        with pytest.raises(DatatypeError, match="uint8"):
+            check_bounds(np.zeros(4, dtype=np.int32), 0, INT32, 1)
+
+    def test_unpack_wrong_wire_size_rejected(self):
+        with pytest.raises(DatatypeError, match="wire data"):
+            unpack(np.zeros(3, dtype=np.uint8), buf_of(16), 0, INT32, 1)
+
+
+class TestSwap:
+    def test_swap_int32_elements(self):
+        data = np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=np.uint8)
+        swap_inplace(data, contiguous(2, INT32), 1)
+        assert data.tolist() == [4, 3, 2, 1, 8, 7, 6, 5]
+
+    def test_swap_bytes_is_identity(self):
+        data = np.arange(8, dtype=np.uint8)
+        swap_inplace(data, contiguous(8, BYTE), 1)
+        assert data.tolist() == list(range(8))
+
+    def test_double_swap_is_identity(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        ref = data.copy()
+        t = contiguous(8, FLOAT64)
+        swap_inplace(data, t, 1)
+        swap_inplace(data, t, 1)
+        assert (data == ref).all()
+
+    def test_unpack_swapped_converts_endianness(self):
+        value = np.array([0x11223344], dtype=">i4")  # big-endian wire
+        wire = value.view(np.uint8).copy()
+        out = buf_of(4)
+        unpack_swapped(wire, out, 0, INT32, 1)
+        got = out.view("<i4")[0]
+        assert got == 0x11223344
+
+    def test_struct_mixed_granularity_swap(self):
+        t = struct_type([1, 1], [0, 4], [INT32, FLOAT64])
+        src = np.zeros(16, dtype=np.uint8)
+        src[:4] = np.array([0x12345678], dtype="<i4").view(np.uint8)
+        src[4:12] = np.array([1.5], dtype="<f8").view(np.uint8)
+        wire = pack(src, 0, t, 1)
+        swap_inplace(wire, t, 1)
+        assert wire[:4].view(">i4")[0] == 0x12345678
+        assert wire[4:12].view(">f8")[0] == 1.5
+
+
+# ----------------------------------------------------------------------
+# Property-based roundtrips
+# ----------------------------------------------------------------------
+
+datatype_strategy = st.one_of(
+    st.builds(lambda n: contiguous(n, BYTE), st.integers(0, 32)),
+    st.builds(lambda n: contiguous(n, INT32), st.integers(0, 8)),
+    st.builds(
+        lambda c, b, s: vector(c, b, b + s, INT16),
+        st.integers(0, 5),
+        st.integers(1, 4),
+        st.integers(0, 4),
+    ),
+    st.builds(
+        lambda lens_disps: indexed(
+            [x[0] for x in lens_disps],
+            # strictly increasing, non-overlapping displacements
+            [
+                sum(y[0] + y[1] for y in lens_disps[:i])
+                for i in range(len(lens_disps))
+            ],
+            INT32,
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            min_size=0,
+            max_size=4,
+        ),
+    ),
+)
+
+
+@given(dtype=datatype_strategy, count=st.integers(0, 3), seed=st.integers(0, 2**31))
+@settings(max_examples=150, deadline=None)
+def test_pack_unpack_roundtrip(dtype, count, seed):
+    """unpack(pack(x)) restores exactly the bytes the layout touches."""
+    lo, hi = dtype.byte_range(count)
+    offset = max(0, -lo)
+    size = offset + max(hi, 1) + 8
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 256, size, dtype=np.uint8)
+    wire = pack(src, offset, dtype, count)
+    assert wire.size == count * dtype.size
+
+    dst = np.zeros(size, dtype=np.uint8)
+    unpack(wire, dst, offset, dtype, count)
+    for seg in dtype.segments_for(count):
+        s = offset + seg.disp
+        assert (dst[s : s + seg.nbytes] == src[s : s + seg.nbytes]).all()
+
+
+@given(dtype=datatype_strategy, count=st.integers(0, 3), seed=st.integers(0, 2**31))
+@settings(max_examples=100, deadline=None)
+def test_unpack_touches_only_layout_bytes(dtype, count, seed):
+    """Bytes outside the layout are never written by unpack."""
+    lo, hi = dtype.byte_range(count)
+    offset = max(0, -lo)
+    size = offset + max(hi, 1) + 8
+    rng = np.random.default_rng(seed)
+    wire = rng.integers(0, 256, count * dtype.size, dtype=np.uint8)
+    dst = np.full(size, 0xAB, dtype=np.uint8)
+    unpack(wire, dst, offset, dtype, count)
+    touched = np.zeros(size, dtype=bool)
+    for seg in dtype.segments_for(count):
+        s = offset + seg.disp
+        touched[s : s + seg.nbytes] = True
+    assert (dst[~touched] == 0xAB).all()
+
+
+@given(dtype=datatype_strategy, count=st.integers(0, 3), seed=st.integers(0, 2**31))
+@settings(max_examples=100, deadline=None)
+def test_double_swap_identity_property(dtype, count, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, count * dtype.size, dtype=np.uint8)
+    ref = data.copy()
+    swap_inplace(data, dtype, count)
+    swap_inplace(data, dtype, count)
+    assert (data == ref).all()
+
+
+@given(dtype=datatype_strategy, count=st.integers(1, 3))
+@settings(max_examples=100, deadline=None)
+def test_size_extent_invariants(dtype, count):
+    """size <= bytes spanned; segments account for exactly `size` bytes."""
+    seg_bytes = sum(s.nbytes for s in dtype.segments)
+    assert seg_bytes == dtype.size
+    lo, hi = dtype.byte_range(count)
+    assert hi - lo >= 0
+    if dtype.size:
+        assert count * dtype.size <= (hi - lo)

@@ -1,0 +1,341 @@
+"""Tests for the Global-Arrays-style library built on the strawman API."""
+
+import numpy as np
+import pytest
+
+from repro.ga import GaError, GlobalArray
+from repro.runtime import World
+
+
+def run(program, n=4, **kw):
+    return World(n_ranks=n, **kw).run(program)
+
+
+class TestCreate:
+    def test_block_distribution_with_remainder(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (10,), "float64")
+            return ga.local_slice()
+
+        out = run(program, n=4)
+        # 10 rows over 4 ranks: 3,3,2,2
+        assert out == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_owner_of(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (10,))
+            return [ga.owner_of(r) for r in range(10)]
+
+        out = run(program, n=4)
+        assert out[0] == [0, 0, 0, 1, 1, 1, 2, 2, 3, 3]
+
+    def test_invalid_shapes(self):
+        def program(ctx):
+            yield from GlobalArray.create(ctx, (2, 2, 2))
+
+        with pytest.raises(GaError, match="1-D and 2-D"):
+            run(program, n=2)
+
+    def test_unsupported_dtype(self):
+        def program(ctx):
+            yield from GlobalArray.create(ctx, (4,), dtype="complex128")
+
+        with pytest.raises(GaError, match="unsupported dtype"):
+            run(program, n=2)
+
+    def test_local_view_shape(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8, 5))
+            return ga.local_view().shape
+
+        assert run(program, n=4) == [(2, 5)] * 4
+
+
+class TestPutGet1D:
+    def test_roundtrip_within_one_owner(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (16,))
+            if ctx.rank == 0:
+                yield from ga.put(slice(4, 8), np.array([1.0, 2.0, 3.0, 4.0]))
+            yield from ga.sync()
+            got = yield from ga.get(slice(4, 8))
+            return got.tolist()
+
+        out = run(program, n=4)
+        assert all(v == [1.0, 2.0, 3.0, 4.0] for v in out)
+
+    def test_region_spanning_owners(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (16,))
+            if ctx.rank == 3:
+                yield from ga.put(slice(0, 16), np.arange(16.0))
+            yield from ga.sync()
+            if ctx.rank == 1:
+                got = yield from ga.get(slice(2, 14))
+                return got.tolist()
+            return None
+
+        out = run(program, n=4)
+        assert out[1] == list(np.arange(2.0, 14.0))
+
+    def test_put_lands_in_owner_local_view(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8,))
+            if ctx.rank == 0:
+                yield from ga.put(slice(6, 8), np.array([9.0, 8.0]))
+            yield from ga.sync()
+            return ga.local_view().tolist()
+
+        out = run(program, n=4)
+        assert out[3] == [9.0, 8.0]
+
+    def test_single_index_region(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8,))
+            if ctx.rank == 0:
+                yield from ga.put((5,), np.array([42.0]))
+            yield from ga.sync()
+            got = yield from ga.get((5,))
+            return float(got[0])
+
+        assert run(program, n=4)[2] == 42.0
+
+    def test_out_of_bounds_region(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8,))
+            yield from ga.get(slice(4, 12))
+
+        with pytest.raises(GaError, match="outside dimension"):
+            run(program, n=2)
+
+
+class TestPutGet2D:
+    def test_full_row_block(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8, 4))
+            if ctx.rank == 0:
+                block = np.arange(8.0).reshape(2, 4)
+                yield from ga.put((slice(3, 5), slice(0, 4)), block)
+            yield from ga.sync()
+            got = yield from ga.get((slice(3, 5), slice(0, 4)))
+            return got.tolist()
+
+        out = run(program, n=4)
+        assert out[1] == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_column_subblock_uses_strided_layout(self):
+        """A sub-block narrower than the row touches only its columns."""
+
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (4, 6))
+            yield from ga.fill(0.0)
+            if ctx.rank == 0:
+                yield from ga.put((slice(0, 4), slice(2, 4)),
+                                  np.full((4, 2), 5.0))
+            yield from ga.sync()
+            got = yield from ga.get((slice(0, 4), slice(0, 6)))
+            return got
+
+        out = run(program, n=4)
+        grid = out[2]
+        assert (grid[:, 2:4] == 5.0).all()
+        assert (grid[:, :2] == 0.0).all()
+        assert (grid[:, 4:] == 0.0).all()
+
+    def test_2d_region_spanning_owners(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8, 3))
+            if ctx.rank == 1:
+                data = np.arange(24.0).reshape(8, 3)
+                yield from ga.put((slice(0, 8), slice(0, 3)), data)
+            yield from ga.sync()
+            got = yield from ga.get((slice(1, 7), slice(1, 3)))
+            return got
+
+        out = run(program, n=4)
+        ref = np.arange(24.0).reshape(8, 3)[1:7, 1:3]
+        assert (out[0] == ref).all()
+
+
+class TestAccumulate:
+    def test_concurrent_accumulates_sum(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (4,))
+            yield from ga.fill(0.0)
+            yield from ga.acc(slice(0, 4), np.ones(4), scale=float(ctx.rank + 1))
+            yield from ga.sync()
+            got = yield from ga.get(slice(0, 4))
+            return got.tolist()
+
+        out = run(program, n=4)
+        total = float(sum(r + 1 for r in range(4)))
+        assert out[0] == [total] * 4
+
+    def test_acc_spanning_owners(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8,))
+            yield from ga.fill(1.0)
+            if ctx.rank == 0:
+                yield from ga.acc(slice(0, 8), np.arange(8.0))
+            yield from ga.sync()
+            got = yield from ga.get(slice(0, 8))
+            return got.tolist()
+
+        out = run(program, n=4)
+        assert out[1] == [1 + i for i in range(8)]
+
+
+class TestReadInc:
+    def test_work_sharing_counter(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (2,), dtype="int64")
+            yield from ga.fill(0)
+            fetched = []
+            for _ in range(5):
+                fetched.append((yield from ga.read_inc(0)))
+            yield from ga.sync()
+            got = yield from ga.get((0,))
+            return (int(got[0]), fetched)
+
+        out = run(program, n=4)
+        assert out[0][0] == 20
+        all_fetched = sorted(v for _, f in out for v in f)
+        assert all_fetched == list(range(20))
+
+    def test_read_inc_requires_integers(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (2,), dtype="float64")
+            yield from ga.read_inc(0)
+
+        with pytest.raises(GaError, match="integer"):
+            run(program, n=2)
+
+
+class TestLifecycle:
+    def test_destroy_then_use_rejected(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (4,))
+            yield from ga.destroy()
+            yield from ga.get(slice(0, 2))
+
+        with pytest.raises(GaError, match="destroyed"):
+            run(program, n=2)
+
+    def test_two_arrays_coexist(self):
+        def program(ctx):
+            a = yield from GlobalArray.create(ctx, (4,))
+            b = yield from GlobalArray.create(ctx, (4,))
+            if ctx.rank == 0:
+                yield from a.put(slice(0, 4), np.full(4, 1.0))
+                yield from b.put(slice(0, 4), np.full(4, 2.0))
+            yield from a.sync()
+            yield from b.sync()
+            ga = yield from a.get(slice(0, 4))
+            gb = yield from b.get(slice(0, 4))
+            yield from a.destroy()
+            yield from b.destroy()
+            return (ga.tolist(), gb.tolist())
+
+        out = run(program, n=2)
+        assert out[0] == ([1.0] * 4, [2.0] * 4)
+
+
+class TestGetAcc:
+    def test_fetches_old_while_updating(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (4,))
+            if ctx.rank == 0:
+                yield from ga.put(slice(0, 4), np.array([1.0, 2.0, 3.0, 4.0]))
+            yield from ga.sync()
+            result = None
+            if ctx.rank == 1:
+                old = yield from ga.get_acc(slice(0, 4), np.ones(4),
+                                            scale=10.0)
+                result = old.tolist()
+            yield from ga.sync()
+            got = yield from ga.get(slice(0, 4))
+            return (result, got.tolist())
+
+        out = run(program, n=2)
+        assert out[1][0] == [1.0, 2.0, 3.0, 4.0]
+        assert out[0][1] == [11.0, 12.0, 13.0, 14.0]
+
+    def test_get_acc_spanning_owners(self):
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (8,))
+            yield from ga.fill(5.0)
+            result = None
+            if ctx.rank == 0:
+                old = yield from ga.get_acc(slice(0, 8), np.ones(8))
+                result = old.tolist()
+            yield from ga.sync()
+            got = yield from ga.get(slice(0, 8))
+            return (result, got.tolist())
+
+        out = run(program, n=4)
+        assert out[0][0] == [5.0] * 8
+        assert out[1][1] == [6.0] * 8
+
+
+def test_xfer_get_accumulate_optype():
+    from repro.datatypes import INT32
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(16)
+        result = None
+        if ctx.rank == 0:
+            ctx.mem.space.view(alloc, "int32")[0] = 7
+        yield from ctx.comm.barrier()
+        if ctx.rank == 1:
+            buf = ctx.mem.space.alloc(4)
+            ctx.mem.space.view(buf, "int32")[0] = 3
+            yield from ctx.rma.xfer(
+                "get_accumulate", buf, 0, 1, INT32, tmems[0], 0, 1, INT32,
+                accumulate_optype="sum",
+            )
+            result = int(ctx.mem.space.view(buf, "int32")[0])
+        yield from ctx.comm.barrier()
+        if ctx.rank == 0:
+            return int(ctx.mem.space.view(alloc, "int32")[0])
+        return result
+
+    out = World(n_ranks=2).run(program)
+    assert out[1] == 7   # fetched old
+    assert out[0] == 10  # updated
+
+
+class TestHybridMachine:
+    def test_accumulate_across_endianness(self):
+        """Regression: staged GA data must use the origin node's byte
+        order, or big-endian hosts ship mislabeled bytes (caught by the
+        integration soak test)."""
+        from repro.machine import hybrid_accelerator
+
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (2,))
+            yield from ga.fill(0.0)
+            yield from ctx.comm.barrier()
+            yield from ga.acc(slice(0, 2), np.ones(2))
+            yield from ga.sync()
+            got = yield from ga.get(slice(0, 2))
+            return got.tolist()
+
+        machine = hybrid_accelerator(n_host_nodes=1, n_accel_nodes=1)
+        out = World(machine=machine).run(program)
+        assert out == [[2.0, 2.0], [2.0, 2.0]]
+
+    def test_put_get_across_endianness(self):
+        from repro.machine import hybrid_accelerator
+
+        def program(ctx):
+            ga = yield from GlobalArray.create(ctx, (4,))
+            if ctx.rank == 1:  # little-endian accel writes
+                yield from ga.put(slice(0, 4), np.array([1.5, -2.0, 3.0, 0.25]))
+            yield from ga.sync()
+            got = yield from ga.get(slice(0, 4))
+            return got.tolist()
+
+        machine = hybrid_accelerator(n_host_nodes=1, n_accel_nodes=1)
+        out = World(machine=machine).run(program)
+        assert out[0] == [1.5, -2.0, 3.0, 0.25]
+        assert out[1] == [1.5, -2.0, 3.0, 0.25]

@@ -1,0 +1,124 @@
+"""Tests for machine configs, presets, and node construction."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    MachineConfig,
+    NodeConfig,
+    build_nodes,
+    cray_x1e,
+    cray_xt5_catamount,
+    cray_xt5_cnl,
+    generic_cluster,
+    hybrid_accelerator,
+    nec_sx9,
+)
+
+
+class TestMachineConfig:
+    def test_n_ranks(self):
+        cfg = MachineConfig(n_nodes=4, ranks_per_node=2)
+        assert cfg.n_ranks == 8
+
+    def test_node_of_rank_block_distribution(self):
+        cfg = MachineConfig(n_nodes=3, ranks_per_node=2)
+        assert [cfg.node_of_rank(r) for r in range(6)] == [0, 0, 1, 1, 2, 2]
+
+    def test_node_of_rank_out_of_range(self):
+        cfg = MachineConfig(n_nodes=2)
+        with pytest.raises(ValueError):
+            cfg.node_of_rank(2)
+
+    def test_node_config_replicates_last(self):
+        special = NodeConfig(endianness="big")
+        cfg = MachineConfig(n_nodes=4, nodes=[special, NodeConfig()])
+        assert cfg.node_config(0).endianness == "big"
+        assert cfg.node_config(3).endianness == "little"
+
+    def test_node_config_out_of_range(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_nodes=2).node_config(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            MachineConfig(ranks_per_node=0)
+        with pytest.raises(ValueError):
+            MachineConfig(nodes=[])
+
+    def test_with_nodes(self):
+        cfg = generic_cluster(4).with_nodes(16)
+        assert cfg.n_nodes == 16
+        assert cfg.name == "generic-cluster"
+
+
+class TestPresets:
+    def test_catamount_forbids_threads(self):
+        assert cray_xt5_catamount().threads_allowed is False
+
+    def test_cnl_allows_threads(self):
+        assert cray_xt5_cnl().threads_allowed is True
+
+    def test_xt5_is_coherent(self):
+        assert cray_xt5_cnl().node_config(0).coherent
+
+    def test_sx9_is_noncoherent_with_expensive_fence(self):
+        cfg = nec_sx9()
+        assert not cfg.node_config(0).coherent
+        assert cfg.timings.cache_fence > generic_cluster().timings.cache_fence
+
+    def test_x1e_modeled_coherent(self):
+        assert cray_x1e().node_config(0).coherent
+
+    def test_hybrid_mixes_endianness_and_pointer_width(self):
+        cfg = hybrid_accelerator(n_host_nodes=2, n_accel_nodes=2)
+        assert cfg.node_config(0).endianness == "big"
+        assert cfg.node_config(0).pointer_bits == 64
+        assert cfg.node_config(2).endianness == "little"
+        assert cfg.node_config(2).pointer_bits == 32
+
+
+class TestBuildNodes:
+    def test_builds_all_ranks(self):
+        cfg = MachineConfig(n_nodes=2, ranks_per_node=3)
+        nodes = build_nodes(cfg)
+        assert [n.ranks for n in nodes] == [[0, 1, 2], [3, 4, 5]]
+
+    def test_memory_for_wrong_rank_rejected(self):
+        nodes = build_nodes(MachineConfig(n_nodes=2))
+        with pytest.raises(ValueError):
+            nodes[0].memory(1)
+
+    def test_rank_memory_inherits_node_personality(self):
+        nodes = build_nodes(nec_sx9(n_nodes=1, ranks_per_node=1))
+        mem = nodes[0].memory(0)
+        assert not mem.coherent
+        assert mem.space.endianness == "little"
+
+    def test_nic_write_vs_cpu_load_on_noncoherent_node(self):
+        nodes = build_nodes(nec_sx9(n_nodes=1, ranks_per_node=1))
+        mem = nodes[0].memory(0)
+        a = mem.space.alloc(16)
+        mem.load(a, 0, 8)  # warm the cache
+        mem.nic_write(a, 0, np.full(8, 42, dtype=np.uint8))
+        assert mem.load(a, 0, 8).tolist() == [0] * 8  # stale until fence
+        mem.fence()
+        assert mem.load(a, 0, 8).tolist() == [42] * 8
+
+    def test_nic_write_visible_on_coherent_node(self):
+        nodes = build_nodes(generic_cluster(1))
+        mem = nodes[0].memory(0)
+        a = mem.space.alloc(16)
+        mem.load(a, 0, 8)
+        mem.nic_write(a, 0, np.full(8, 42, dtype=np.uint8))
+        assert mem.load(a, 0, 8).tolist() == [42] * 8
+
+    def test_nic_read_bypasses_cache(self):
+        nodes = build_nodes(nec_sx9(n_nodes=1, ranks_per_node=1))
+        mem = nodes[0].memory(0)
+        a = mem.space.alloc(8)
+        mem.load(a, 0, 8)
+        mem.nic_write(a, 0, np.full(8, 9, dtype=np.uint8))
+        assert mem.nic_read(a, 0, 8).tolist() == [9] * 8

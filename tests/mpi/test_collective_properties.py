@@ -1,0 +1,109 @@
+"""Property-based tests for collective algorithms."""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import quadrics_like
+from repro.runtime import World
+
+
+@given(
+    n=st.integers(1, 6),
+    values=st.data(),
+    root=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_bcast_delivers_root_value(n, values, root):
+    root_rank = root.draw(st.integers(0, n - 1))
+    payload = values.draw(st.one_of(
+        st.integers(), st.text(max_size=8),
+        st.lists(st.integers(), max_size=4),
+    ))
+
+    def program(ctx):
+        obj = payload if ctx.rank == root_rank else None
+        out = yield from ctx.comm.bcast(obj, root=root_rank)
+        return out
+
+    assert World(n_ranks=n).run(program) == [payload] * n
+
+
+@given(
+    n=st.integers(1, 6),
+    seed=st.integers(0, 10),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_allreduce_matches_reference(n, seed, data):
+    vals = [data.draw(st.integers(-100, 100)) for _ in range(n)]
+    op_name = data.draw(st.sampled_from(["add", "min", "max"]))
+    op = {"add": operator.add, "min": min, "max": max}[op_name]
+
+    def program(ctx):
+        out = yield from ctx.comm.allreduce(vals[ctx.rank], op)
+        return out
+
+    expected = vals[0]
+    for v in vals[1:]:
+        expected = op(expected, v)
+    out = World(n_ranks=n, network=quadrics_like(), seed=seed).run(program)
+    assert out == [expected] * n
+
+
+@given(n=st.integers(1, 6), data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_alltoall_is_transpose(n, data):
+    matrix = [
+        [data.draw(st.integers(0, 99)) for _ in range(n)] for _ in range(n)
+    ]
+
+    def program(ctx):
+        out = yield from ctx.comm.alltoall(matrix[ctx.rank])
+        return out
+
+    out = World(n_ranks=n).run(program)
+    for r in range(n):
+        assert out[r] == [matrix[s][r] for s in range(n)]
+
+
+@given(
+    n=st.integers(2, 6),
+    data=st.data(),
+)
+@settings(max_examples=20, deadline=None)
+def test_split_partitions_consistently(n, data):
+    colors = [data.draw(st.integers(0, 2)) for _ in range(n)]
+    keys = [data.draw(st.integers(-5, 5)) for _ in range(n)]
+
+    def program(ctx):
+        sub = yield from ctx.comm.split(colors[ctx.rank], keys[ctx.rank])
+        total = yield from sub.allreduce(1, operator.add)
+        return (sub.rank, sub.size, total)
+
+    out = World(n_ranks=n).run(program)
+    for color in set(colors):
+        members = [r for r in range(n) if colors[r] == color]
+        expected_order = sorted(members, key=lambda r: (keys[r], r))
+        for local, world in enumerate(expected_order):
+            rank, size, total = out[world]
+            assert rank == local
+            assert size == len(members)
+            assert total == len(members)
+
+
+@given(n=st.integers(1, 5), data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_gather_scatter_inverse(n, data):
+    items = [data.draw(st.integers(0, 1000)) for _ in range(n)]
+
+    def program(ctx):
+        mine = yield from ctx.comm.scatter(
+            items if ctx.rank == 0 else None, root=0
+        )
+        back = yield from ctx.comm.gather(mine, root=0)
+        return back
+
+    out = World(n_ranks=n).run(program)
+    assert out[0] == items

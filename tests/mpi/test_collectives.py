@@ -1,0 +1,190 @@
+"""Tests for collective algorithms across rank counts."""
+
+import operator
+
+import pytest
+
+from repro.runtime import World
+
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_synchronizes(n):
+    """No rank leaves the barrier before the last rank has entered."""
+
+    def program(ctx):
+        # stagger the entries
+        yield ctx.sim.timeout(ctx.rank * 50.0)
+        enter = ctx.sim.now
+        yield from ctx.comm.barrier()
+        leave = ctx.sim.now
+        return (enter, leave)
+
+    out = World(n_ranks=n).run(program)
+    last_enter = max(e for e, _ in out)
+    assert all(leave >= last_enter for _, leave in out)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast(n, root):
+    root = 0 if root == 0 else n - 1
+
+    def program(ctx):
+        obj = {"v": 99} if ctx.rank == root else None
+        out = yield from ctx.comm.bcast(obj, root=root)
+        return out["v"]
+
+    assert World(n_ranks=n).run(program) == [99] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_gather(n):
+    def program(ctx):
+        out = yield from ctx.comm.gather(ctx.rank * 2, root=0)
+        return out
+
+    out = World(n_ranks=n).run(program)
+    assert out[0] == [2 * r for r in range(n)]
+    assert all(v is None for v in out[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scatter(n):
+    def program(ctx):
+        items = [f"item-{i}" for i in range(ctx.size)] if ctx.rank == 0 else None
+        item = yield from ctx.comm.scatter(items, root=0)
+        return item
+
+    assert World(n_ranks=n).run(program) == [f"item-{r}" for r in range(n)]
+
+
+def test_scatter_requires_size_items():
+    def program(ctx):
+        yield from ctx.comm.scatter([1], root=0)
+
+    with pytest.raises(ValueError):
+        World(n_ranks=2).run(program)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather(n):
+    def program(ctx):
+        out = yield from ctx.comm.allgather(ctx.rank ** 2)
+        return out
+
+    expected = [r**2 for r in range(n)]
+    assert World(n_ranks=n).run(program) == [expected] * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_sum(n):
+    def program(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank + 1, operator.add, root=0)
+        return out
+
+    out = World(n_ranks=n).run(program)
+    assert out[0] == n * (n + 1) // 2
+    assert all(v is None for v in out[1:])
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_nonzero_root(n):
+    root = n - 1
+
+    def program(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank, operator.add, root=root)
+        return out
+
+    out = World(n_ranks=n).run(program)
+    assert out[root] == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce_max(n):
+    def program(ctx):
+        out = yield from ctx.comm.allreduce(ctx.rank * 3, max)
+        return out
+
+    assert World(n_ranks=n).run(program) == [(n - 1) * 3] * n
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 5])
+def test_alltoall(n):
+    def program(ctx):
+        items = [f"{ctx.rank}->{d}" for d in range(ctx.size)]
+        out = yield from ctx.comm.alltoall(items)
+        return out
+
+    out = World(n_ranks=n).run(program)
+    for r in range(n):
+        assert out[r] == [f"{s}->{r}" for s in range(n)]
+
+
+def test_back_to_back_collectives_do_not_interfere():
+    def program(ctx):
+        a = yield from ctx.comm.bcast(ctx.rank if ctx.rank == 0 else None, root=0)
+        b = yield from ctx.comm.bcast(ctx.rank if ctx.rank == 1 else None, root=1)
+        yield from ctx.comm.barrier()
+        c = yield from ctx.comm.allreduce(1, operator.add)
+        return (a, b, c)
+
+    out = World(n_ranks=4).run(program)
+    assert out == [(0, 1, 4)] * 4
+
+
+def test_dup_isolates_traffic():
+    def program(ctx):
+        comm2 = yield from ctx.comm.dup()
+        # Same-shaped bcasts on both communicators must not cross.
+        if ctx.rank == 0:
+            yield from ctx.comm.send("original", dest=1, tag=0)
+            yield from comm2.send("duplicate", dest=1, tag=0)
+            return None
+        if ctx.rank == 1:
+            d = yield from comm2.recv(source=0, tag=0)
+            o = yield from ctx.comm.recv(source=0, tag=0)
+            return (o, d)
+
+    out = World(n_ranks=2).run(program)
+    assert out[1] == ("original", "duplicate")
+
+
+def test_split_by_parity():
+    def program(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank % 2, key=ctx.rank)
+        total = yield from sub.allreduce(ctx.rank, operator.add)
+        return (sub.rank, sub.size, total)
+
+    out = World(n_ranks=6).run(program)
+    # evens: 0,2,4 ; odds: 1,3,5
+    assert out[0] == (0, 3, 6)
+    assert out[1] == (0, 3, 9)
+    assert out[4] == (2, 3, 6)
+    assert out[5] == (2, 3, 9)
+
+
+def test_split_color_none_returns_none():
+    def program(ctx):
+        sub = yield from ctx.comm.split(
+            color=None if ctx.rank == 0 else 1, key=0
+        )
+        if sub is None:
+            return "excluded"
+        total = yield from sub.allreduce(1, operator.add)
+        return total
+
+    out = World(n_ranks=3).run(program)
+    assert out == ["excluded", 2, 2]
+
+
+def test_split_key_orders_ranks():
+    def program(ctx):
+        # reverse ordering via key
+        sub = yield from ctx.comm.split(color=0, key=-ctx.rank)
+        return sub.rank
+
+    out = World(n_ranks=4).run(program)
+    assert out == [3, 2, 1, 0]

@@ -1,0 +1,184 @@
+"""Tests for point-to-point messaging."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Request
+from repro.network import quadrics_like, seastar_portals
+from repro.runtime import World
+from repro.sim import SimulationError
+
+
+def test_send_recv_pair():
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send({"x": 41}, dest=1, tag=7)
+            return None
+        if ctx.rank == 1:
+            data = yield from ctx.comm.recv(source=0, tag=7)
+            return data["x"]
+        return None
+
+    assert World(n_ranks=2).run(program) == [None, 41]
+
+
+def test_numpy_payload():
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(np.arange(100), dest=1)
+        else:
+            data = yield from ctx.comm.recv(source=0)
+            return int(data.sum())
+
+    assert World(n_ranks=2).run(program)[1] == 4950
+
+
+def test_any_source_any_tag():
+    def program(ctx):
+        if ctx.rank == 2:
+            got = []
+            for _ in range(2):
+                obj, st = yield from ctx.comm.recv_status(ANY_SOURCE, ANY_TAG)
+                got.append((st.source, st.tag, obj))
+            return sorted(got)
+        yield from ctx.comm.send(f"from-{ctx.rank}", dest=2, tag=ctx.rank)
+
+    out = World(n_ranks=3).run(program)
+    assert out[2] == [(0, 0, "from-0"), (1, 1, "from-1")]
+
+
+def test_tag_selectivity():
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send("a", dest=1, tag=1)
+            yield from ctx.comm.send("b", dest=1, tag=2)
+        else:
+            b = yield from ctx.comm.recv(source=0, tag=2)
+            a = yield from ctx.comm.recv(source=0, tag=1)
+            return (a, b)
+
+    assert World(n_ranks=2).run(program)[1] == ("a", "b")
+
+
+def test_non_overtaking_same_tag_on_ordered_network():
+    def program(ctx):
+        if ctx.rank == 0:
+            for i in range(10):
+                yield from ctx.comm.send(i, dest=1, tag=5)
+        else:
+            got = []
+            for _ in range(10):
+                got.append((yield from ctx.comm.recv(source=0, tag=5)))
+            return got
+
+    out = World(n_ranks=2, network=seastar_portals()).run(program)
+    assert out[1] == list(range(10))
+
+
+def test_isend_irecv_overlap():
+    def program(ctx):
+        if ctx.rank == 0:
+            reqs = []
+            for i in range(4):
+                r = yield from ctx.comm.isend(i, dest=1, tag=i)
+                reqs.append(r)
+            yield from Request.waitall(reqs)
+        else:
+            reqs = [ctx.comm.irecv(source=0, tag=i) for i in range(4)]
+            vals = yield from Request.waitall(reqs)
+            return vals
+
+    assert World(n_ranks=2).run(program)[1] == [0, 1, 2, 3]
+
+
+def test_request_test_polls():
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send("x", dest=1)
+        else:
+            req = ctx.comm.irecv(source=0)
+            assert not req.test()
+            yield from req.wait()
+            assert req.test()
+            return req.status.nbytes
+
+    World(n_ranks=2).run(program)
+
+
+def test_waitany():
+    def program(ctx):
+        if ctx.rank == 0:
+            yield ctx.sim.timeout(100)
+            yield from ctx.comm.send("slow", dest=2, tag=0)
+        elif ctx.rank == 1:
+            yield from ctx.comm.send("fast", dest=2, tag=1)
+        else:
+            reqs = [ctx.comm.irecv(source=0, tag=0), ctx.comm.irecv(source=1, tag=1)]
+            idx = yield from Request.waitany(reqs)
+            return idx
+
+    assert World(n_ranks=3).run(program)[2] == 1
+
+
+def test_sendrecv_exchange():
+    def program(ctx):
+        partner = 1 - ctx.rank
+        got = yield from ctx.comm.sendrecv(ctx.rank, dest=partner, source=partner)
+        return got
+
+    assert World(n_ranks=2).run(program) == [1, 0]
+
+
+def test_unmatched_recv_deadlocks():
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.recv(source=1, tag=9)
+
+    with pytest.raises(SimulationError, match="never completed"):
+        World(n_ranks=2).run(program)
+
+
+def test_invalid_tag_rejected():
+    def program(ctx):
+        yield from ctx.comm.send("x", dest=0, tag=2**30)
+
+    with pytest.raises(ValueError, match="tag"):
+        World(n_ranks=1).run(program)
+
+
+def test_message_latency_reflects_size():
+    """Bigger payloads take longer end to end."""
+
+    def program(ctx, nbytes):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(np.zeros(nbytes, dtype=np.uint8), dest=1)
+        else:
+            t0 = ctx.sim.now
+            yield from ctx.comm.recv(source=0)
+            return ctx.sim.now - t0
+
+    small = World(n_ranks=2).run(program, 8)[1]
+    big = World(n_ranks=2).run(program, 100_000)[1]
+    assert big > small * 5
+
+
+def test_unordered_network_can_reorder_same_tag_messages():
+    """On a Quadrics-like fabric, same-tag eager messages may overtake:
+    the arrival order (not the send order) feeds the match queue."""
+
+    def program(ctx, n):
+        if ctx.rank == 0:
+            for i in range(n):
+                yield from ctx.comm.isend(i, dest=1, tag=0)
+            # quiesce: wait for an ack message on another tag
+            done = yield from ctx.comm.recv(source=1, tag=3)
+            return done
+        got = []
+        for _ in range(n):
+            got.append((yield from ctx.comm.recv(source=0, tag=0)))
+        yield from ctx.comm.send("done", dest=0, tag=3)
+        return got
+
+    out = World(n_ranks=2, network=quadrics_like(), seed=5).run(program, 40)
+    assert sorted(out[1]) == list(range(40))
+    assert out[1] != list(range(40))

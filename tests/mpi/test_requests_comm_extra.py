@@ -1,0 +1,114 @@
+"""Extra coverage: request edge cases and communicator interplay."""
+
+import numpy as np
+import pytest
+
+from repro.ga import GlobalArray
+from repro.mpi import Request, Status
+from repro.runtime import World
+from repro.sim import Simulator
+
+
+class TestRequestEdges:
+    def test_waitall_empty_list(self):
+        def program(ctx):
+            out = yield from Request.waitall([])
+            return out
+
+        assert World(n_ranks=1).run(program) == [[]]
+
+    def test_waitany_empty_rejected(self):
+        def program(ctx):
+            yield from Request.waitany([])
+
+        with pytest.raises(ValueError, match="empty"):
+            World(n_ranks=1).run(program)
+
+    def test_waitany_already_complete_returns_immediately(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send("x", dest=1)
+            else:
+                req = ctx.comm.irecv(source=0)
+                yield from req.wait()
+                slow = ctx.comm.irecv(source=0, tag=5)  # never satisfied
+                idx = yield from Request.waitany([slow, req])
+                return idx
+
+        assert World(n_ranks=2).run(program)[1] == 1
+
+    def test_request_repr_states(self):
+        sim = Simulator()
+        r = Request(sim, kind="probe")
+        assert "pending" in repr(r)
+        r.event.succeed()
+        assert "complete" in repr(r)
+
+    def test_status_fields(self):
+        st = Status(source=3, tag=7, nbytes=128)
+        assert (st.source, st.tag, st.nbytes) == (3, 7, 128)
+
+
+class TestCommExtra:
+    def test_recv_status_translates_source_to_local_rank(self):
+        def program(ctx):
+            sub = yield from ctx.comm.split(color=ctx.rank % 2, key=ctx.rank)
+            result = None
+            # evens: world 0,2 -> sub-ranks 0,1
+            if ctx.rank == 2:
+                yield from sub.send("hello", dest=0, tag=4)
+            elif ctx.rank == 0:
+                obj, st = yield from sub.recv_status()
+                result = (obj, st.source, st.tag)
+            yield from ctx.comm.barrier()
+            return result
+
+        out = World(n_ranks=4).run(program)
+        assert out[0] == ("hello", 1, 4)  # source is sub-rank 1, not 2
+
+    def test_group_translation_helpers(self):
+        from repro.mpi import Group
+
+        g = Group([4, 2, 7])
+        assert g.size == 3
+        assert g.world_rank(1) == 2
+        assert g.local_rank(7) == 2
+        assert g.local_rank(99) is None
+        assert 4 in g and 3 not in g
+        with pytest.raises(ValueError):
+            g.world_rank(5)
+        with pytest.raises(ValueError):
+            Group([1, 1])
+
+    def test_comm_requires_membership(self):
+        from repro.mpi import Comm, Group
+
+        w = World(n_ranks=2)
+        with pytest.raises(ValueError, match="not a member"):
+            Comm(w.endpoints[0], Group([1]), context=("x",))
+
+
+class TestGaOnSubcommunicator:
+    def test_global_array_scoped_to_split_comm(self):
+        """A GlobalArray over half the ranks; the other half never
+        participates."""
+
+        def program(ctx):
+            sub = yield from ctx.comm.split(
+                color=0 if ctx.rank < 2 else 1, key=ctx.rank
+            )
+            result = None
+            if ctx.rank < 2:
+                ga = yield from GlobalArray.create(ctx, (8,), comm=sub)
+                if sub.rank == 0:
+                    yield from ga.put(slice(0, 8), np.arange(8.0))
+                yield from ga.sync()
+                got = yield from ga.get(slice(0, 8))
+                result = got.tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        out = World(n_ranks=4).run(program)
+        assert out[0] == list(np.arange(8.0))
+        assert out[1] == list(np.arange(8.0))
+        assert out[2] is None and out[3] is None

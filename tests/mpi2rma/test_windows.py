@@ -1,0 +1,358 @@
+"""Tests for MPI-2 windows and the three synchronization methods."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE, INT32
+from repro.mpi2rma import Mpi2Error
+from repro.runtime import World
+
+
+class TestFence:
+    def test_figure_1a_fence_exchange(self):
+        """Paper Figure 1a: both ranks put+get inside a fence epoch."""
+
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64, fill=ctx.rank + 10)
+            win = yield from ctx.mpi2.win_create(alloc)
+            partner = 1 - ctx.rank
+            src = ctx.mem.space.alloc(8, fill=ctx.rank + 1)
+            dst = ctx.mem.space.alloc(8)
+            yield from win.fence()
+            yield from win.put(src, 0, 8, BYTE, partner, 0)
+            yield from win.get(dst, 0, 8, BYTE, partner, 32)
+            yield from win.fence()
+            got_put = ctx.mem.load(alloc, 0, 8).tolist()
+            got_get = ctx.mem.load(dst, 0, 8).tolist()
+            yield from win.free()
+            return (got_put, got_get)
+
+        out = World(n_ranks=2).run(program)
+        assert out[0] == ([2] * 8, [11] * 8)  # rank1 put 2s; got rank1's fill
+        assert out[1] == ([1] * 8, [10] * 8)
+
+    def test_put_before_any_fence_is_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(16)
+            win = yield from ctx.mpi2.win_create(alloc)
+            src = ctx.mem.space.alloc(8)
+            yield from win.put(src, 0, 8, BYTE, 1 - ctx.rank, 0)
+
+        with pytest.raises(Mpi2Error, match="outside an access epoch"):
+            World(n_ranks=2).run(program)
+
+    def test_fence_makes_remote_puts_visible(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(16, fill=9)
+                yield from win.put(src, 0, 16, BYTE, 0, 0)
+            yield from win.fence()
+            result = ctx.mem.load(alloc, 0, 16).tolist()
+            yield from win.free()
+            return result
+
+        out = World(n_ranks=3).run(program)
+        assert out[0] == [9] * 16
+        assert out[2] == [0] * 16
+
+
+class TestOverlapErrors:
+    """§II-A: overlapping Put/Get in one epoch is erroneous in MPI-2."""
+
+    def test_overlapping_puts_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(16)
+                yield from win.put(src, 0, 16, BYTE, 0, 0)
+                yield from win.put(src, 0, 16, BYTE, 0, 8)  # overlaps
+            yield from win.fence()
+
+        with pytest.raises(Mpi2Error, match="overlapping RMA access"):
+            World(n_ranks=2).run(program)
+
+    def test_put_get_overlap_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(16)
+                yield from win.put(src, 0, 16, BYTE, 0, 0)
+                yield from win.get(src, 0, 8, BYTE, 0, 4)
+            yield from win.fence()
+
+        with pytest.raises(Mpi2Error, match="overlapping"):
+            World(n_ranks=2).run(program)
+
+    def test_same_op_accumulate_overlap_is_legal(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8)
+                ctx.mem.space.view(src, "int32")[:2] = [1, 1]
+                yield from win.accumulate(src, 0, 2, INT32, 0, 0, op="sum")
+                yield from win.accumulate(src, 0, 2, INT32, 0, 0, op="sum")
+            yield from win.fence()
+            result = ctx.mem.space.view(alloc, "int32")[:2].tolist()
+            yield from win.free()
+            return result
+
+        assert World(n_ranks=2).run(program)[0] == [2, 2]
+
+    def test_mixed_op_accumulate_overlap_is_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8)
+                yield from win.accumulate(src, 0, 2, INT32, 0, 0, op="sum")
+                yield from win.accumulate(src, 0, 2, INT32, 0, 0, op="prod")
+            yield from win.fence()
+
+        with pytest.raises(Mpi2Error, match="overlapping"):
+            World(n_ranks=2).run(program)
+
+    def test_disjoint_puts_are_fine(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(16, fill=1)
+                yield from win.put(src, 0, 8, BYTE, 0, 0)
+                yield from win.put(src, 8, 8, BYTE, 0, 8)
+            yield from win.fence()
+            yield from win.free()
+            return True
+
+        assert all(World(n_ranks=2).run(program))
+
+    def test_new_epoch_resets_tracking(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8)
+                yield from win.put(src, 0, 8, BYTE, 0, 0)
+            yield from win.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8)
+                yield from win.put(src, 0, 8, BYTE, 0, 0)  # same spot, new epoch
+            yield from win.fence()
+            yield from win.free()
+            return True
+
+        assert all(World(n_ranks=2).run(program))
+
+
+class TestPscw:
+    def test_figure_1b_post_start_complete_wait(self):
+        """Paper Figure 1b: ranks 1,2 start toward 0; 0 posts to {1,2}."""
+
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            if ctx.rank == 0:
+                yield from win.post([1, 2])
+                yield from win.wait()
+                result = ctx.mem.load(alloc, 0, 16).tolist()
+            else:
+                yield from win.start([0])
+                src = ctx.mem.space.alloc(8, fill=ctx.rank)
+                yield from win.put(src, 0, 8, BYTE, 0, (ctx.rank - 1) * 8)
+                yield from win.complete()
+                result = None
+            yield from win.free()
+            return result
+
+        out = World(n_ranks=3).run(program)
+        assert out[0] == [1] * 8 + [2] * 8
+
+    def test_put_to_rank_outside_start_group_is_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(16)
+            win = yield from ctx.mpi2.win_create(alloc)
+            if ctx.rank == 0:
+                yield from win.post([1])
+                yield from win.wait()
+            elif ctx.rank == 1:
+                yield from win.start([0])
+                src = ctx.mem.space.alloc(8)
+                yield from win.put(src, 0, 8, BYTE, 2, 0)  # 2 not in group
+                yield from win.complete()
+
+        with pytest.raises(Mpi2Error, match="not part of the current"):
+            World(n_ranks=3).run(program)
+
+    def test_complete_without_start_is_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(16)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.complete()
+
+        with pytest.raises(Mpi2Error, match="without a matching start"):
+            World(n_ranks=2).run(program)
+
+    def test_wait_without_post_is_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(16)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.wait()
+
+        with pytest.raises(Mpi2Error, match="without a matching post"):
+            World(n_ranks=2).run(program)
+
+
+class TestLockUnlock:
+    def test_figure_1c_passive_target(self):
+        """Paper Figure 1c: ranks 0 and 2 lock rank 1, put+get, unlock —
+        rank 1 never calls anything."""
+
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            if ctx.rank == 1:
+                ctx.mem.store(alloc, 32, np.full(8, 55, dtype=np.uint8))
+            win = yield from ctx.mpi2.win_create(alloc)
+            result = None
+            if ctx.rank in (0, 2):
+                src = ctx.mem.space.alloc(8, fill=ctx.rank + 1)
+                dst = ctx.mem.space.alloc(8)
+                yield from win.lock(1, shared=True)
+                yield from win.put(src, 0, 8, BYTE, 1, ctx.rank * 4)
+                yield from win.get(dst, 0, 8, BYTE, 1, 32)
+                yield from win.unlock(1)
+                result = ctx.mem.load(dst, 0, 8).tolist()
+            yield from win.free()
+            return result
+
+        out = World(n_ranks=3).run(program)
+        assert out[0] == [55] * 8
+        assert out[2] == [55] * 8
+
+    def test_exclusive_locks_serialize_increments(self):
+        """Read-modify-write under exclusive locks loses no update."""
+
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(8)
+            win = yield from ctx.mpi2.win_create(alloc)
+            if ctx.rank != 0:
+                buf = ctx.mem.space.alloc(8)
+                for _ in range(5):
+                    yield from win.lock(0, shared=False)
+                    yield from win.get(buf, 0, 1, INT32, 0, 0)
+                    yield from win.unlock(0)
+                    v = ctx.mem.space.view(buf, "int32")
+                    v[0] += 1
+                    yield from win.lock(0, shared=False)
+                    yield from win.put(buf, 0, 1, INT32, 0, 0)
+                    yield from win.unlock(0)
+
+            yield from win.fence()
+            result = int(ctx.mem.space.view(alloc, "int32")[0]) if ctx.rank == 0 else None
+            yield from win.free()
+            return result
+
+        # NOTE: get-then-put under *separate* locks is racy by design —
+        # this test uses 2 ranks so increments do not interleave enough
+        # to matter... instead use a single origin to check correctness.
+        out = World(n_ranks=2).run(program)
+        assert out[0] == 5
+
+    def test_unlock_without_lock_is_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(8)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.unlock(0)
+
+        with pytest.raises(Mpi2Error, match="without a matching lock"):
+            World(n_ranks=2).run(program)
+
+    def test_lock_inside_fence_epoch_is_error(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(8)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            yield from win.lock(0)
+
+        with pytest.raises(Mpi2Error, match="another access epoch"):
+            World(n_ranks=2).run(program)
+
+    def test_exclusive_lock_excludes_shared(self):
+        """While rank 1 holds exclusive, rank 2's shared lock waits."""
+
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(8)
+            win = yield from ctx.mpi2.win_create(alloc)
+            times = None
+            if ctx.rank == 1:
+                yield from win.lock(0, shared=False)
+                yield ctx.sim.timeout(500.0)  # hold it a long time
+                yield from win.unlock(0)
+            elif ctx.rank == 2:
+                yield ctx.sim.timeout(50.0)  # ask while 1 holds it
+                t0 = ctx.sim.now
+                yield from win.lock(0, shared=True)
+                times = ctx.sim.now - t0
+                yield from win.unlock(0)
+            yield from win.fence()
+            yield from win.free()
+            return times
+
+        out = World(n_ranks=3).run(program)
+        assert out[2] > 400.0  # had to wait for the exclusive holder
+
+
+class TestWindowLifecycle:
+    def test_double_free_rejected(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(8)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.free()
+            yield from win.free()
+
+        with pytest.raises(Mpi2Error, match="double free"):
+            World(n_ranks=2).run(program)
+
+    def test_access_after_free_rejected(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(8)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.free()
+            yield from win.fence()
+
+        with pytest.raises(Mpi2Error, match="freed window"):
+            World(n_ranks=2).run(program)
+
+    def test_multiple_windows_coexist(self):
+        def program(ctx):
+            a1 = ctx.mem.space.alloc(16)
+            a2 = ctx.mem.space.alloc(16)
+            w1 = yield from ctx.mpi2.win_create(a1)
+            w2 = yield from ctx.mpi2.win_create(a2)
+            yield from w1.fence()
+            yield from w2.fence()
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8, fill=1)
+                yield from w1.put(src, 0, 8, BYTE, 0, 0)
+                src2 = ctx.mem.space.alloc(8, fill=2)
+                yield from w2.put(src2, 0, 8, BYTE, 0, 0)
+            yield from w1.fence()
+            yield from w2.fence()
+            result = (ctx.mem.load(a1, 0, 8).tolist(),
+                      ctx.mem.load(a2, 0, 8).tolist())
+            yield from w1.free()
+            yield from w2.free()
+            return result
+
+        out = World(n_ranks=2).run(program)
+        assert out[0] == ([1] * 8, [2] * 8)

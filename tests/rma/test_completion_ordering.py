@@ -1,0 +1,303 @@
+"""Tests for completion and ordering semantics across fabric personalities."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE, INT32
+from repro.network import (
+    generic_rdma,
+    infiniband_like,
+    quadrics_like,
+    seastar_portals,
+)
+from repro.rma import ALL_RANKS, RmaAttrs
+from repro.runtime import World
+
+
+NETWORKS = {
+    "seastar": seastar_portals,    # ordered + EQ
+    "infiniband": infiniband_like, # ordered, no EQ (software flush)
+    "quadrics": quadrics_like,     # unordered + EQ
+    "generic": generic_rdma,
+}
+
+
+@pytest.mark.parametrize("netname", sorted(NETWORKS))
+def test_complete_guarantees_visibility(netname):
+    """After rma_complete returns, a later get (from anywhere) sees the
+    data — on every fabric personality, whatever strategy was used."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(8192)
+        result = None
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(6000)
+            ctx.mem.store(src, 0, np.full(6000, 42, dtype=np.uint8))
+            for i in range(4):
+                yield from ctx.rma.put(src, 0, 1500, BYTE, tmems[0], i * 1500,
+                                       1500, BYTE, blocking=True)
+            yield from ctx.rma.complete(ctx.comm, 0)
+            # signal rank 0 it may read
+            yield from ctx.comm.send("done", dest=0)
+        elif ctx.rank == 0:
+            yield from ctx.comm.recv(source=1)
+            got = ctx.mem.load(alloc, 0, 6000)
+            result = int((got == 42).sum())
+        yield from ctx.comm.barrier()
+        return result
+
+    out = World(n_ranks=3, network=NETWORKS[netname]()).run(program)
+    assert out[0] == 6000
+
+
+@pytest.mark.parametrize("netname", sorted(NETWORKS))
+def test_complete_all_ranks(netname):
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        if ctx.rank == 0:
+            src = ctx.mem.space.alloc(8, fill=7)
+            for dst in range(1, ctx.size):
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[dst], 0, 8,
+                                       BYTE, blocking=True)
+            yield from ctx.rma.complete(ctx.comm, ALL_RANKS)
+            for dst in range(1, ctx.size):
+                yield from ctx.comm.send("go", dest=dst)
+            return None
+        yield from ctx.comm.recv(source=0)
+        return ctx.mem.load(alloc, 0, 8).tolist()
+
+    out = World(n_ranks=4, network=NETWORKS[netname]()).run(program)
+    assert out[1:] == [[7] * 8] * 3
+
+
+def test_complete_collective():
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        right = (ctx.rank + 1) % ctx.size
+        src = ctx.mem.space.alloc(8, fill=ctx.rank + 1)
+        yield from ctx.rma.put(src, 0, 8, BYTE, tmems[right], 0, 8, BYTE,
+                               blocking=True)
+        yield from ctx.rma.complete_collective(ctx.comm)
+        # after the collective completion everyone may read its own memory
+        return ctx.mem.load(alloc, 0, 8).tolist()
+
+    out = World(n_ranks=4).run(program)
+    for r in range(4):
+        left = (r - 1) % 4
+        assert out[r] == [left + 1] * 8
+
+
+def test_complete_with_no_traffic_is_cheap_noop():
+    def program(ctx):
+        t0 = ctx.sim.now
+        yield from ctx.rma.complete(ctx.comm, ALL_RANKS)
+        return ctx.sim.now - t0
+
+    out = World(n_ranks=2).run(program)
+    assert all(dt < 1.0 for dt in out)
+
+
+def test_request_without_remote_completion_is_local():
+    """Local completion triggers at injection, long before delivery."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(65536)
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(32768)
+            t0 = ctx.sim.now
+            req_local = yield from ctx.rma.put(
+                src, 0, 32768, BYTE, tmems[0], 0, 32768, BYTE)
+            yield from req_local.wait()
+            t_local = ctx.sim.now - t0
+
+            t0 = ctx.sim.now
+            req_remote = yield from ctx.rma.put(
+                src, 0, 32768, BYTE, tmems[0], 0, 32768, BYTE,
+                remote_completion=True)
+            yield from req_remote.wait()
+            t_remote = ctx.sim.now - t0
+            return (t_local, t_remote)
+        yield from ctx.comm.barrier()
+
+    def program_with_barrier(ctx):
+        result = yield from program(ctx)
+        if ctx.rank == 1:
+            yield from ctx.comm.barrier()
+        return result
+
+    out = World(n_ranks=2, network=seastar_portals()).run(program_with_barrier)
+    t_local, t_remote = out[1]
+    assert t_remote > t_local, "remote completion must cost more than local"
+
+
+class TestOrderingAttribute:
+    def test_read_your_writes_with_ordering_on_unordered_network(self):
+        """Put then get with ordering: the get must observe the put
+        (paper §III-A read/write consistency), even on a fabric that
+        reorders packets."""
+
+        def program(ctx, seed_unused):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8, fill=99)
+                dst = ctx.mem.space.alloc(8)
+                attrs = RmaAttrs(ordering=True)
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       attrs=attrs)
+                yield from ctx.rma.get(dst, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       attrs=attrs.with_(blocking=True))
+                return ctx.mem.load(dst, 0, 8).tolist()
+            yield from ctx.comm.barrier()
+
+        def wrapped(ctx):
+            result = yield from program(ctx, None)
+            if ctx.rank == 1:
+                yield from ctx.comm.barrier()
+            return result
+
+        for seed in range(8):
+            out = World(n_ranks=2, network=quadrics_like(), seed=seed).run(
+                wrapped
+            )
+            assert out[1] == [99] * 8, f"seed {seed}: stale read"
+
+    def test_without_ordering_get_can_overtake_put_on_unordered_network(self):
+        """The dual: attribute-free ops may be observed out of order on
+        a Quadrics-like fabric (this is why the attribute exists)."""
+
+        def wrapped(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            result = None
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8, fill=99)
+                dst = ctx.mem.space.alloc(8)
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE)
+                yield from ctx.rma.get(dst, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       blocking=True)
+                result = ctx.mem.load(dst, 0, 8).tolist()
+            yield from ctx.comm.barrier()
+            return result
+
+        stale_seen = False
+        for seed in range(30):
+            out = World(n_ranks=2, network=quadrics_like(), seed=seed).run(
+                wrapped
+            )
+            if out[1] != [99] * 8:
+                stale_seen = True
+                break
+        assert stale_seen, (
+            "expected at least one seed where the get overtakes the put"
+        )
+
+    def test_ordering_attr_final_value_deterministic(self):
+        """Two ordered puts to the same location: the second always wins."""
+
+        def wrapped(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            if ctx.rank == 1:
+                a = ctx.mem.space.alloc(8, fill=1)
+                b = ctx.mem.space.alloc(8, fill=2)
+                attrs = RmaAttrs(ordering=True)
+                yield from ctx.rma.put(a, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       attrs=attrs)
+                yield from ctx.rma.put(b, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       attrs=attrs)
+                yield from ctx.rma.complete(ctx.comm, 0)
+                yield from ctx.comm.send("done", dest=0)
+                yield from ctx.comm.barrier()
+                return None
+            yield from ctx.comm.recv(source=1)
+            got = ctx.mem.load(alloc, 0, 8).tolist()
+            yield from ctx.comm.barrier()
+            return got
+
+        for seed in range(10):
+            out = World(n_ranks=2, network=quadrics_like(), seed=seed).run(
+                wrapped
+            )
+            assert out[0] == [2] * 8, f"seed {seed}: first put won"
+
+
+class TestOrderCall:
+    def test_order_call_orders_across_unordered_fabric(self):
+        """put A; rma_order; put B — B must never lose to A."""
+
+        def wrapped(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            if ctx.rank == 1:
+                a = ctx.mem.space.alloc(8, fill=1)
+                b = ctx.mem.space.alloc(8, fill=2)
+                yield from ctx.rma.put(a, 0, 8, BYTE, tmems[0], 0, 8, BYTE)
+                yield from ctx.rma.order(ctx.comm, 0)
+                yield from ctx.rma.put(b, 0, 8, BYTE, tmems[0], 0, 8, BYTE)
+                yield from ctx.rma.complete(ctx.comm, 0)
+                yield from ctx.comm.send("done", dest=0)
+                yield from ctx.comm.barrier()
+                return None
+            yield from ctx.comm.recv(source=1)
+            got = ctx.mem.load(alloc, 0, 8).tolist()
+            yield from ctx.comm.barrier()
+            return got
+
+        for seed in range(10):
+            out = World(n_ranks=2, network=quadrics_like(), seed=seed).run(
+                wrapped
+            )
+            assert out[0] == [2] * 8, f"seed {seed}"
+
+    def test_order_generates_no_network_traffic(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8)
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       blocking=True)
+                sent_before = ctx.nic.packets_sent
+                yield from ctx.rma.order(ctx.comm, 0)
+                yield from ctx.rma.order(ctx.comm, ALL_RANKS)
+                return ctx.nic.packets_sent - sent_before
+            yield from ctx.comm.barrier()
+
+        def wrapped(ctx):
+            r = yield from program(ctx)
+            if ctx.rank == 1:
+                yield from ctx.comm.barrier()
+            return r
+
+        assert World(n_ranks=2).run(wrapped)[1] == 0
+
+    def test_order_collective(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            yield from ctx.rma.order_collective(ctx.comm)
+            return True
+
+        assert all(World(n_ranks=4).run(program))
+
+
+def test_flush_strategy_used_when_no_completion_events():
+    """On an InfiniBand-like fabric (no EQ) attribute-free puts generate
+    no per-packet acks; complete() must still work via watermark flush."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(1024)
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(512, fill=3)
+            for _ in range(10):
+                yield from ctx.rma.put(src, 0, 512, BYTE, tmems[0], 0, 512,
+                                       BYTE, blocking=True)
+            acks_before = ctx.nic.packets_received
+            yield from ctx.rma.complete(ctx.comm, 0)
+            # exactly one flush ack should have come back
+            return ctx.nic.packets_received - acks_before
+        yield from ctx.comm.barrier()
+
+    def wrapped(ctx):
+        r = yield from program(ctx)
+        if ctx.rank == 1:
+            yield from ctx.comm.barrier()
+        return r
+
+    out = World(n_ranks=2, network=infiniband_like()).run(wrapped)
+    assert out[1] == 1

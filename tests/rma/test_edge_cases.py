@@ -1,0 +1,255 @@
+"""Edge-case tests for the RMA engine."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE, FLOAT64
+from repro.network import NetworkConfig, generic_rdma
+from repro.rma import RmaAttrs
+from repro.runtime import World
+
+
+class TestSelfRma:
+    def test_put_get_to_own_rank(self):
+        """Loopback RMA (a rank targeting its own exposed memory) goes
+        through the same protocol path and works."""
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(64)
+            src = ctx.mem.space.alloc(8, fill=ctx.rank + 1)
+            yield from ctx.rma.put(src, 0, 8, BYTE, tmems[ctx.rank], 0, 8,
+                                   BYTE, blocking=True,
+                                   remote_completion=True)
+            dst = ctx.mem.space.alloc(8)
+            yield from ctx.rma.get(dst, 0, 8, BYTE, tmems[ctx.rank], 0, 8,
+                                   BYTE, blocking=True)
+            return ctx.mem.load(dst, 0, 8).tolist()
+
+        out = World(n_ranks=2).run(program)
+        assert out == [[1] * 8, [2] * 8]
+
+    def test_self_rmw(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(8)
+            old = yield from ctx.rma.fetch_and_add(tmems[ctx.rank], 0,
+                                                   "int64", 7)
+            return (int(old), int(ctx.mem.space.view(alloc, "int64")[0]))
+
+        assert World(n_ranks=1).run(program) == [(0, 7)]
+
+
+class TestMtuBoundaries:
+    @pytest.mark.parametrize("size_rel", [-1, 0, 1])
+    def test_payload_around_mtu(self, size_rel):
+        mtu = 256
+        size = mtu + size_rel
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(2048)
+            result = None
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(size)
+                ctx.mem.store(src, 0, (np.arange(size) % 251).astype(np.uint8))
+                yield from ctx.rma.put(src, 0, size, BYTE, tmems[0], 0, size,
+                                       BYTE, blocking=True,
+                                       remote_completion=True)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                got = ctx.mem.load(alloc, 0, size)
+                result = bool((got == (np.arange(size) % 251)).all())
+            return result
+
+        net = generic_rdma().with_(mtu=mtu)
+        assert World(n_ranks=2, network=net).run(program)[0] is True
+
+    def test_tiny_mtu_many_fragments(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(1024)
+            result = None
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(1000)
+                ctx.mem.store(src, 0, (np.arange(1000) % 251).astype(np.uint8))
+                yield from ctx.rma.put(src, 0, 1000, BYTE, tmems[0], 0, 1000,
+                                       BYTE, blocking=True,
+                                       remote_completion=True)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                got = ctx.mem.load(alloc, 0, 1000)
+                result = bool((got == (np.arange(1000) % 251)).all())
+            return result
+
+        net = generic_rdma().with_(mtu=8)
+        assert World(n_ranks=2, network=net).run(program)[0] is True
+
+    def test_mtu_validation(self):
+        with pytest.raises(ValueError, match="mtu"):
+            NetworkConfig(mtu=4)
+
+
+class TestStrictModeDebugging:
+    def test_strict_default_prevents_torn_overlap(self):
+        """The paper's debug story: turning on the most stringent rules
+        turns racy overlapping puts into serialized ones."""
+
+        def writers(strict):
+            def program(ctx):
+                alloc, tmems = yield from ctx.rma.expose_collective(20_000)
+                if strict:
+                    ctx.rma.set_default_attrs(RmaAttrs.strict(), ctx.comm)
+                result = None
+                if ctx.rank != 0:
+                    src = ctx.mem.space.alloc(20_000, fill=ctx.rank)
+                    yield from ctx.rma.put(src, 0, 20_000, BYTE, tmems[0], 0,
+                                           20_000, BYTE,
+                                           **({} if strict else
+                                              {"blocking": True,
+                                               "remote_completion": True}))
+                yield from ctx.rma.complete_collective(ctx.comm)
+                if ctx.rank == 0:
+                    result = len(np.unique(ctx.mem.load(alloc, 0, 20_000)))
+                return result
+            return program
+
+        from repro.network import quadrics_like
+
+        torn_seed = None
+        for seed in range(20):
+            w = World(n_ranks=3, network=quadrics_like(), seed=seed)
+            if w.run(writers(strict=False))[0] > 1:
+                torn_seed = seed
+                break
+        assert torn_seed is not None, "baseline never tore; test is vacuous"
+        w = World(n_ranks=3, network=quadrics_like(), seed=torn_seed)
+        assert w.run(writers(strict=True))[0] == 1
+
+
+class TestMultipleExposures:
+    def test_several_exposures_of_distinct_allocs(self):
+        def program(ctx):
+            a1 = ctx.mem.space.alloc(32)
+            a2 = ctx.mem.space.alloc(32)
+            t1 = ctx.rma.expose(a1)
+            t2 = ctx.rma.expose(a2)
+            both = yield from ctx.comm.allgather((t1, t2))
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8, fill=9)
+                yield from ctx.rma.put(src, 0, 8, BYTE, both[0][1], 0, 8,
+                                       BYTE, blocking=True,
+                                       remote_completion=True)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                return (ctx.mem.load(a1, 0, 8).tolist(),
+                        ctx.mem.load(a2, 0, 8).tolist())
+
+        out = World(n_ranks=2).run(program)
+        assert out[0] == ([0] * 8, [9] * 8)
+
+    def test_same_alloc_exposed_twice_distinct_ids(self):
+        def program(ctx):
+            a = ctx.mem.space.alloc(16)
+            t1 = ctx.rma.expose(a)
+            t2 = ctx.rma.expose(a)
+            assert t1.mem_id != t2.mem_id
+            ctx.rma.withdraw(t1)
+            # t2 still live after withdrawing t1
+            tm = yield from ctx.comm.bcast(t2 if ctx.rank == 0 else None)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(4, fill=3)
+                yield from ctx.rma.put(src, 0, 4, BYTE, tm, 0, 4, BYTE,
+                                       blocking=True, remote_completion=True)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                return ctx.mem.load(a, 0, 4).tolist()
+
+        assert World(n_ranks=2).run(program)[0] == [3] * 4
+
+
+class TestRmwTypes:
+    @pytest.mark.parametrize("np_elem,operand,expect", [
+        ("int32", 3, 3),
+        ("int64", -2, -2),
+        ("float64", 1.5, 1.5),
+        ("uint16", 9, 9),
+    ])
+    def test_fetch_add_across_types(self, np_elem, operand, expect):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(16)
+            if ctx.rank == 1:
+                yield from ctx.rma.fetch_and_add(tmems[0], 0, np_elem,
+                                                 operand)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                return ctx.mem.space.view(alloc, np_elem)[0].item()
+
+        assert World(n_ranks=2).run(program)[0] == expect
+
+    def test_float_cas(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(8)
+            if ctx.rank == 0:
+                ctx.mem.space.view(alloc, "float64")[0] = 2.5
+            yield from ctx.comm.barrier()
+            if ctx.rank == 1:
+                old = yield from ctx.rma.compare_and_swap(
+                    tmems[0], 0, "float64", compare=2.5, value=7.25
+                )
+                assert float(old) == 2.5
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                return float(ctx.mem.space.view(alloc, "float64")[0])
+
+        assert World(n_ranks=2).run(program)[0] == 7.25
+
+
+class TestCompletionCorners:
+    def test_complete_twice_is_idempotent(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(64)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(8)
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       blocking=True)
+                yield from ctx.rma.complete(ctx.comm, 0)
+                t0 = ctx.sim.now
+                yield from ctx.rma.complete(ctx.comm, 0)  # nothing pending
+                return ctx.sim.now - t0
+            yield from ctx.comm.barrier()
+
+        def wrapped(ctx):
+            r = yield from program(ctx)
+            if ctx.rank == 1:
+                yield from ctx.comm.barrier()
+            return r
+
+        assert World(n_ranks=2).run(wrapped)[1] < 1.0
+
+    def test_interleaved_order_and_complete(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(64)
+            result = None
+            if ctx.rank == 1:
+                a = ctx.mem.space.alloc(8, fill=1)
+                b = ctx.mem.space.alloc(8, fill=2)
+                c = ctx.mem.space.alloc(8, fill=3)
+                yield from ctx.rma.put(a, 0, 8, BYTE, tmems[0], 0, 8, BYTE)
+                yield from ctx.rma.order(ctx.comm, 0)
+                yield from ctx.rma.put(b, 0, 8, BYTE, tmems[0], 0, 8, BYTE)
+                yield from ctx.rma.complete(ctx.comm, 0)
+                yield from ctx.rma.put(c, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                       ordering=True)
+                yield from ctx.rma.complete(ctx.comm, 0)
+                yield from ctx.comm.send("done", dest=0)
+                yield from ctx.comm.barrier()
+            elif ctx.rank == 0:
+                yield from ctx.comm.recv(source=1)
+                result = ctx.mem.load(alloc, 0, 8).tolist()
+                yield from ctx.comm.barrier()
+            return result
+
+        from repro.network import quadrics_like
+
+        for seed in range(6):
+            out = World(n_ranks=2, network=quadrics_like(), seed=seed).run(
+                program
+            )
+            assert out[0] == [3] * 8, f"seed {seed}"

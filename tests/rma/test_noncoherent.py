@@ -1,0 +1,134 @@
+"""Tests for RMA to non-cache-coherent targets (NEC SX style, §III-B2)."""
+
+import numpy as np
+
+from repro.datatypes import BYTE
+from repro.machine import generic_cluster, nec_sx9
+from repro.runtime import World
+
+
+def test_target_mem_descriptor_reports_noncoherent():
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        return tmems[0].coherent
+
+    out = World(machine=nec_sx9(n_nodes=2, ranks_per_node=1)).run(program)
+    assert out == [False, False]
+
+
+def test_put_visible_to_target_cpu_after_complete():
+    """The engine's invalidate-on-apply protocol means that once the
+    origin's complete() returns, the target's *cached* loads see the
+    data — the target need not fence manually."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(256)
+        result = None
+        if ctx.rank == 0:
+            # warm the scalar cache with the old (zero) contents
+            assert ctx.mem.load(alloc, 0, 64).tolist() == [0] * 64
+            yield from ctx.comm.recv(source=1)  # wait for writer's signal
+            result = ctx.mem.load(alloc, 0, 64).tolist()
+        else:
+            src = ctx.mem.space.alloc(64, fill=7)
+            yield from ctx.rma.put(src, 0, 64, BYTE, tmems[0], 0, 64, BYTE,
+                                   blocking=True)
+            yield from ctx.rma.complete(ctx.comm, 0)
+            yield from ctx.comm.send("done", dest=0)
+        yield from ctx.comm.barrier()
+        return result
+
+    out = World(machine=nec_sx9(n_nodes=2, ranks_per_node=1)).run(program)
+    assert out[0] == [7] * 64
+
+
+def test_raw_memory_updated_before_invalidation_completes():
+    """Fragments DMA into memory immediately; only *visibility to the
+    cached CPU path* waits for target involvement."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        result = None
+        if ctx.rank == 0:
+            ctx.mem.load(alloc, 0, 8)  # cache the line
+            yield from ctx.comm.recv(source=1)
+            raw = ctx.mem.space.read(alloc, 0, 8).tolist()  # memory truth
+            result = raw
+        else:
+            src = ctx.mem.space.alloc(8, fill=3)
+            yield from ctx.rma.put(src, 0, 8, BYTE, tmems[0], 0, 8, BYTE,
+                                   blocking=True, remote_completion=True)
+            yield from ctx.comm.send("go", dest=0)
+        yield from ctx.comm.barrier()
+        return result
+
+    out = World(machine=nec_sx9(n_nodes=2, ranks_per_node=1)).run(program)
+    assert out[0] == [3] * 8
+
+
+def test_remote_completion_costs_more_on_noncoherent_target():
+    """Abl. A3 shape check: the same blocking put with remote completion
+    is dearer against an SX-like target because the target must be
+    involved (invalidation) before completion."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(4096)
+        elapsed = None
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(1024)
+            t0 = ctx.sim.now
+            for _ in range(10):
+                yield from ctx.rma.put(src, 0, 1024, BYTE, tmems[0], 0, 1024,
+                                       BYTE, blocking=True,
+                                       remote_completion=True)
+            elapsed = ctx.sim.now - t0
+        yield from ctx.comm.barrier()
+        return elapsed
+
+    t_coherent = World(machine=generic_cluster(2)).run(program)[1]
+    t_sx = World(machine=nec_sx9(n_nodes=2, ranks_per_node=1)).run(program)[1]
+    assert t_sx > t_coherent
+
+
+def test_get_from_noncoherent_target_is_fresh():
+    """Write-through means memory is always current, so gets need no
+    extra target involvement."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        result = None
+        if ctx.rank == 0:
+            ctx.mem.store(alloc, 0, np.full(16, 5, dtype=np.uint8))
+        yield from ctx.comm.barrier()
+        if ctx.rank == 1:
+            dst = ctx.mem.space.alloc(16)
+            yield from ctx.rma.get(dst, 0, 16, BYTE, tmems[0], 0, 16, BYTE,
+                                   blocking=True)
+            result = ctx.mem.load(dst, 0, 16).tolist()
+        yield from ctx.comm.barrier()
+        return result
+
+    out = World(machine=nec_sx9(n_nodes=2, ranks_per_node=1)).run(program)
+    assert out[1] == [5] * 16
+
+
+def test_atomic_put_to_noncoherent_target():
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        result = None
+        if ctx.rank == 0:
+            ctx.mem.load(alloc, 0, 32)  # cache it
+            yield from ctx.comm.recv(source=1)
+            result = ctx.mem.load(alloc, 0, 32).tolist()
+        else:
+            src = ctx.mem.space.alloc(32, fill=8)
+            yield from ctx.rma.put(src, 0, 32, BYTE, tmems[0], 0, 32, BYTE,
+                                   atomicity=True, blocking=True,
+                                   remote_completion=True)
+            yield from ctx.comm.send("done", dest=0)
+        yield from ctx.comm.barrier()
+        return result
+
+    out = World(machine=nec_sx9(n_nodes=2, ranks_per_node=1),
+                serializer="thread").run(program)
+    assert out[0] == [8] * 32

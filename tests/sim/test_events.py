@@ -1,0 +1,146 @@
+"""Tests for Event, Timeout, AnyOf, AllOf."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, EventError, Simulator, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(EventError):
+            sim.event().value
+
+    def test_ok_before_trigger_raises(self, sim):
+        with pytest.raises(EventError):
+            sim.event().ok
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event().succeed(99)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 99
+        assert ev.exception is None
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event().succeed()
+        with pytest.raises(EventError):
+            ev.succeed()
+
+    def test_fail_records_exception(self, sim):
+        boom = ValueError("x")
+        ev = sim.event().fail(boom)
+        assert ev.triggered
+        assert not ev.ok
+        assert ev.exception is boom
+        with pytest.raises(ValueError):
+            ev.value
+
+    def test_fail_requires_exception_instance(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callback_runs_after_trigger(self, sim):
+        ev = sim.event()
+        hits = []
+        ev.add_callback(lambda e: hits.append(e.value))
+        sim.schedule(2, lambda: ev.succeed("v"))
+        sim.run()
+        assert hits == ["v"]
+        assert ev.processed
+
+    def test_late_callback_still_runs(self, sim):
+        ev = sim.event()
+        sim.schedule(1, lambda: ev.succeed(7))
+        sim.run()
+        hits = []
+        ev.add_callback(lambda e: hits.append(e.value))
+        sim.run()
+        assert hits == [7]
+
+    def test_trigger_alias(self, sim):
+        ev = sim.event().trigger(5)
+        assert ev.value == 5
+
+
+class TestTimeout:
+    def test_triggers_at_delay(self, sim):
+        t = sim.timeout(3.0, value="tick")
+        sim.run()
+        assert t.triggered
+        assert t.value == "tick"
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Timeout(sim, -0.5)
+
+    def test_zero_delay(self, sim):
+        t = sim.timeout(0)
+        sim.run()
+        assert t.triggered
+        assert sim.now == 0
+
+
+class TestAnyOf:
+    def test_triggers_on_first_child(self, sim):
+        a, b = sim.timeout(5, "a"), sim.timeout(2, "b")
+        cond = AnyOf(sim, [a, b])
+        sim.run_until_complete(cond)
+        assert sim.now == 2
+        assert cond.value == ["b"]
+
+    def test_empty_succeeds_immediately(self, sim):
+        cond = AnyOf(sim, [])
+        assert cond.triggered
+        assert cond.value == []
+
+    def test_child_failure_fails_condition(self, sim):
+        a = sim.event()
+        cond = AnyOf(sim, [a, sim.timeout(10)])
+        sim.schedule(1, lambda: a.fail(RuntimeError("bad")))
+        with pytest.raises(RuntimeError, match="bad"):
+            sim.run_until_complete(cond)
+
+    def test_mixed_simulators_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(ValueError):
+            AnyOf(sim, [sim.event(), other.event()])
+
+
+class TestAllOf:
+    def test_waits_for_all_children(self, sim):
+        a, b, c = sim.timeout(1, "a"), sim.timeout(5, "b"), sim.timeout(3, "c")
+        cond = AllOf(sim, [a, b, c])
+        sim.run_until_complete(cond)
+        assert sim.now == 5
+        assert cond.value == ["a", "b", "c"]  # construction order
+
+    def test_empty_succeeds_immediately(self, sim):
+        cond = AllOf(sim, [])
+        assert cond.triggered
+
+    def test_child_failure_fails_early(self, sim):
+        a = sim.event()
+        slow = sim.timeout(100)
+        cond = AllOf(sim, [a, slow])
+        sim.schedule(1, lambda: a.fail(KeyError("k")))
+        with pytest.raises(KeyError):
+            sim.run_until_complete(cond)
+        assert sim.now == 1
+
+    def test_already_triggered_children(self, sim):
+        a = sim.event().succeed(1)
+        b = sim.event().succeed(2)
+        cond = AllOf(sim, [a, b])
+        sim.run_until_complete(cond)
+        assert cond.value == [1, 2]

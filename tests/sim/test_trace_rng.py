@@ -1,0 +1,74 @@
+"""Tests for Tracer and RngRegistry."""
+
+from repro.sim import RngRegistry, Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default_records_nothing(self):
+        tr = Tracer()
+        tr.record(1.0, "rma", "put_issue", rank=0)
+        assert len(tr) == 0
+
+    def test_records_when_enabled(self):
+        tr = Tracer(enabled=True)
+        tr.record(1.0, "rma", "put_issue", rank=0, size=8)
+        tr.record(2.0, "net", "deliver", rank=1)
+        assert len(tr) == 2
+        recs = tr.records
+        assert recs[0].kind == "put_issue"
+        assert recs[0].detail["size"] == 8
+        assert recs[0].seq == 0
+        assert recs[1].seq == 1
+
+    def test_filter(self):
+        tr = Tracer(enabled=True)
+        tr.record(1.0, "rma", "put", rank=0)
+        tr.record(2.0, "rma", "get", rank=1)
+        tr.record(3.0, "net", "put", rank=0)
+        assert len(tr.filter(category="rma")) == 2
+        assert len(tr.filter(kind="put")) == 2
+        assert len(tr.filter(rank=0)) == 2
+        assert len(tr.filter(category="rma", kind="put", rank=0)) == 1
+
+    def test_clear_keeps_seq_monotonic(self):
+        tr = Tracer(enabled=True)
+        tr.record(1.0, "a", "x")
+        tr.clear()
+        tr.record(2.0, "a", "y")
+        assert tr.records[0].seq == 1
+
+    def test_iteration(self):
+        tr = Tracer(enabled=True)
+        tr.record(1.0, "a", "x")
+        assert [r.kind for r in tr] == ["x"]
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream_is_reproducible(self):
+        a = RngRegistry(42)
+        b = RngRegistry(42)
+        va = [a.uniform("net.jitter", 0, 1) for _ in range(10)]
+        vb = [b.uniform("net.jitter", 0, 1) for _ in range(10)]
+        assert va == vb
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(0)
+        # Drawing from one stream must not perturb another.
+        ref = RngRegistry(0)
+        ref_vals = [ref.uniform("b", 0, 1) for _ in range(5)]
+        reg.uniform("a", 0, 1)  # interleaved draw from another stream
+        vals = [reg.uniform("b", 0, 1) for _ in range(5)]
+        assert vals == ref_vals
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).uniform("x", 0, 1) != RngRegistry(2).uniform(
+            "x", 0, 1
+        )
+
+    def test_exponential_positive(self):
+        reg = RngRegistry(7)
+        assert all(reg.exponential("e", 2.0) > 0 for _ in range(20))
+
+    def test_stream_cached(self):
+        reg = RngRegistry(0)
+        assert reg.stream("s") is reg.stream("s")

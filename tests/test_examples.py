@@ -1,0 +1,37 @@
+"""Smoke tests: every example must run clean (they self-verify)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    mod.main()
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "global_counter", "halo_exchange", "pgas_array",
+     "heterogeneous", "consistency_litmus"],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_examples_directory_complete():
+    """The deliverable: quickstart plus at least two domain scenarios."""
+    present = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert "quickstart" in present
+    assert len(present) >= 3

@@ -1,0 +1,150 @@
+"""Tests for the World runtime harness."""
+
+import pytest
+
+from repro.machine import generic_cluster, nec_sx9
+from repro.network import quadrics_like
+from repro.runtime import World
+from repro.sim import SimulationError
+
+
+class TestConstruction:
+    def test_n_ranks_builds_one_rank_per_node(self):
+        w = World(n_ranks=5)
+        assert w.n_ranks == 5
+        assert len(w.nodes) == 5
+
+    def test_machine_rank_count_wins(self):
+        w = World(machine=generic_cluster(3))
+        assert w.n_ranks == 3
+
+    def test_n_ranks_resizes_single_rank_machine(self):
+        w = World(n_ranks=6, machine=generic_cluster(2))
+        assert w.n_ranks == 6
+
+    def test_conflicting_rank_spec_rejected(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            World(n_ranks=5, machine=nec_sx9(n_nodes=2, ranks_per_node=2))
+
+    def test_multirank_nodes(self):
+        w = World(machine=nec_sx9(n_nodes=2, ranks_per_node=2))
+        assert w.n_ranks == 4
+        assert w.nodes[0].ranks == [0, 1]
+
+    def test_all_interfaces_attached(self):
+        w = World(n_ranks=2)
+        ctx = w.contexts[0]
+        assert ctx.rma is not None
+        assert ctx.mpi2 is not None
+        assert ctx.armci is not None
+        assert ctx.gasnet is not None
+        assert ctx.shmem is not None
+
+    def test_repr_mentions_machine_and_network(self):
+        w = World(n_ranks=2, network=quadrics_like())
+        assert "quadrics" in repr(w)
+
+
+class TestRun:
+    def test_returns_values_in_rank_order(self):
+        def program(ctx):
+            yield ctx.sim.timeout((ctx.size - ctx.rank) * 5.0)
+            return ctx.rank * 10
+
+        assert World(n_ranks=4).run(program) == [0, 10, 20, 30]
+
+    def test_extra_args_passed_through(self):
+        def program(ctx, a, b):
+            return (ctx.rank, a + b)
+            yield  # pragma: no cover
+
+        out = World(n_ranks=2).run(program, 1, 2)
+        assert out == [(0, 3), (1, 3)]
+
+    def test_subset_of_ranks(self):
+        def program(ctx):
+            yield ctx.sim.timeout(1)
+            return ctx.rank
+
+        out = World(n_ranks=4).run(program, ranks=[1, 3])
+        assert out == [1, 3]
+
+    def test_rank_exception_propagates(self):
+        def program(ctx):
+            yield ctx.sim.timeout(1)
+            if ctx.rank == 2:
+                raise RuntimeError("rank 2 exploded")
+
+        with pytest.raises(RuntimeError, match="rank 2 exploded"):
+            World(n_ranks=3).run(program)
+
+    def test_deadlock_reports_blocked_ranks(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.recv(source=1)
+
+        with pytest.raises(SimulationError, match=r"ranks \[0\]"):
+            World(n_ranks=2).run(program)
+
+    def test_time_limit(self):
+        def program(ctx):
+            yield ctx.sim.timeout(1000.0)
+
+        with pytest.raises(SimulationError, match="time limit"):
+            World(n_ranks=1).run(program, limit=10.0)
+
+    def test_consecutive_runs_share_state(self):
+        """The same World can run phases back to back; memory persists."""
+        w = World(n_ranks=2)
+
+        def phase1(ctx):
+            ctx.scratch = ctx.mem.space.alloc(8, fill=3)
+            return None
+            yield  # pragma: no cover
+
+        def phase2(ctx):
+            return ctx.mem.load(ctx.scratch, 0, 8).tolist()
+            yield  # pragma: no cover
+
+        w.run(phase1)
+        assert w.run(phase2) == [[3] * 8, [3] * 8]
+
+    def test_simulated_time_advances_monotonically(self):
+        w = World(n_ranks=2)
+
+        def program(ctx):
+            yield ctx.sim.timeout(10)
+
+        w.run(program)
+        t1 = w.now
+        w.run(program)
+        assert w.now > t1
+
+    def test_determinism_across_worlds(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(64)
+            if ctx.rank == 1:
+                src = ctx.mem.space.alloc(16)
+                yield from ctx.rma.put(
+                    src, 0, 16, __import__("repro.datatypes",
+                                           fromlist=["BYTE"]).BYTE,
+                    tmems[0], 0, 16,
+                    __import__("repro.datatypes", fromlist=["BYTE"]).BYTE,
+                    blocking=True, remote_completion=True,
+                )
+            yield from ctx.comm.barrier()
+            return ctx.sim.now
+
+        a = World(n_ranks=3, network=quadrics_like(), seed=9).run(program)
+        b = World(n_ranks=3, network=quadrics_like(), seed=9).run(program)
+        assert a == b
+
+
+class TestCompute:
+    def test_compute_advances_clock(self):
+        def program(ctx):
+            t0 = ctx.sim.now
+            yield from ctx.compute(123.5)
+            return ctx.sim.now - t0
+
+        assert World(n_ranks=1).run(program) == [123.5]
