@@ -22,12 +22,15 @@ def run_sweep(
     series_params: Dict[str, dict],
     **common,
 ) -> Dict[str, Series]:
-    """Evaluate ``fn(x, **params, **common)`` over a grid.
+    """Evaluate ``fn`` over the cross product of series and x-values.
 
-    ``series_params`` maps a series label to the keyword arguments that
-    distinguish it; ``x_values`` is passed as the first positional
-    argument... no — as ``fn(**params, **common)`` with ``x`` injected
-    under the key ``"size"`` unless a param named ``x_key`` overrides.
+    ``series_params`` maps each series label to the keyword arguments
+    that distinguish that series.  For every ``x`` in ``x_values``, the
+    call is ``fn(**common, **params, <x_key>=x)`` — everything is passed
+    by keyword.  The x-value's keyword name defaults to ``"size"``;
+    pass ``x_key="..."`` (consumed here, not forwarded to ``fn``) to
+    sweep a differently-named parameter.  Returns ``{label: Series}``
+    with one y-value per x, in order.
     """
     x_key = common.pop("x_key", "size")
     out: Dict[str, Series] = {}

@@ -1,0 +1,263 @@
+"""Wall-clock performance harness (``python -m repro.bench.perf``).
+
+Unlike everything else in :mod:`repro.bench` — which reports *simulated*
+microseconds — this harness measures how fast the simulator itself runs
+on the host machine.  It times three tiers of the stack:
+
+``kernel``
+    Raw event-loop throughput (callbacks/sec and process-resume
+    events/sec) on synthetic workloads that only touch
+    :mod:`repro.sim`.  This is the number every other layer is bounded
+    by.
+
+``halo``
+    An 8-rank strawman halo exchange — the kernel plus NIC/fabric/RMA
+    engine on a small, latency-bound workload.
+
+``fig2``
+    The paper's Figure-2 attribute-cost sweep over message sizes — the
+    full stack including fragmentation and the datatype engine on a
+    bandwidth-bound workload.
+
+Results are written to ``BENCH_PR1.json`` (atomically, via a ``.tmp``
+rename).  Pass ``--baseline FILE`` to embed a previously recorded run
+under the ``"baseline"`` key so speedups are tracked in one artifact;
+future PRs extend the trajectory by pointing ``--baseline`` at the
+previous PR's file.
+
+The harness feature-detects kernel APIs (``Simulator.schedule_call``)
+so the *same file* runs against older revisions — that is how the
+pre-optimization baseline embedded in ``BENCH_PR1.json`` was produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["run_all", "main"]
+
+
+def _best_of(n: int, fn: Callable[[], float]) -> float:
+    """Run ``fn`` ``n`` times; return the best (smallest) elapsed value."""
+    return min(fn() for _ in range(n))
+
+
+# ----------------------------------------------------------------------
+# Tier 1: kernel microbenches
+# ----------------------------------------------------------------------
+def bench_kernel_callbacks(n_events: int = 200_000, n_tokens: int = 64) -> float:
+    """Callbacks/sec for plain scheduled callbacks.
+
+    ``n_tokens`` self-rescheduling tokens hop through simulated time
+    until ``n_events`` callbacks have run — the fabric/NIC usage
+    pattern (schedule a delivery, which schedules more work).
+    """
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    remaining = [n_events]
+    schedule_call = getattr(sim, "schedule_call", None)
+
+    if schedule_call is not None:
+        def hop(delay: float) -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                schedule_call(delay, hop, delay)
+    else:  # pre-optimization kernels: closure per hop
+        def hop(delay: float) -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(delay, lambda: hop(delay))
+
+    for i in range(n_tokens):
+        delay = 0.5 + (i % 7) * 0.25
+        if schedule_call is not None:
+            schedule_call(delay, hop, delay)
+        else:
+            sim.schedule(delay, lambda d=delay: hop(d))
+
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return (n_events - max(0, remaining[0])) / elapsed
+
+
+def bench_kernel_processes(n_procs: int = 500, n_waits: int = 400) -> float:
+    """Process-resume events/sec: coroutines churning through timeouts.
+
+    Exercises Event allocation, triggering, callback processing and
+    generator resumption — the path every simulated rank program runs.
+    """
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+
+    def worker(i: int):
+        for k in range(n_waits):
+            yield sim.timeout(0.1 + (i + k) % 5 * 0.01)
+
+    for i in range(n_procs):
+        sim.spawn(worker(i))
+
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    # Each wait is one Timeout event + one process resume.
+    return (n_procs * n_waits) / elapsed
+
+
+# ----------------------------------------------------------------------
+# Tier 2/3: full-stack workloads
+# ----------------------------------------------------------------------
+def bench_halo(n_ranks: int = 8, halo_bytes: int = 8192,
+               iterations: int = 40) -> Dict[str, float]:
+    """Wall-clock of the strawman halo exchange (latency-bound stack)."""
+    from repro.bench.workloads import halo_exchange_time
+
+    t0 = time.perf_counter()
+    sim_us = halo_exchange_time(
+        "strawman", n_ranks=n_ranks, halo_bytes=halo_bytes,
+        iterations=iterations,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "wall_sec": wall,
+        "sim_us_per_iter": sim_us,
+        "n_ranks": n_ranks,
+        "halo_bytes": halo_bytes,
+        "iterations": iterations,
+    }
+
+
+def bench_fig2(sizes=(1024, 16384, 65536),
+               modes=("none", "ordering", "remote_complete"),
+               puts_per_origin: int = 50) -> Dict[str, Any]:
+    """Wall-clock of the Figure-2 attribute-cost sweep (bandwidth-bound
+    stack: fragmentation, pack, many in-flight packets)."""
+    from repro.bench.workloads import fig2_attribute_cost
+
+    points = {}
+    t0 = time.perf_counter()
+    for mode in modes:
+        for size in sizes:
+            t1 = time.perf_counter()
+            sim_us = fig2_attribute_cost(
+                mode, size, puts_per_origin=puts_per_origin,
+            )
+            points[f"{mode}/{size}"] = {
+                "wall_sec": time.perf_counter() - t1,
+                "sim_us": sim_us,
+            }
+    return {
+        "wall_sec_total": time.perf_counter() - t0,
+        "puts_per_origin": puts_per_origin,
+        "points": points,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_all(quick: bool = False) -> Dict[str, Any]:
+    """Run every tier; return the results dict (no I/O)."""
+    if quick:
+        kernel_cb = _best_of(2, lambda: bench_kernel_callbacks(40_000))
+        kernel_proc = _best_of(2, lambda: bench_kernel_processes(100, 100))
+        halo = bench_halo(iterations=5)
+        fig2 = bench_fig2(sizes=(1024, 16384), modes=("none", "ordering"),
+                          puts_per_origin=10)
+    else:
+        kernel_cb = _best_of(3, lambda: bench_kernel_callbacks())
+        kernel_proc = _best_of(3, lambda: bench_kernel_processes())
+        halo = bench_halo()
+        fig2 = bench_fig2()
+    return {
+        "kernel_callbacks_per_sec": kernel_cb,
+        "kernel_process_events_per_sec": kernel_proc,
+        "halo": halo,
+        "fig2": fig2,
+    }
+
+
+def _speedups(current: Dict[str, Any],
+              baseline: Dict[str, Any]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for key in ("kernel_callbacks_per_sec", "kernel_process_events_per_sec"):
+        if baseline.get(key):
+            out[key] = current[key] / baseline[key]
+    if baseline.get("halo", {}).get("wall_sec"):
+        out["halo_wall"] = baseline["halo"]["wall_sec"] / current["halo"]["wall_sec"]
+    if baseline.get("fig2", {}).get("wall_sec_total"):
+        out["fig2_wall"] = (baseline["fig2"]["wall_sec_total"]
+                            / current["fig2"]["wall_sec_total"])
+    return out
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="Wall-clock performance harness for the repro simulator.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs (~seconds)")
+    parser.add_argument("--out", default="BENCH_PR1.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--baseline", default=None,
+                        help="embed a previously recorded JSON as the baseline")
+    parser.add_argument("--label", default="current",
+                        help="label stored with this run (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    base_doc: Optional[Dict[str, Any]] = None
+    if args.baseline:
+        # Load up front so a bad path fails before the (slow) suite runs.
+        try:
+            with open(args.baseline) as fh:
+                base_doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline {args.baseline!r}: {exc}")
+
+    print(f"[perf] running {'quick' if args.quick else 'full'} suite ...",
+          flush=True)
+    results = run_all(quick=args.quick)
+
+    doc: Dict[str, Any] = {
+        "schema": 1,
+        "label": args.label,
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    if base_doc is not None:
+        base_results = base_doc.get("results", base_doc)
+        doc["baseline"] = {
+            "label": base_doc.get("label", "baseline"),
+            "results": base_results,
+        }
+        doc["speedup"] = _speedups(results, base_results)
+
+    tmp = args.out + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, args.out)
+
+    print(f"[perf] kernel callbacks/sec:       {results['kernel_callbacks_per_sec']:>12,.0f}")
+    print(f"[perf] kernel process events/sec:  {results['kernel_process_events_per_sec']:>12,.0f}")
+    print(f"[perf] halo wall:  {results['halo']['wall_sec']:.3f}s "
+          f"(sim {results['halo']['sim_us_per_iter']:.1f} µs/iter)")
+    print(f"[perf] fig2 wall:  {results['fig2']['wall_sec_total']:.3f}s "
+          f"({len(results['fig2']['points'])} points)")
+    for key, val in doc.get("speedup", {}).items():
+        print(f"[perf] speedup {key}: {val:.2f}x")
+    print(f"[perf] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ class DatatypeError(ValueError):
     """Raised for malformed datatype constructions or buffer misuse."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """A contiguous byte run inside one datatype instance.
 
@@ -112,17 +112,38 @@ class Datatype:
         )
 
     def segments_for(self, count: int) -> Tuple[Segment, ...]:
-        """Flattened layout of ``count`` consecutive instances."""
+        """Flattened layout of ``count`` consecutive instances.
+
+        Two things keep this O(segments-in-result) rather than
+        O(count * segments-per-instance) on the hot path:
+
+        - a single-run instance whose run length equals the extent tiles
+          the buffer back-to-back, so ``count`` instances coalesce to one
+          ``count * nbytes`` run — computed directly (this covers every
+          primitive and ``contiguous`` type, i.e. the common RMA case);
+        - results are memoized per count, since the engine recomputes the
+          same layout for every fragment-sized operation of a sweep.
+        """
         if count < 0:
             raise DatatypeError(f"negative count: {count}")
         if count == 1:
             return self._segments
-        segs: List[Segment] = []
-        for i in range(count):
-            base = i * self._extent
-            for seg in self._segments:
-                segs.append(Segment(base + seg.disp, seg.nbytes, seg.elem_size))
-        return coalesce(segs)
+        segs = self._segments
+        if len(segs) == 1 and segs[0].nbytes == self._extent:
+            s = segs[0]
+            return (Segment(s.disp, s.nbytes * count, s.elem_size),)
+        cache = getattr(self, "_segments_for_cache", None)
+        if cache is None:
+            cache = self._segments_for_cache = {}
+        cached = cache.get(count)
+        if cached is None:
+            flat: List[Segment] = []
+            for i in range(count):
+                base = i * self._extent
+                for seg in segs:
+                    flat.append(Segment(base + seg.disp, seg.nbytes, seg.elem_size))
+            cached = cache[count] = coalesce(flat)
+        return cached
 
     def byte_range(self, count: int) -> Tuple[int, int]:
         """``(lo, hi)`` byte bounds touched by ``count`` instances.

@@ -37,19 +37,36 @@ def check_bounds(
 
 
 def pack(
-    buf: np.ndarray, offset: int, dtype: Datatype, count: int
+    buf: np.ndarray, offset: int, dtype: Datatype, count: int,
+    copy: bool = True,
 ) -> np.ndarray:
     """Gather ``count`` instances of ``dtype`` at ``buf[offset...]``.
 
-    Returns a fresh dense ``uint8`` array of ``count * dtype.size`` bytes.
+    Returns a dense ``uint8`` array of ``count * dtype.size`` bytes.
+
+    With ``copy=False`` a *contiguous* layout is returned as a read-only
+    **view** of ``buf`` instead of a fresh copy — the zero-copy
+    (rendezvous-style) path.  The caller then owns the aliasing
+    contract: the view reflects any later write to the underlying
+    buffer, so it must either be consumed before the buffer can change
+    or the buffer must be kept stable for the view's lifetime (the RMA
+    engine does the latter for multi-fragment transfers, mirroring real
+    zero-copy RDMA where the origin region is pinned until remote
+    completion).  Noncontiguous layouts always gather into a fresh
+    array; ``copy`` is ignored for them.
     """
     check_bounds(buf, offset, dtype, count)
     total = count * dtype.size
+    if count != 0 and total != 0 and dtype.is_contiguous:
+        if copy:
+            out = np.empty(total, dtype=np.uint8)
+            np.copyto(out, buf[offset : offset + total])
+        else:
+            out = buf[offset : offset + total]
+            out.flags.writeable = False
+        return out
     out = np.empty(total, dtype=np.uint8)
     if count == 0 or total == 0:
-        return out
-    if dtype.is_contiguous:
-        np.copyto(out, buf[offset : offset + total])
         return out
     pos = 0
     extent = dtype.extent
@@ -127,9 +144,20 @@ def unpack_swapped(
     offset: int,
     dtype: Datatype,
     count: int,
+    scratch: "np.ndarray | None" = None,
 ) -> None:
     """Like :func:`unpack` but byte-swaps elements first (heterogeneous
-    receive where origin and target endianness differ)."""
-    swapped = data.copy()
+    receive where origin and target endianness differ).
+
+    ``scratch`` may provide a reusable staging buffer of at least
+    ``data.size`` bytes (e.g. the engine's per-rank scratch): the swap
+    is transient — fully consumed by the scatter below — so the staging
+    bytes never outlive this call and reuse is safe.
+    """
+    if scratch is not None and scratch.size >= data.size:
+        swapped = scratch[: data.size]
+        np.copyto(swapped, data)
+    else:
+        swapped = data.copy()
     swap_inplace(swapped, dtype, count)
     unpack(swapped, buf, offset, dtype, count)

@@ -31,6 +31,11 @@ __all__ = ["Nic"]
 class Nic:
     """One rank's NIC: injection engine + receive dispatch."""
 
+    #: Master switch for the analytic burst path (see :meth:`send_burst`).
+    #: The determinism regression tests flip this off to prove batched
+    #: and per-packet injection produce identical simulated timestamps.
+    burst_enabled: bool = True
+
     def __init__(self, sim: "Simulator", rank: int, fabric: Fabric) -> None:
         self.sim = sim
         self.rank = rank
@@ -39,6 +44,12 @@ class Nic:
         self._queue: Store = Store(sim)
         self._handlers: Dict[str, Callable[[Packet], None]] = {}
         self._default_handler: Optional[Callable[[Packet], None]] = None
+        # Injector occupancy: packets queued-or-serializing, and the time
+        # up to which an analytic burst has reserved the serializer (see
+        # send_burst).  The injector may not start serializing before
+        # _reserved_until — the burst already accounted for that wire time.
+        self._pending: int = 0
+        self._reserved_until: float = 0.0
         fabric.attach(rank, self._on_deliver)
         self._engine = sim.spawn(self._injector(), name=f"nic-{rank}")
         # stats
@@ -62,19 +73,88 @@ class Nic:
             packet.ev_injected = self.sim.event()
         if (
             packet.want_ack
-            and self.config.remote_completion_events
             and packet.ev_remote_complete is None
+            and self.fabric.config_for(self.rank, packet.dst).remote_completion_events
         ):
             packet.ev_remote_complete = self.sim.event()
+        self._pending += 1
         self._queue.put(packet)
         return packet
+
+    def send_burst(self, packets: "list[Packet]") -> "list[Packet]":
+        """Queue a train of same-destination packets for injection.
+
+        When the injector is idle and the (src, dst) path is ordered and
+        untraced, the whole train is modeled analytically: injection
+        times are the running sum of per-packet serialization, the
+        serializer is reserved until the last one, and a single callback
+        finishes the burst (succeeding each ``ev_injected`` with its
+        analytic time) and hands the train to
+        :meth:`~repro.network.fabric.Fabric.transmit_burst`.  Simulated
+        timestamps of every defined observable match the per-packet
+        path; only the event count changes.  Otherwise falls back to
+        per-packet :meth:`send`.
+        """
+        if len(packets) < 2:
+            for packet in packets:
+                self.send(packet)
+            return packets
+        dst = packets[0].dst
+        path_cfg = self.fabric.config_for(self.rank, dst)
+        if (
+            not self.burst_enabled
+            or not path_cfg.ordered
+            or self.fabric.tracer.enabled
+            or self._pending
+            or self.sim.now < self._reserved_until
+            or any(p.dst != dst for p in packets)
+        ):
+            for packet in packets:
+                self.send(packet)
+            return packets
+        cfg = self.config
+        ack_capable = path_cfg.remote_completion_events
+        t = self.sim.now
+        inject_times = []
+        for packet in packets:
+            if packet.src != self.rank:
+                raise ValueError(
+                    f"packet src {packet.src} does not match NIC rank {self.rank}"
+                )
+            if packet.ev_injected is None:
+                packet.ev_injected = self.sim.event()
+            if (
+                packet.want_ack
+                and ack_capable
+                and packet.ev_remote_complete is None
+            ):
+                packet.ev_remote_complete = self.sim.event()
+            t += cfg.serialization_time(packet.wire_bytes)
+            inject_times.append(t)
+        self._reserved_until = t
+        self.sim.schedule_call(
+            t - self.sim.now, self._finish_burst, packets, inject_times
+        )
+        return packets
+
+    def _finish_burst(self, packets, inject_times) -> None:
+        for packet, t in zip(packets, inject_times):
+            self.packets_sent += 1
+            self.bytes_sent += packet.wire_bytes
+            packet.ev_injected.succeed(t)
+        self.fabric.transmit_burst(packets, inject_times)
 
     def _injector(self):
         while True:
             packet: Packet = yield from self._queue.get()
+            if self.sim.now < self._reserved_until:
+                # A burst owns the serializer until then; this packet
+                # would have queued behind those fragments anyway.
+                yield self.sim.timeout(self._reserved_until - self.sim.now)
             yield self.sim.timeout(self.config.serialization_time(packet.wire_bytes))
             self.packets_sent += 1
             self.bytes_sent += packet.wire_bytes
+            self._pending -= 1
             if packet.ev_injected is not None:
                 packet.ev_injected.succeed(self.sim.now)
             self.fabric.transmit(packet)

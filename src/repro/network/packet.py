@@ -19,7 +19,7 @@ ACK_SIZE = 8
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One message on the fabric.
 

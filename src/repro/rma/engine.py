@@ -82,7 +82,7 @@ ACC_OPS = ("sum", "prod", "min", "max", "replace", "daxpy")
 RMW_OPS = ("cas", "fetch_add", "swap")
 
 
-@dataclass
+@dataclass(slots=True)
 class OpRecord:
     """Origin-side record of one outstanding write-style operation."""
 
@@ -217,6 +217,11 @@ class RmaEngine:
         self._flush_waiters: Dict[int, Event] = {}
         self._next_flush_id = 1
         self._rmi_handlers: Dict[str, Callable[..., Any]] = {}
+        # Reusable staging buffer for *transient* byte work (e.g. the
+        # swap pass of a heterogeneous get completion).  Never handed to
+        # anything that outlives the call that borrowed it — in-flight
+        # fragment data must not alias it.
+        self._pack_scratch = np.empty(0, dtype=np.uint8)
 
         nic.register_handler("rma.frag", self._on_frag)
         nic.register_handler("rma.get_req", self._on_get_req)
@@ -284,6 +289,12 @@ class RmaEngine:
             raise RmaError(f"cannot withdraw unknown target_mem {tmem}")
         del self._exposures[tmem.mem_id]
 
+    def _scratch(self, nbytes: int) -> np.ndarray:
+        """The per-engine transient staging buffer, grown to ``nbytes``."""
+        if self._pack_scratch.size < nbytes:
+            self._pack_scratch = np.empty(nbytes, dtype=np.uint8)
+        return self._pack_scratch
+
     def _resolve(self, mem_id: int) -> Allocation:
         alloc = self._exposures.get(mem_id)
         if alloc is None:
@@ -340,15 +351,19 @@ class RmaEngine:
             # completion only when delivery == application: coherent
             # target, and either no gating barrier, or an ordered fabric
             # where every op covered by the barrier applies at its own
-            # (earlier) delivery — i.e. none of them was atomic.
+            # (earlier) delivery — i.e. none of them was atomic.  Both
+            # capabilities are properties of the (src, dst) *path*: on
+            # hierarchical machines the intra-node personality may differ
+            # from the interconnect's.
+            path = self.nic.fabric.config_for(self.rank, tmem.rank)
             barrier_instant = barrier == 0 or (
-                self.network.ordered
+                path.ordered
                 and not (0 < peer.last_atomic_seq <= barrier)
             )
             hw_ok = (
                 tmem.coherent
                 and barrier_instant
-                and self.network.remote_completion_events
+                and path.remote_completion_events
             )
             return "hw" if hw_ok else "sw"
         return "flush"
@@ -451,9 +466,13 @@ class RmaEngine:
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send + pack_cost
         )
+        # Eager/rendezvous split: single-fragment transfers are copied at
+        # issue (buffer free at local completion); larger contiguous ones
+        # ride as a zero-copy view, pinned until remote delivery — the
+        # same contract real RDMA rendezvous protocols impose.
         wire = pack(
             self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
-            origin_count,
+            origin_count, copy=nbytes <= self.network.mtu,
         )
         if nbytes == 0:
             ev = Event(self.sim).succeed()
@@ -490,18 +509,19 @@ class RmaEngine:
         }
         desc.update(extra)
 
-        inject_evs, hw_evs = [], []
-        for frag in frags:
-            pkt = Packet(
+        want_ack = mode == "hw"
+        packets = [
+            Packet(
                 src=self.rank, dst=dst, kind="rma.frag",
                 payload={"desc": desc, "frag": frag},
                 data_bytes=len(frag.data),
-                want_ack=(mode == "hw"),
+                want_ack=want_ack,
             )
-            self.nic.send(pkt)
-            inject_evs.append(pkt.ev_injected)
-            if mode == "hw":
-                hw_evs.append(pkt.ev_remote_complete)
+            for frag in frags
+        ]
+        self.nic.send_burst(packets)
+        inject_evs = [pkt.ev_injected for pkt in packets]
+        hw_evs = [pkt.ev_remote_complete for pkt in packets] if want_ack else []
 
         ev_local = inject_evs[0] if len(inject_evs) == 1 else AllOf(self.sim, inject_evs)
         if mode == "hw":
@@ -528,7 +548,7 @@ class RmaEngine:
         if via_lock:
             self.sim.spawn(self._release_lock_after(dst, rec),
                            name=f"lockrel-{self.rank}")
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(self.sim.now, "rma", f"{kind}_issue",
                                rank=self.rank, dst=dst, seq=seq,
                                bytes=nbytes, attrs=str(attrs))
@@ -606,7 +626,7 @@ class RmaEngine:
                            name=f"lockrel-{self.rank}")
         self.stats["gets"] += 1
         self.stats["bytes_got"] += nbytes
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(self.sim.now, "rma", "get_issue",
                                rank=self.rank, dst=dst, seq=seq, bytes=nbytes)
         return ev_done
@@ -669,7 +689,7 @@ class RmaEngine:
             return ev_done
         wire = pack(
             self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
-            origin_count,
+            origin_count, copy=nbytes <= self.network.mtu,
         )
         via_lock = self.serializer.kind == "lock"
         if via_lock:
@@ -697,12 +717,14 @@ class RmaEngine:
             "np_elem": target_dtype.elem_np,
             "reply_dtype": target_dtype, "reply_count": target_count,
         }
-        for frag in frags:
-            self.nic.send(Packet(
+        self.nic.send_burst([
+            Packet(
                 src=self.rank, dst=dst, kind="rma.frag",
                 payload={"desc": desc, "frag": frag},
                 data_bytes=len(frag.data),
-            ))
+            )
+            for frag in frags
+        ])
         if via_lock:
             self.sim.spawn(self._release_lock_after_event(dst, ev_done),
                            name=f"lockrel-{self.rank}")
@@ -727,17 +749,7 @@ class RmaEngine:
                 alloc, desc["base_disp"], desc["total_bytes"]
             )
         self._op_applied(peer, op)
-        mtu = self.network.mtu
-        total = old.size
-        nfrags = max(1, -(-total // mtu))
-        for i in range(nfrags):
-            chunk = old[i * mtu : (i + 1) * mtu]
-            self.send_control(
-                desc["src"], "rma.get_reply",
-                {"op_key": desc["op_key"], "wire_off": i * mtu,
-                 "data": chunk, "total": total},
-                data_bytes=len(chunk),
-            )
+        self._send_get_reply(desc["src"], desc["op_key"], old)
 
     # ------------------------------------------------------------------
     # RMW (paper §V: conditional and unconditional read-modify-write)
@@ -1064,17 +1076,24 @@ class RmaEngine:
         data = read_layout(self.mem, alloc, desc["base_disp"], desc["dtype"],
                            desc["count"])
         self._op_applied(peer, op)
+        self._send_get_reply(desc["src"], desc["op_key"], data)
+
+    def _send_get_reply(self, src: int, op_key, data: np.ndarray) -> None:
+        """Fragment a get reply to MTU and inject it (as a burst when
+        the reverse path allows)."""
         mtu = self.network.mtu
         total = data.size
         nfrags = max(1, -(-total // mtu))
-        for i in range(nfrags):
-            chunk = data[i * mtu : (i + 1) * mtu]
-            self.send_control(
-                desc["src"], "rma.get_reply",
-                {"op_key": desc["op_key"], "wire_off": i * mtu,
-                 "data": chunk, "total": total},
-                data_bytes=len(chunk),
+        self.nic.send_burst([
+            Packet(
+                src=self.rank, dst=src, kind="rma.get_reply",
+                payload={"op_key": op_key, "wire_off": i * mtu,
+                         "data": data[i * mtu : (i + 1) * mtu],
+                         "total": total},
+                data_bytes=len(data[i * mtu : (i + 1) * mtu]),
             )
+            for i in range(nfrags)
+        ])
 
     def _stage_get(self, peer: _TargetPeer, op: _InboundOp) -> None:
         def job():
@@ -1148,7 +1167,7 @@ class RmaEngine:
             peer.applied_extra.add(op.seq)
         if desc.get("ack") == "sw":
             self.send_control(desc["src"], "rma.ack", {"op_key": desc["op_key"]})
-        if self.tracer is not None:
+        if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(self.sim.now, "rma", "applied",
                                rank=self.rank, src=desc["src"], seq=op.seq,
                                kind_=desc["kind"])
@@ -1241,7 +1260,8 @@ class RmaEngine:
         )
         buf = self.mem.space.buffer(pend.alloc)
         if pend.swap:
-            unpack_swapped(pend.buffer, buf, pend.offset, pend.dtype, pend.count)
+            unpack_swapped(pend.buffer, buf, pend.offset, pend.dtype,
+                           pend.count, scratch=self._scratch(pend.buffer.size))
         else:
             unpack(pend.buffer, buf, pend.offset, pend.dtype, pend.count)
         if (self.tracer is not None and self.tracer.enabled

@@ -25,7 +25,7 @@ __all__ = ["Fragment", "fragment_layout", "apply_put_fragment",
            "apply_accumulate", "read_layout"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fragment:
     """One MTU-sized piece of a typed write transfer.
 

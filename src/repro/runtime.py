@@ -246,14 +246,8 @@ class World:
         # terminate, so draining the heap is not a useful stop condition.
         pending = set(procs.values())
         for proc in procs.values():
-            proc.add_callback(lambda ev: pending.discard(ev))
-        while pending:
-            nxt = self.sim.next_event_time()
-            if nxt is None:
-                break
-            if limit is not None and nxt > limit:
-                break
-            self.sim.step()
+            proc.add_callback(pending.discard)
+        self.sim.run_while_pending(pending, limit)
         results = []
         blocked = []
         for rank in target_ranks:

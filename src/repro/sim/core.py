@@ -1,10 +1,26 @@
 """The simulator event loop.
 
-The loop is a binary heap of ``(time, priority, seq, callback)`` entries.
-``seq`` is a monotonically increasing counter so that entries scheduled at
-the same simulated time and priority execute in scheduling order; this is
-what makes the whole simulation deterministic, independent of hash seeds
-or dict iteration order.
+Two scheduling structures back the loop:
+
+- a binary heap of ``(time, seq, fn, args)`` entries for callbacks at
+  a *future* simulated time;
+- a plain FIFO deque for *urgent* callbacks at the **current** time
+  (event-trigger processing, process resumption).  The deque is always
+  drained before the heap is consulted, which reproduces the classic
+  ``(time, priority, seq)`` ordering — urgent entries run before any
+  ordinary callback at the same timestamp — at deque cost instead of
+  heap cost.  This matters: roughly half of all kernel events in an
+  RMA simulation are urgent (every event trigger is one).
+
+``seq`` is a monotonically increasing counter so that heap entries
+scheduled at the same simulated time execute in scheduling order; with
+the FIFO deque this makes the whole simulation deterministic,
+independent of hash seeds or dict iteration order.
+
+Scheduling a *bound method plus arguments* (:meth:`Simulator.schedule_call`)
+instead of a freshly allocated closure is the kernel's fast path: the
+network and RMA layers schedule millions of callbacks per run, and a
+lambda per callback used to dominate allocation on large sweeps.
 
 Simulated time is a ``float`` in *microseconds* by convention throughout
 :mod:`repro` (the network configs document their units the same way), but
@@ -14,15 +30,19 @@ the kernel itself is unit-agnostic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 
 __all__ = ["Simulator", "SimulationError"]
 
-#: Default priority for scheduled callbacks.  Lower runs first among
-#: entries at the same timestamp.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Default priority for scheduled callbacks (kept for API compatibility;
+#: the heap itself no longer stores a priority column).
 NORMAL = 1
 #: Priority used for event-callback processing, so that events triggered
 #: "now" are observed before ordinary callbacks scheduled "now".
@@ -49,9 +69,13 @@ class Simulator:
     threads, which keeps runs reproducible.
     """
 
+    __slots__ = ("_now", "_heap", "_urgent", "_seq", "_running",
+                 "_processes_spawned", "context")
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now: float = float(start_time)
-        self._heap: List[Tuple[float, int, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._urgent: Deque[Tuple[Callable[..., None], tuple]] = deque()
         self._seq: int = 0
         self._running: bool = False
         self._processes_spawned: int = 0
@@ -79,19 +103,43 @@ class Simulator:
 
         ``delay`` must be non-negative; a zero delay runs the callback at
         the current time, after everything already scheduled for this
-        instant at the same priority.
+        instant.  ``priority=URGENT`` requires ``delay == 0`` and jumps
+        ahead of ordinary zero-delay callbacks (equivalent to
+        :meth:`schedule_urgent`).
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay!r})")
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, self._seq, callback)
-        )
+        if priority == URGENT:
+            if delay != 0:
+                raise ValueError("URGENT callbacks must have zero delay")
+            self._urgent.append((callback, ()))
+            return
+        _heappush(self._heap, (self._now + delay, self._seq, callback, ()))
+        self._seq += 1
+
+    def schedule_call(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``fn(*args)`` after ``delay`` time units (fast path).
+
+        Equivalent to ``schedule(delay, lambda: fn(*args))`` without the
+        closure allocation; ``fn`` is typically a bound method.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        _heappush(self._heap, (self._now + delay, self._seq, fn, args))
         self._seq += 1
 
     def schedule_urgent(self, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at the current time, urgent priority."""
-        heapq.heappush(self._heap, (self._now, URGENT, self._seq, callback))
-        self._seq += 1
+        self._urgent.append((callback, ()))
+
+    def schedule_urgent_call(
+        self, fn: Callable[..., None], *args: Any
+    ) -> None:
+        """Run ``fn(*args)`` at the current time, before any ordinary
+        callback scheduled for this instant (fast path)."""
+        self._urgent.append((fn, args))
 
     # ------------------------------------------------------------------
     # Event / process factories
@@ -128,34 +176,97 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next scheduled callback.
 
-        Returns ``False`` when the heap is empty, ``True`` otherwise.
+        Returns ``False`` when nothing is scheduled, ``True`` otherwise.
         """
+        if self._urgent:
+            fn, args = self._urgent.popleft()
+            fn(*args)
+            return True
         if not self._heap:
             return False
-        time, _prio, _seq, callback = heapq.heappop(self._heap)
+        time, _seq, fn, args = _heappop(self._heap)
         if time < self._now:
             raise SimulationError("heap time went backwards")
         self._now = time
-        callback()
+        fn(*args)
         return True
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or simulated time reaches ``until``.
+        """Run until the loop drains or simulated time reaches ``until``.
 
         Returns the simulated time at which execution stopped.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run())")
         self._running = True
+        heap = self._heap
+        urgent = self._urgent
+        pop = _heappop
+        popleft = urgent.popleft
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    self._now = until
-                    break
-                self.step()
+            if until is None:
+                while True:
+                    # Urgent FIFO first: everything here is due *now*.
+                    while urgent:
+                        fn, args = popleft()
+                        fn(*args)
+                    if not heap:
+                        break
+                    time, _seq, fn, args = pop(heap)
+                    self._now = time
+                    fn(*args)
+            else:
+                while True:
+                    while urgent:
+                        fn, args = popleft()
+                        fn(*args)
+                    if not heap:
+                        break
+                    if heap[0][0] > until:
+                        self._now = until
+                        break
+                    time, _seq, fn, args = pop(heap)
+                    self._now = time
+                    fn(*args)
         finally:
             self._running = False
         return self._now
+
+    def run_while_pending(
+        self, pending: Iterable, limit: Optional[float] = None
+    ) -> None:
+        """Step until ``pending`` empties, the loop drains, or the next
+        heap entry lies beyond ``limit``.
+
+        ``pending`` is any sized container that event callbacks shrink as
+        work completes (the :class:`~repro.runtime.World` passes the set
+        of unfinished rank processes).  This is the driver's hot loop —
+        kept inside the kernel so each event costs one pop and one call,
+        nothing more.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        heap = self._heap
+        urgent = self._urgent
+        pop = _heappop
+        popleft = urgent.popleft
+        try:
+            while pending:
+                while urgent:
+                    fn, args = popleft()
+                    fn(*args)
+                    if not pending:
+                        return
+                if not heap:
+                    break
+                if limit is not None and heap[0][0] > limit:
+                    break
+                time, _seq, fn, args = pop(heap)
+                self._now = time
+                fn(*args)
+        finally:
+            self._running = False
 
     def run_until_complete(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` triggers; return its value.
@@ -163,11 +274,12 @@ class Simulator:
         Raises
         ------
         SimulationError
-            If the heap drains (deadlock) or ``limit`` is reached before
+            If the loop drains (deadlock) or ``limit`` is reached before
             the event triggers.
         """
         while not event.triggered:
-            if limit is not None and self._heap and self._heap[0][0] > limit:
+            if (limit is not None and not self._urgent and self._heap
+                    and self._heap[0][0] > limit):
                 raise SimulationError(
                     f"time limit {limit} reached before event triggered"
                 )
@@ -181,11 +293,13 @@ class Simulator:
 
     def pending_count(self) -> int:
         """Number of callbacks currently scheduled (diagnostic)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._urgent)
 
     def next_event_time(self) -> Optional[float]:
         """Timestamp of the next scheduled callback, or ``None``."""
+        if self._urgent:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator now={self._now} pending={len(self._heap)}>"
+        return f"<Simulator now={self._now} pending={self.pending_count()}>"

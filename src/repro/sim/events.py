@@ -47,6 +47,7 @@ class Event:
         "_value",
         "_exception",
         "_callbacks",
+        "_to_run",
         "_processed",
         "_defused",
     )
@@ -56,6 +57,7 @@ class Event:
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._to_run: Optional[List[Callable[["Event"], None]]] = None
         self._processed = False
         # A failure is "defused" once some waiter observed the exception;
         # Process uses this to crash the simulation on unhandled failures.
@@ -104,15 +106,17 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise EventError(f"{self!r} already triggered")
         self._value = value
-        self._schedule_callbacks()
+        self._to_run = self._callbacks
+        self._callbacks = None
+        self.sim.schedule_urgent_call(self._process_callbacks)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure; waiters get the exception."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise EventError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -125,16 +129,18 @@ class Event:
         return self.succeed(value)
 
     def _schedule_callbacks(self) -> None:
-        callbacks = self._callbacks
+        # Kept for subclasses/tests; succeed() and fail() inline this.
+        self._to_run = self._callbacks
         self._callbacks = None
+        self.sim.schedule_urgent_call(self._process_callbacks)
 
-        def process() -> None:
-            self._processed = True
-            assert callbacks is not None
-            for cb in callbacks:
-                cb(self)
-
-        self.sim.schedule_urgent(process)
+    def _process_callbacks(self) -> None:
+        self._processed = True
+        callbacks = self._to_run
+        self._to_run = None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
 
     # -- waiting -------------------------------------------------------
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -146,7 +152,7 @@ class Event:
         if self._callbacks is not None:
             self._callbacks.append(callback)
         else:
-            self.sim.schedule_urgent(lambda: callback(self))
+            self.sim.schedule_urgent_call(callback, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending"
@@ -165,7 +171,7 @@ class Timeout(Event):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
         self.delay = delay
-        sim.schedule(delay, lambda: self.succeed(value))
+        sim.schedule_call(delay, self.succeed, value)
 
 
 class _Condition(Event):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, _PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -66,7 +66,7 @@ class Process(Event):
         self._dead = False
         # First resume happens via the event queue so the spawner's
         # current callback finishes before the child starts.
-        sim.schedule_urgent(lambda: self._resume(None, None))
+        sim.schedule_urgent_call(self._resume, None, None)
 
     # ------------------------------------------------------------------
     @property
@@ -83,14 +83,14 @@ class Process(Event):
         """
         if not self.is_alive:
             return
-        self.sim.schedule_urgent(lambda: self._throw(Interrupt(cause)))
+        self.sim.schedule_urgent_call(self._throw, Interrupt(cause))
 
     def kill(self) -> None:
         """Terminate the process; it fails with :class:`ProcessKilled`."""
         if not self.is_alive:
             return
         self._dead = True
-        self.sim.schedule_urgent(lambda: self._throw(ProcessKilled()))
+        self.sim.schedule_urgent_call(self._throw, ProcessKilled())
 
     # ------------------------------------------------------------------
     def _on_event(self, event: Event) -> None:
@@ -99,10 +99,14 @@ class Process(Event):
             # since moved on; drop the stale wakeup.
             return
         self._waiting_on = None
-        if event.ok:
-            self._resume(event.value, None)
+        # Inlined event.ok/value/exception: the event has triggered by
+        # construction (we are one of its processed callbacks).
+        exc = event._exception
+        if exc is None:
+            self._resume(event._value, None)
         else:
-            self._resume(None, event.exception)
+            event._defused = True  # the process observes the failure
+            self._resume(None, exc)
 
     def _throw(self, exc: BaseException) -> None:
         if not self.is_alive:
@@ -111,8 +115,8 @@ class Process(Event):
         self._resume(None, exc)
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
-        if self.triggered:  # already finished (e.g. killed then woken)
-            return
+        if self._value is not _PENDING or self._exception is not None:
+            return  # already finished (e.g. killed then woken)
         try:
             if exc is not None:
                 target = self._generator.throw(exc)

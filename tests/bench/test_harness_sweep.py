@@ -1,0 +1,86 @@
+"""Tests for the sweep runner and table formatter in the bench harness."""
+
+from repro.bench.harness import Series, format_table, run_sweep
+
+
+class TestRunSweep:
+    def test_default_x_key_is_size(self):
+        seen = []
+
+        def fn(size, factor):
+            seen.append((size, factor))
+            return size * factor
+
+        out = run_sweep(fn, [1, 2, 4], {"double": {"factor": 2}})
+        assert out["double"].values == [2, 4, 8]
+        assert seen == [(1, 2), (2, 2), (4, 2)]
+
+    def test_x_key_override(self):
+        def fn(nbytes, mode):
+            return nbytes + (100 if mode == "fast" else 0)
+
+        out = run_sweep(
+            fn, [8, 16], {"fast": {"mode": "fast"}, "slow": {"mode": "slow"}},
+            x_key="nbytes",
+        )
+        assert out["fast"].values == [108, 116]
+        assert out["slow"].values == [8, 16]
+
+    def test_x_key_not_forwarded_to_fn(self):
+        # fn has no ``x_key`` parameter; forwarding it would TypeError.
+        def fn(size):
+            return float(size)
+
+        out = run_sweep(fn, [3], {"only": {}}, x_key="size")
+        assert out["only"].values == [3.0]
+
+    def test_common_kwargs_forwarded(self):
+        def fn(size, base, extra):
+            return size + base + extra
+
+        out = run_sweep(fn, [1], {"s": {"extra": 10}}, base=100)
+        assert out["s"].values == [111]
+
+    def test_series_params_beat_common(self):
+        def fn(size, mode):
+            return 1.0 if mode == "override" else 0.0
+
+        out = run_sweep(fn, [1], {"s": {"mode": "override"}}, mode="common")
+        assert out["s"].values == [1.0]
+
+
+class TestFormatTable:
+    def _table(self):
+        series = {
+            "strawman": Series("strawman", [1.5, 20.25]),
+            "mpi2_fence_mode": Series("mpi2_fence_mode", [3.0, 40.5]),
+        }
+        return format_table("Latency", "bytes", [8, 4096], series)
+
+    def test_columns_align(self):
+        lines = self._table().splitlines()
+        header = lines[2]
+        rows = lines[4:6]
+        pipes = [i for i, c in enumerate(header) if c == "|"]
+        assert pipes, "header has no column separators"
+        for row in rows:
+            assert [i for i, c in enumerate(row) if c == "|"] == pipes
+            assert len(row) == len(header)
+
+    def test_values_right_aligned_in_label_width(self):
+        out = self._table()
+        lines = out.splitlines()
+        header, first_row = lines[2], lines[4]
+        # The x column is 12 wide and right-aligned.
+        assert header[:12].endswith("bytes")
+        assert first_row[:12].endswith("8")
+        # Wide labels widen their column; values stay right-aligned.
+        col = header.index("mpi2_fence_mode")
+        assert first_row[col : col + len("mpi2_fence_mode")].endswith("3.000")
+
+    def test_separator_spans_header(self):
+        lines = self._table().splitlines()
+        assert lines[3] == "-" * len(lines[2])
+
+    def test_unit_footer(self):
+        assert self._table().splitlines()[-1] == "(values in µs)"

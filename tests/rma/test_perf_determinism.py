@@ -1,0 +1,249 @@
+"""Determinism regression tests for the performance fast paths.
+
+The optimized kernel/data-plane paths (urgent deque, analytic burst
+flight, memoized layouts, zero-copy pack) must not change a single
+simulated timestamp.  These tests pin that:
+
+- same seed, same run → byte-identical trace streams and final times;
+- burst injection on vs off → identical simulated results;
+- the ``segments_for`` fast path → identical layouts to the naive
+  per-instance expansion;
+- zero-copy pack → identical bytes, genuinely aliasing the source.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    fig2_attribute_cost,
+    halo_exchange_time,
+    latency_once,
+)
+from repro.datatypes import BYTE, DOUBLE, INT32
+from repro.datatypes.base import Segment, coalesce
+from repro.datatypes.derived import contiguous, vector
+from repro.datatypes.pack import pack, unpack_swapped
+from repro.network.config import infiniband_like, shared_memory_like
+from repro.network.fabric import Fabric
+from repro.network.nic import Nic
+from repro.runtime import World
+
+
+@pytest.fixture
+def per_packet_nic():
+    """Disable the analytic burst path for the duration of a test."""
+    Nic.burst_enabled = False
+    try:
+        yield
+    finally:
+        Nic.burst_enabled = True
+
+
+def _trace_tuples(world):
+    return [
+        (r.time, r.category, r.kind, r.rank, tuple(sorted(r.detail.items())),
+         r.seq)
+        for r in world.tracer
+    ]
+
+
+class TestSameSeedIdentical:
+    def _traced_run(self, seed):
+        world = World(n_ranks=4, seed=seed, trace=True)
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(256)
+            src = ctx.mem.space.alloc(8, fill=ctx.rank + 1)
+            yield from ctx.comm.barrier()
+            right = (ctx.rank + 1) % ctx.size
+            yield from ctx.rma.put(
+                src, 0, 8, BYTE, tmems[right], 0, 8, BYTE,
+                blocking=True, remote_completion=True,
+            )
+            yield from ctx.comm.barrier()
+            return ctx.sim.now
+
+        out = world.run(program)
+        return out, world.sim.now, _trace_tuples(world)
+
+    def test_traces_and_times_bit_identical(self):
+        a = self._traced_run(seed=7)
+        b = self._traced_run(seed=7)
+        assert a == b
+
+    def test_different_seed_same_deterministic_times(self):
+        # Seeds only feed jitter streams; an ordered fabric draws none,
+        # so times match — but the runs must each be self-consistent.
+        a = self._traced_run(seed=1)
+        b = self._traced_run(seed=2)
+        assert a[1] == b[1]
+
+
+class TestBurstTimestampParity:
+    WORKLOADS = [
+        lambda: fig2_attribute_cost("none", 65536, puts_per_origin=10),
+        lambda: fig2_attribute_cost("ordering", 16384, puts_per_origin=10),
+        lambda: fig2_attribute_cost("remote_complete", 65536,
+                                    puts_per_origin=10),
+        lambda: fig2_attribute_cost("atomicity+thread", 16384,
+                                    puts_per_origin=10),
+        lambda: halo_exchange_time("fence", n_ranks=4, halo_bytes=8192,
+                                   iterations=5),
+        lambda: halo_exchange_time("pscw", n_ranks=4, halo_bytes=8192,
+                                   iterations=5),
+        lambda: halo_exchange_time("strawman", n_ranks=4, halo_bytes=8192,
+                                   iterations=5),
+        lambda: latency_once("strawman", size=262144),
+        lambda: latency_once("mpi2_fence", size=65536),
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(WORKLOADS)))
+    def test_burst_on_off_identical(self, idx):
+        wl = self.WORKLOADS[idx]
+        Nic.burst_enabled = False
+        try:
+            reference = wl()
+        finally:
+            Nic.burst_enabled = True
+        assert wl() == reference
+
+    def test_burst_path_actually_engages(self, monkeypatch):
+        hits = []
+        original = Fabric.transmit_burst
+
+        def counting(self, packets, inject_times):
+            hits.append(len(packets))
+            return original(self, packets, inject_times)
+
+        monkeypatch.setattr(Fabric, "transmit_burst", counting)
+        fig2_attribute_cost("remote_complete", 65536, puts_per_origin=10)
+        assert hits and all(n >= 2 for n in hits)
+
+    def test_per_packet_fallback_when_tracing(self, monkeypatch):
+        called = []
+        monkeypatch.setattr(
+            Fabric, "transmit_burst",
+            lambda self, packets, ts: called.append(True),
+        )
+        world = World(n_ranks=2, trace=True)
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(65536)
+            src = ctx.mem.space.alloc(65536)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                yield from ctx.rma.put(
+                    src, 0, 65536, BYTE, tmems[1], 0, 65536, BYTE,
+                    blocking=True, remote_completion=True,
+                )
+            yield from ctx.comm.barrier()
+
+        world.run(program)
+        assert not called
+
+
+class TestSegmentsForFastPath:
+    def _reference(self, dtype, count):
+        segs = []
+        for i in range(count):
+            base = i * dtype.extent
+            for seg in dtype.segments:
+                segs.append(Segment(base + seg.disp, seg.nbytes,
+                                    seg.elem_size))
+        return coalesce(segs)
+
+    @pytest.mark.parametrize("dtype", [
+        BYTE, DOUBLE, contiguous(16, INT32),
+        vector(4, 3, 5, DOUBLE),
+        vector(2, 2, 2, INT32),  # blocklength == stride: fully dense
+    ])
+    @pytest.mark.parametrize("count", [1, 2, 7, 64])
+    def test_matches_reference(self, dtype, count):
+        assert dtype.segments_for(count) == self._reference(dtype, count)
+
+    def test_contiguous_collapses_to_one_segment(self):
+        assert len(BYTE.segments_for(65536)) == 1
+        assert len(contiguous(1024, BYTE).segments_for(64)) == 1
+
+    def test_memoized_result_stable(self):
+        dt = vector(4, 3, 5, DOUBLE)
+        first = dt.segments_for(32)
+        assert dt.segments_for(32) is first  # cached
+        assert first == self._reference(dt, 32)
+
+
+class TestZeroCopyPack:
+    def test_view_shares_memory_and_matches_copy(self):
+        buf = np.arange(256, dtype=np.uint8)
+        copied = pack(buf, 32, BYTE, 64)
+        view = pack(buf, 32, BYTE, 64, copy=False)
+        assert np.array_equal(view, copied)
+        assert np.shares_memory(view, buf)
+        assert not np.shares_memory(copied, buf)
+        assert not view.flags.writeable
+
+    def test_view_reflects_later_writes(self):
+        buf = np.zeros(64, dtype=np.uint8)
+        view = pack(buf, 0, BYTE, 64, copy=False)
+        buf[0] = 99
+        assert view[0] == 99  # the documented aliasing contract
+
+    def test_noncontiguous_always_fresh(self):
+        dt = vector(2, 4, 8, BYTE)
+        buf = np.arange(64, dtype=np.uint8)
+        out = pack(buf, 0, dt, 2, copy=False)
+        assert not np.shares_memory(out, buf)
+
+    def test_unpack_swapped_scratch_matches_fresh(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=32, dtype=np.uint8)
+        out_a = np.zeros(32, dtype=np.uint8)
+        out_b = np.zeros(32, dtype=np.uint8)
+        unpack_swapped(data, out_a, 0, DOUBLE, 4)
+        scratch = np.empty(128, dtype=np.uint8)
+        unpack_swapped(data, out_b, 0, DOUBLE, 4, scratch=scratch)
+        assert np.array_equal(out_a, out_b)
+
+
+class TestPerPathAckGating:
+    """Hardware acks are a per-(src, dst)-path capability.
+
+    On a hierarchical machine whose interconnect lacks remote-completion
+    events while the intra-node personality has them (or vice versa),
+    a remotely-complete put must terminate on both path kinds — the
+    mode choice, the ack-event creation, and the delivery-side ack must
+    all consult the same per-path config.
+    """
+
+    def _machine(self):
+        from repro.machine.config import generic_cluster
+
+        return generic_cluster(n_nodes=2, ranks_per_node=2)
+
+    @pytest.mark.parametrize("inter, intra", [
+        (infiniband_like(), shared_memory_like()),  # acks intra-node only
+        (shared_memory_like(), infiniband_like()),  # acks inter-node only
+    ])
+    def test_remote_complete_put_terminates_on_both_paths(self, inter, intra):
+        world = World(machine=self._machine(), network=inter,
+                      intra_node_network=intra)
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(64)
+            src = ctx.mem.space.alloc(16, fill=ctx.rank + 1)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                # Same node as rank 1, different node than rank 2.
+                for dst in (1, 2):
+                    yield from ctx.rma.put(
+                        src, 0, 16, BYTE, tmems[dst], 0, 16, BYTE,
+                        blocking=True, remote_completion=True,
+                    )
+            yield from ctx.comm.barrier()
+            return "done"
+
+        # A mis-gated ack mode would strand rank 0 waiting forever; the
+        # run completing with every rank past the final barrier is the
+        # regression check (World.run raises on deadlock/limit).
+        out = world.run(program, limit=1e9)
+        assert out == ["done"] * 4
