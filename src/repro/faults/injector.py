@@ -1,0 +1,190 @@
+"""Runtime interpretation of a :class:`~repro.faults.plan.FaultPlan`.
+
+The :class:`FaultInjector` is consulted by the
+:class:`~repro.network.fabric.Fabric` once per transmitted packet and
+returns a :class:`PacketFate`.  All randomness comes from dedicated
+named streams (``faults.path.{src}.{dst}``) of the world's
+:class:`~repro.sim.rng.RngRegistry`, so
+
+- two runs with the same seed and the same plan draw identical fates
+  for every packet (bit-identical simulations), and
+- arming the injector never perturbs the fabric's jitter streams — a
+  faulty run and a fault-free run stay comparable.
+
+Scheduled faults (NIC stalls, rank kills/restarts) are installed onto
+the simulator by :meth:`FaultInjector.arm` before the workload starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.packet import Packet
+    from repro.runtime import World
+    from repro.sim.rng import RngRegistry
+    from repro.sim.trace import Tracer
+
+__all__ = ["PacketFate", "FaultInjector"]
+
+#: XOR mask applied to a packet's wire checksum to model payload
+#: corruption.  The payload bytes themselves are never touched — a
+#: retransmission resends the pristine data — but the receiver's
+#: genuine checksum recomputation can no longer match.
+CORRUPT_MASK = 0x5A5A5A5A
+
+#: Fate shared by the (overwhelmingly common) unaffected packets.
+_CLEAN: "PacketFate"
+
+
+@dataclass(frozen=True, slots=True)
+class PacketFate:
+    """What the fabric should do with one transmitted packet."""
+
+    drop: bool = False
+    duplicate: bool = False
+    corrupt: bool = False
+    extra_delay: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.duplicate or self.corrupt
+                    or self.extra_delay > 0.0)
+
+
+_CLEAN = PacketFate()
+_DROP = PacketFate(drop=True)
+
+
+class FaultInjector:
+    """Draws per-packet fates and schedules stalls/kills.
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule to interpret.
+    rng:
+        The world's :class:`~repro.sim.rng.RngRegistry`; the injector
+        derives one substream per (src, dst) path from it.
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer`; fault counters are
+        bumped unconditionally, trace records only when enabled.
+    """
+
+    def __init__(self, plan: FaultPlan, rng: "RngRegistry",
+                 tracer: "Tracer | None" = None) -> None:
+        self.plan = plan
+        self.rng = rng
+        self.tracer = tracer
+        self._streams: Dict[Tuple[int, int], object] = {}
+        self.stats: Dict[str, int] = {
+            "examined": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "corrupted": 0,
+            "delayed": 0,
+            "hw_acks_dropped": 0,
+            "stalls": 0,
+            "kills": 0,
+            "restarts": 0,
+        }
+
+    def _stream(self, src: int, dst: int):
+        key = (src, dst)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = self.rng.stream(
+                f"faults.path.{src}.{dst}"
+            )
+        return stream
+
+    # ------------------------------------------------------------------
+    def fate(self, packet: "Packet", now: float) -> PacketFate:
+        """Draw the fate of one packet put in flight at ``now``."""
+        self.stats["examined"] += 1
+        stream = self._stream(packet.src, packet.dst)
+        duplicate = corrupt = False
+        extra_delay = 0.0
+        for spec in self.plan.losses:
+            if not spec.matches(packet.src, packet.dst, packet.kind, now):
+                continue
+            if spec.drop_p and stream.random() < spec.drop_p:
+                self.stats["dropped"] += 1
+                self._trace(now, "drop", packet)
+                return _DROP
+            if spec.dup_p and stream.random() < spec.dup_p:
+                duplicate = True
+            if spec.corrupt_p and stream.random() < spec.corrupt_p:
+                corrupt = True
+            if spec.delay_p and stream.random() < spec.delay_p:
+                extra_delay += float(stream.exponential(spec.delay_mean))
+        if not (duplicate or corrupt or extra_delay):
+            return _CLEAN
+        if duplicate:
+            self.stats["duplicated"] += 1
+            self._trace(now, "duplicate", packet)
+        if corrupt:
+            self.stats["corrupted"] += 1
+            self._trace(now, "corrupt", packet)
+        if extra_delay:
+            self.stats["delayed"] += 1
+            self._trace(now, "delay", packet)
+        return PacketFate(duplicate=duplicate, corrupt=corrupt,
+                          extra_delay=extra_delay)
+
+    def drop_hw_ack(self, src: int, dst: int, now: float) -> bool:
+        """Whether to drop a hardware delivery ack flying ``src -> dst``.
+
+        Hardware acks are NIC-generated and never retransmitted; losing
+        one is recovered by the reliable transport's own ack (or by
+        degradation to software acks).  Matched with the pseudo-kind
+        ``"hw.ack"`` so plans can target acks specifically; specs with
+        no kind filter apply too.
+        """
+        stream = self._stream(src, dst)
+        for spec in self.plan.losses:
+            if (spec.drop_p and spec.matches(src, dst, "hw.ack", now)
+                    and stream.random() < spec.drop_p):
+                self.stats["hw_acks_dropped"] += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def arm(self, world: "World") -> None:
+        """Schedule the plan's stalls, kills and restarts on the world's
+        simulator (call once, before the workload runs)."""
+        sim = world.sim
+        for stall in self.plan.stalls:
+            nic = world.nics.get(stall.rank)
+            if nic is None:
+                raise ValueError(f"stall names unknown rank {stall.rank}")
+            self.stats["stalls"] += 1
+            sim.schedule_call(max(0.0, stall.start - sim.now),
+                              nic.stall_until, stall.start + stall.duration)
+        for kill in self.plan.kills:
+            if kill.rank not in world.nics:
+                raise ValueError(f"kill names unknown rank {kill.rank}")
+            self.stats["kills"] += 1
+            sim.schedule_call(max(0.0, kill.at - sim.now),
+                              world._kill_rank, kill.rank, kill.kill_program)
+            if kill.restart_at is not None:
+                self.stats["restarts"] += 1
+                sim.schedule_call(max(0.0, kill.restart_at - sim.now),
+                                  world._restart_rank, kill.rank)
+
+    # ------------------------------------------------------------------
+    def _trace(self, now: float, what: str, packet: "Packet") -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        tracer.bump(f"fault.{what}")
+        if tracer.enabled:
+            tracer.record(now, "fault", what, rank=packet.src,
+                          dst=packet.dst, kind_=packet.kind,
+                          packet_id=packet.packet_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultInjector {self.plan!r} stats={self.stats}>"

@@ -1,6 +1,13 @@
 """MPI wildcard and tag-space constants."""
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "COLL_TAG_BASE", "MAX_USER_TAG"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COLL_TAG_BASE",
+    "MAX_USER_TAG",
+    "ERRORS_RAISE",
+    "ERRORS_RETURN",
+]
 
 #: Wildcard source for receives.
 ANY_SOURCE = -1
@@ -13,3 +20,11 @@ MAX_USER_TAG = 2**20 - 1
 
 #: Base of the internal tag space used by collective algorithms.
 COLL_TAG_BASE = 2**20
+
+#: RMA error-handler policies (analogous to MPI_ERRORS_ARE_FATAL /
+#: MPI_ERRORS_RETURN).  Under ``ERRORS_RAISE`` a failed operation raises
+#: its :class:`~repro.rma.target_mem.RmaError` out of wait/complete;
+#: under ``ERRORS_RETURN`` the error object is returned and the request
+#: is left in the ``"failed"`` state for the application to inspect.
+ERRORS_RAISE = "errors_raise"
+ERRORS_RETURN = "errors_return"

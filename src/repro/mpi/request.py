@@ -19,6 +19,31 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Request", "Status"]
 
 
+def _rma_error_of(value: Any) -> Any:
+    """Extract an :class:`~repro.rma.target_mem.RmaError` carried as an
+    event *value* (failure-aware completion never uses ``Event.fail`` —
+    a failed operation's event succeeds with the error object so AllOf
+    aggregation keeps working)."""
+    from repro.rma.target_mem import RmaError
+
+    if isinstance(value, RmaError):
+        return value
+    if isinstance(value, list):
+        for item in value:
+            if isinstance(item, RmaError):
+                return item
+    return None
+
+
+def _errhandler_of(sim: "Simulator") -> str:
+    from repro.mpi.constants import ERRORS_RAISE
+
+    world = sim.context.get("world")
+    if world is None:
+        return ERRORS_RAISE
+    return getattr(world, "rma_errhandler", ERRORS_RAISE)
+
+
 @dataclass(frozen=True)
 class Status:
     """Completion metadata of a receive."""
@@ -45,8 +70,25 @@ class Request:
         self.status: Optional[Status] = None
 
     @property
+    def error(self) -> Any:
+        """The operation's :class:`~repro.rma.target_mem.RmaError`, or
+        ``None`` while pending / after success."""
+        if not self.event.triggered:
+            return None
+        return _rma_error_of(self.event.value)
+
+    @property
+    def state(self) -> str:
+        """``"pending"``, ``"complete"``, or ``"failed"``."""
+        if not self.event.triggered:
+            return "pending"
+        if not self.event.ok or self.error is not None:
+            return "failed"
+        return "complete"
+
+    @property
     def complete(self) -> bool:
-        """True once the operation finished."""
+        """True once the operation finished (successfully or not)."""
         return self.event.triggered
 
     def test(self) -> bool:
@@ -54,14 +96,34 @@ class Request:
         return self.event.triggered
 
     def wait(self) -> Generator[Event, Any, Any]:
-        """Suspend until complete; returns the operation's value."""
+        """Suspend until complete; returns the operation's value.
+
+        If the operation failed (failure-aware RMA completion), the
+        world's error handler decides: ``ERRORS_RAISE`` (default) raises
+        the :class:`~repro.rma.target_mem.RmaError`; ``ERRORS_RETURN``
+        returns it as the value with the request left ``"failed"``.
+        """
         if not self.event.triggered:
             yield self.event
-        return self.event.value
+        value = self.event.value
+        err = _rma_error_of(value)
+        if err is not None:
+            from repro.mpi.constants import ERRORS_RAISE
+
+            if _errhandler_of(self.sim) == ERRORS_RAISE:
+                raise err
+            return err
+        return value
 
     @staticmethod
     def waitall(requests: Iterable["Request"]) -> Generator[Event, Any, List[Any]]:
-        """Wait for every request; returns their values in order."""
+        """Wait for every request; returns their values in order.
+
+        Under ``ERRORS_RAISE`` the first failed request's error is
+        raised once all events have triggered; under ``ERRORS_RETURN``
+        error objects appear in the returned list at their request's
+        position.
+        """
         reqs = list(requests)
         if not reqs:
             return []
@@ -69,7 +131,14 @@ class Request:
         if pending:
             sim = reqs[0].sim
             yield AllOf(sim, pending)
-        return [r.event.value for r in reqs]
+        values = [r.event.value for r in reqs]
+        errs = [e for e in (_rma_error_of(v) for v in values) if e is not None]
+        if errs:
+            from repro.mpi.constants import ERRORS_RAISE
+
+            if _errhandler_of(reqs[0].sim) == ERRORS_RAISE:
+                raise errs[0]
+        return values
 
     @staticmethod
     def waitany(requests: Iterable["Request"]) -> Generator[Event, Any, int]:
@@ -78,17 +147,16 @@ class Request:
         if not reqs:
             raise ValueError("waitany on empty request list")
         for i, r in enumerate(reqs):
-            if r.complete:
+            if r.event.triggered:
                 return i
         from repro.sim.events import AnyOf
 
         sim = reqs[0].sim
         yield AnyOf(sim, [r.event for r in reqs])
         for i, r in enumerate(reqs):
-            if r.complete:
+            if r.event.triggered:
                 return i
         raise AssertionError("AnyOf fired but no request complete")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "complete" if self.complete else "pending"
-        return f"<Request {self.kind} {state}>"
+        return f"<Request {self.kind} {self.state}>"

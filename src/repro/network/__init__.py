@@ -29,8 +29,9 @@ from repro.network.config import (
     shared_memory_like,
 )
 from repro.network.fabric import Fabric
-from repro.network.nic import Nic
+from repro.network.nic import Nic, UnknownPacketKind
 from repro.network.packet import ACK_SIZE, HEADER_SIZE, Packet
+from repro.network.transport import ReliableTransport, TransportFailure
 
 __all__ = [
     "ACK_SIZE",
@@ -39,6 +40,9 @@ __all__ = [
     "NetworkConfig",
     "Nic",
     "Packet",
+    "ReliableTransport",
+    "TransportFailure",
+    "UnknownPacketKind",
     "generic_rdma",
     "infiniband_like",
     "quadrics_like",

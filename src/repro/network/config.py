@@ -75,6 +75,22 @@ class NetworkConfig:
         """NIC injection occupancy for an ``nbytes``-payload message."""
         return max(self.gap, nbytes * self.byte_time)
 
+    def retransmit_timeout(self, wire_bytes: int) -> float:
+        """Analytic round-trip estimate used as the base retransmission
+        timeout by the reliable transport: serialization of the packet,
+        two flights (with worst-case jitter), the target's receive
+        overhead, and serialization of the software ack on each side.
+        Deliberately generous — a spurious retransmit wastes bandwidth,
+        a spurious path failure breaks a flow."""
+        from repro.network.packet import HEADER_SIZE
+
+        return (
+            self.serialization_time(wire_bytes)
+            + 2.0 * (self.latency + self.jitter)
+            + self.overhead_recv
+            + 2.0 * self.serialization_time(HEADER_SIZE)
+        )
+
     def with_(self, **kwargs) -> "NetworkConfig":
         """Copy with fields replaced (ablation convenience)."""
         return replace(self, **kwargs)

@@ -23,9 +23,34 @@ from repro.network.packet import Packet
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import TransportParams
+    from repro.network.transport import ReliableTransport
     from repro.sim.core import Simulator
 
-__all__ = ["Nic"]
+__all__ = ["Nic", "UnknownPacketKind"]
+
+
+class UnknownPacketKind(RuntimeError):
+    """A packet arrived whose kind has no registered handler.
+
+    Carries enough simulation context to diagnose the failure without a
+    debugger: where and when the packet landed, what it was, and where
+    it came from (a bare ``RuntimeError`` used to abort the event loop
+    with none of this).
+    """
+
+    def __init__(self, *, rank: int, sim_time: float, packet: Packet) -> None:
+        self.rank = rank
+        self.sim_time = sim_time
+        self.packet_id = packet.packet_id
+        self.kind = packet.kind
+        self.src = packet.src
+        self.dst = packet.dst
+        super().__init__(
+            f"rank {rank}: no handler for packet kind {packet.kind!r} "
+            f"at t={sim_time:.3f} (packet #{packet.packet_id}, "
+            f"{packet.src}->{packet.dst})"
+        )
 
 
 class Nic:
@@ -50,12 +75,50 @@ class Nic:
         # _reserved_until — the burst already accounted for that wire time.
         self._pending: int = 0
         self._reserved_until: float = 0.0
+        #: Reliable transport, armed only for fault-injection runs (see
+        #: :meth:`enable_reliability`); ``None`` keeps every fast path.
+        self.transport: "ReliableTransport | None" = None
         fabric.attach(rank, self._on_deliver)
         self._engine = sim.spawn(self._injector(), name=f"nic-{rank}")
         # stats
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_received = 0
+
+    # -- reliability -----------------------------------------------------
+    def enable_reliability(self, params: "TransportParams") -> "ReliableTransport":
+        """Arm the reliable transport (sequence numbers, acks,
+        retransmission, dedup, checksums) on this NIC.  Done once per
+        NIC by the :class:`~repro.runtime.World` when it is built with
+        an active fault plan; with the transport armed the analytic
+        burst path is disabled (bursts fall back to per-packet sends)."""
+        if self.transport is not None:
+            raise ValueError(f"rank {self.rank}: reliability already enabled")
+        from repro.network.transport import ReliableTransport
+
+        self.transport = ReliableTransport(self.sim, self, params)
+        return self.transport
+
+    def stall_until(self, until: float) -> None:
+        """Freeze the injector until simulated time ``until`` (fault
+        injection: a wedged NIC).  Packets already being serialized
+        finish; queued ones wait."""
+        self._reserved_until = max(self._reserved_until, until)
+
+    def reinject(self, packet: Packet) -> None:
+        """Requeue an already-prepared packet (transport retransmission)."""
+        self._pending += 1
+        self._queue.put(packet)
+
+    def path_degraded(self, dst: int) -> bool:
+        """Whether persistent loss toward ``dst`` crossed the transport's
+        degradation threshold — the RMA engine then stops trusting
+        hardware delivery acks on the path and uses software acks."""
+        transport = self.transport
+        return (
+            transport is not None
+            and transport.retx_to(dst) >= transport.params.degrade_threshold
+        )
 
     # -- send path -------------------------------------------------------
     def send(self, packet: Packet) -> Packet:
@@ -77,6 +140,8 @@ class Nic:
             and self.fabric.config_for(self.rank, packet.dst).remote_completion_events
         ):
             packet.ev_remote_complete = self.sim.event()
+        if self.transport is not None:
+            self.transport.prepare(packet)
         self._pending += 1
         self._queue.put(packet)
         return packet
@@ -103,6 +168,7 @@ class Nic:
         path_cfg = self.fabric.config_for(self.rank, dst)
         if (
             not self.burst_enabled
+            or self.transport is not None
             or not path_cfg.ordered
             or self.fabric.tracer.enabled
             or self._pending
@@ -147,17 +213,23 @@ class Nic:
     def _injector(self):
         while True:
             packet: Packet = yield from self._queue.get()
-            if self.sim.now < self._reserved_until:
-                # A burst owns the serializer until then; this packet
-                # would have queued behind those fragments anyway.
+            while self.sim.now < self._reserved_until:
+                # A burst owns the serializer until then (or a fault has
+                # stalled the NIC); this packet waits its turn.
                 yield self.sim.timeout(self._reserved_until - self.sim.now)
             yield self.sim.timeout(self.config.serialization_time(packet.wire_bytes))
             self.packets_sent += 1
             self.bytes_sent += packet.wire_bytes
             self._pending -= 1
-            if packet.ev_injected is not None:
-                packet.ev_injected.succeed(self.sim.now)
+            ev = packet.ev_injected
+            if ev is not None and not ev.triggered:
+                # Retransmits reuse the packet; only the first injection
+                # is the local-completion point.
+                ev.succeed(self.sim.now)
             self.fabric.transmit(packet)
+            transport = self.transport
+            if transport is not None and packet.flow_seq is not None:
+                transport.packet_injected(packet)
 
     @property
     def queue_depth(self) -> int:
@@ -175,11 +247,21 @@ class Nic:
         """Catch-all for kinds without a specific handler."""
         self._default_handler = fn
 
-    def _on_deliver(self, packet: Packet) -> None:
+    def _on_deliver(self, packet: Packet):
         self.packets_received += 1
+        transport = self.transport
+        if (
+            transport is not None
+            and packet.flow_seq is not None
+            and not transport.rx_accept(packet)
+        ):
+            # Corrupt or duplicate: suppressed by the transport.  The
+            # False return tells the fabric not to hardware-ack it.
+            return False
         handler = self._handlers.get(packet.kind, self._default_handler)
         if handler is None:
-            raise RuntimeError(
-                f"rank {self.rank}: no handler for packet kind {packet.kind!r}"
+            raise UnknownPacketKind(
+                rank=self.rank, sim_time=self.sim.now, packet=packet
             )
         handler(packet)
+        return True

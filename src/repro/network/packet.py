@@ -56,11 +56,37 @@ class Packet:
     ev_injected: Optional["Event"] = None
     ev_remote_complete: Optional["Event"] = None
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Reliability fields, populated only when a reliable transport is
+    #: armed (fault-injection runs).  ``flow_seq`` is the per-(src, dst)
+    #: sequence number; ``checksum`` is the true payload checksum;
+    #: ``wire_checksum`` is what travels on the wire (a corruption fault
+    #: mangles it, never the payload itself); ``attempts`` counts
+    #: transmissions including retransmits.
+    flow_seq: Optional[int] = None
+    checksum: Optional[int] = None
+    wire_checksum: Optional[int] = None
+    attempts: int = 0
 
     @property
     def wire_bytes(self) -> int:
         """Bytes on the wire including the fixed header."""
         return HEADER_SIZE + self.data_bytes
+
+    def payload_data(self):
+        """The payload's bulk-data array, if any (checksum coverage).
+
+        Two-sided messages may carry arbitrary Python objects under
+        ``"data"``; only byte-array payloads are checksummable (others
+        travel as control packets, checksum 0).
+        """
+        payload = self.payload
+        data = payload.get("data")
+        if data is not None and hasattr(data, "tobytes"):
+            return data
+        frag = payload.get("frag")
+        if frag is not None:
+            return frag.data
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

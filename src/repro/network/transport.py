@@ -1,0 +1,308 @@
+"""Reliable transport: sequencing, acks, retransmission, dedup.
+
+One :class:`ReliableTransport` per :class:`~repro.network.nic.Nic`,
+created only when the world is armed with an active
+:class:`~repro.faults.plan.FaultPlan` — the fault-free fast path never
+pays for any of this.
+
+Protocol
+--------
+- Every packet the NIC sends (except the transport's own acks) gets a
+  per-(src, dst) flow sequence number and a CRC32 checksum over its
+  bulk payload.
+- The receiver verifies the checksum (a corruption fault mangles the
+  wire checksum; the mismatch is detected here and the packet dropped),
+  suppresses duplicates with a contiguous-watermark + stash scheme, and
+  answers every survivor *and every duplicate* with a selective
+  ``xport.ack`` control packet (re-acking duplicates stops a sender
+  whose previous ack was lost).
+- The sender arms a retransmission timer at each injection; the timeout
+  is the path's analytic round-trip estimate
+  (:meth:`~repro.network.config.NetworkConfig.retransmit_timeout`)
+  scaled by ``rto_scale`` with exponential ``backoff`` per attempt.
+  An unacked packet is reinjected until the ``retry_budget`` is
+  exhausted or the target is known dead — then the whole (src, dst)
+  flow is declared broken: every outstanding packet on it fails at
+  once and registered path-failure callbacks (the RMA engine) fire.
+
+Whole-flow failure is deliberate: a permanently lost sequence number
+would otherwise gate the target's applied-watermark forever, hanging
+every later flush and ordering barrier on the path.  Breaking the flow
+converts a would-be hang into structured per-operation errors.
+
+The transport ack doubles as a delivery confirmation: when the acked
+packet carried ``want_ack`` and its hardware ack was lost, the
+transport completes ``ev_remote_complete`` itself (guarded against
+double triggering in both directions).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import TransportParams
+    from repro.network.nic import Nic
+    from repro.sim.core import Simulator
+
+__all__ = ["ReliableTransport", "TransportFailure", "payload_checksum"]
+
+#: Packet kind of the transport's own selective acks (never themselves
+#: sequenced or retransmitted; a lost ack is recovered by dedup+re-ack).
+ACK_KIND = "xport.ack"
+
+
+def payload_checksum(packet: Packet) -> int:
+    """CRC32 over the packet's bulk payload (0 for control packets)."""
+    data = packet.payload_data()
+    if data is None:
+        return 0
+    return zlib.crc32(data.tobytes())
+
+
+@dataclass(frozen=True, slots=True)
+class TransportFailure:
+    """Terminal delivery failure of one flow, reported to upper layers."""
+
+    src: int
+    dst: int
+    attempts: int
+    sim_time: float
+    reason: str  # "retry-budget-exhausted" | "target-dead" | "restart-reset"
+    packet_kind: str
+    packet_id: int
+
+    def __str__(self) -> str:
+        return (f"flow {self.src}->{self.dst} failed at t={self.sim_time:.3f}: "
+                f"{self.reason} (packet #{self.packet_id} {self.packet_kind!r} "
+                f"after {self.attempts} attempt(s))")
+
+
+class _TxEntry:
+    """Sender-side state of one unacknowledged packet."""
+
+    __slots__ = ("packet", "dst", "seq", "attempts", "timer_gen")
+
+    def __init__(self, packet: Packet, dst: int, seq: int) -> None:
+        self.packet = packet
+        self.dst = dst
+        self.seq = seq
+        self.attempts = 0
+        #: Bumped on every (re)arm/cancel; stale timer callbacks compare
+        #: their captured generation and drop themselves (the kernel has
+        #: no timer cancellation).
+        self.timer_gen = 0
+
+
+class ReliableTransport:
+    """Per-NIC reliability layer (see module docstring)."""
+
+    def __init__(self, sim: "Simulator", nic: "Nic",
+                 params: "TransportParams") -> None:
+        self.sim = sim
+        self.nic = nic
+        self.rank = nic.rank
+        self.fabric = nic.fabric
+        self.params = params
+        # sender side
+        self._tx_seq: Dict[int, int] = {}
+        self._outstanding: Dict[Tuple[int, int], _TxEntry] = {}
+        self._retx_by_dst: Dict[int, int] = {}
+        self._broken: Set[int] = set()
+        self._path_failure_cbs: List[Callable[[int, TransportFailure], None]] = []
+        # receiver side
+        self._rx_upto: Dict[int, int] = {}
+        self._rx_extra: Dict[int, Set[int]] = {}
+        self.stats: Dict[str, int] = {
+            "sent": 0,
+            "retransmits": 0,
+            "acks_tx": 0,
+            "acks_rx": 0,
+            "dup_rx": 0,
+            "csum_drops": 0,
+            "failures": 0,
+        }
+        nic.register_handler(ACK_KIND, self._on_ack_packet)
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def add_path_failure_callback(
+        self, fn: Callable[[int, TransportFailure], None]
+    ) -> None:
+        """Call ``fn(dst, failure)`` when a flow to ``dst`` breaks."""
+        self._path_failure_cbs.append(fn)
+
+    def prepare(self, packet: Packet) -> None:
+        """Sequence + checksum an outgoing packet (from :meth:`Nic.send`)."""
+        if packet.kind == ACK_KIND:
+            return
+        dst = packet.dst
+        seq = self._tx_seq.get(dst, 0) + 1
+        self._tx_seq[dst] = seq
+        packet.flow_seq = seq
+        packet.checksum = payload_checksum(packet)
+        packet.wire_checksum = packet.checksum
+        self._outstanding[(dst, seq)] = _TxEntry(packet, dst, seq)
+        self.stats["sent"] += 1
+
+    def packet_injected(self, packet: Packet) -> None:
+        """Arm (or re-arm) the retransmission timer; called by the NIC
+        injector after handing the packet to the fabric."""
+        entry = self._outstanding.get((packet.dst, packet.flow_seq))
+        if entry is None:
+            return  # acked while a retransmit sat in the injection queue
+        entry.attempts += 1
+        packet.attempts = entry.attempts
+        entry.timer_gen += 1
+        cfg = self.fabric.config_for(self.rank, entry.dst)
+        rto = min(
+            cfg.retransmit_timeout(packet.wire_bytes)
+            * self.params.rto_scale
+            * (self.params.backoff ** (entry.attempts - 1)),
+            self.params.rto_max,
+        )
+        self.sim.schedule_call(rto, self._on_timer, entry, entry.timer_gen)
+
+    def _on_timer(self, entry: _TxEntry, gen: int) -> None:
+        if entry.timer_gen != gen:
+            return  # re-armed or cancelled since
+        if self._outstanding.get((entry.dst, entry.seq)) is not entry:
+            return  # acked or already failed
+        if self.fabric.is_dead(entry.dst):
+            self._fail_flow(entry, "target-dead")
+            return
+        if entry.attempts > self.params.retry_budget:
+            self._fail_flow(entry, "retry-budget-exhausted")
+            return
+        self.stats["retransmits"] += 1
+        self._retx_by_dst[entry.dst] = self._retx_by_dst.get(entry.dst, 0) + 1
+        packet = entry.packet
+        # Undo any in-flight corruption: the sender retransmits pristine
+        # data with the true checksum.
+        packet.wire_checksum = packet.checksum
+        tracer = self.fabric.tracer
+        tracer.bump("xport.retransmit")
+        if tracer.enabled:
+            tracer.record(self.sim.now, "xport", "retransmit",
+                          rank=self.rank, dst=entry.dst, seq=entry.seq,
+                          attempt=entry.attempts, kind_=packet.kind)
+        self.nic.reinject(packet)
+
+    def _on_ack_packet(self, packet: Packet) -> None:
+        self.stats["acks_rx"] += 1
+        entry = self._outstanding.pop((packet.src, packet.payload["seq"]), None)
+        if entry is None:
+            return  # duplicate ack, or the flow already failed
+        entry.timer_gen += 1  # cancel the pending timer
+        acked = entry.packet
+        # The transport ack confirms delivery; complete the hardware-ack
+        # event if the NIC-generated ack was lost (or has not landed yet).
+        ev = acked.ev_remote_complete
+        if acked.want_ack and ev is not None and not ev.triggered:
+            ev.succeed(self.sim.now)
+
+    def _fail_flow(self, entry: _TxEntry, reason: str) -> None:
+        dst = entry.dst
+        failure = TransportFailure(
+            src=self.rank, dst=dst, attempts=entry.attempts,
+            sim_time=self.sim.now, reason=reason,
+            packet_kind=entry.packet.kind, packet_id=entry.packet.packet_id,
+        )
+        self._broken.add(dst)
+        dead = [key for key in self._outstanding if key[0] == dst]
+        self.stats["failures"] += len(dead)
+        for key in dead:
+            doomed = self._outstanding.pop(key)
+            doomed.timer_gen += 1
+        tracer = self.fabric.tracer
+        tracer.bump("xport.flow_failure")
+        if tracer.enabled:
+            tracer.record(self.sim.now, "xport", "flow_failure",
+                          rank=self.rank, dst=dst, reason=reason,
+                          attempts=entry.attempts)
+        for cb in self._path_failure_cbs:
+            cb(dst, failure)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def rx_accept(self, packet: Packet) -> bool:
+        """Verify + dedup an arriving sequenced packet; ``False`` means
+        the NIC must not dispatch it (corrupt or duplicate)."""
+        if packet.wire_checksum != payload_checksum(packet):
+            self.stats["csum_drops"] += 1
+            tracer = self.fabric.tracer
+            tracer.bump("xport.csum_drop")
+            if tracer.enabled:
+                tracer.record(self.sim.now, "xport", "csum_drop",
+                              rank=self.rank, src=packet.src,
+                              seq=packet.flow_seq)
+            return False  # no ack: the sender will retransmit
+        src = packet.src
+        seq = packet.flow_seq
+        upto = self._rx_upto.get(src, 0)
+        extra = self._rx_extra.get(src)
+        duplicate = seq <= upto or (extra is not None and seq in extra)
+        self._send_ack(src, seq)
+        if duplicate:
+            self.stats["dup_rx"] += 1
+            return False
+        if seq == upto + 1:
+            upto += 1
+            if extra:
+                while upto + 1 in extra:
+                    extra.discard(upto + 1)
+                    upto += 1
+            self._rx_upto[src] = upto
+        else:
+            if extra is None:
+                extra = self._rx_extra[src] = set()
+            extra.add(seq)
+        return True
+
+    def _send_ack(self, dst: int, seq: int) -> None:
+        self.stats["acks_tx"] += 1
+        self.nic.send(Packet(src=self.rank, dst=dst, kind=ACK_KIND,
+                             payload={"seq": seq}))
+
+    # ------------------------------------------------------------------
+    # Introspection / reset
+    # ------------------------------------------------------------------
+    def retx_to(self, dst: int) -> int:
+        """Retransmissions performed toward ``dst`` so far."""
+        return self._retx_by_dst.get(dst, 0)
+
+    def is_broken(self, dst: int) -> bool:
+        """Whether the flow to ``dst`` has been declared failed."""
+        return dst in self._broken
+
+    def reset_flow(self, other: int) -> None:
+        """Forget all state shared with ``other`` (rank restart): both
+        directions restart from sequence 1 with an empty window."""
+        self._tx_seq.pop(other, None)
+        for key in [k for k in self._outstanding if k[0] == other]:
+            self._outstanding.pop(key).timer_gen += 1
+        self._rx_upto.pop(other, None)
+        self._rx_extra.pop(other, None)
+        self._retx_by_dst.pop(other, None)
+        self._broken.discard(other)
+
+    def reset_all(self) -> None:
+        """Forget every flow (this NIC's own rank restarted)."""
+        for entry in self._outstanding.values():
+            entry.timer_gen += 1
+        self._tx_seq.clear()
+        self._outstanding.clear()
+        self._rx_upto.clear()
+        self._rx_extra.clear()
+        self._retx_by_dst.clear()
+        self._broken.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ReliableTransport rank={self.rank} "
+                f"outstanding={len(self._outstanding)} stats={self.stats}>")

@@ -398,21 +398,42 @@ class RmaInterface:
         self, comm: Optional[Comm] = None, target_rank: int = ALL_RANKS
     ):
         """``MPI_RMA_complete``: wait for remote completion of all prior
-        accesses to ``target_rank`` (or every rank with ``ALL_RANKS``)."""
+        accesses to ``target_rank`` (or every rank with ``ALL_RANKS``).
+
+        Failure-aware: when the reliable transport declared a path dead
+        (fault-injection runs), the world's error handler decides —
+        ``ERRORS_RAISE`` (default) raises the first
+        :class:`~repro.rma.target_mem.RmaError`; ``ERRORS_RETURN``
+        returns the list of errors (empty on success).
+        """
         comm = comm if comm is not None else self.comm_world
         if target_rank == ALL_RANKS:
-            yield from self.engine.complete_all()
+            errs = yield from self.engine.complete_all()
         else:
-            yield from self.engine.complete_one(
+            errs = yield from self.engine.complete_one(
                 comm.group.world_rank(target_rank)
             )
+        return self._handle_completion_errors(errs)
 
     def complete_collective(self, comm: Optional[Comm] = None):
         """``MPI_RMA_complete_collective``: everyone completes, then a
         barrier guarantees global visibility."""
         comm = comm if comm is not None else self.comm_world
-        yield from self.engine.complete_all()
+        errs = yield from self.engine.complete_all()
         yield from comm.barrier()
+        return self._handle_completion_errors(errs)
+
+    def _handle_completion_errors(self, errs):
+        if not errs:
+            return []
+        from repro.mpi.constants import ERRORS_RAISE
+
+        world = self.engine.sim.context.get("world")
+        handler = getattr(world, "rma_errhandler", ERRORS_RAISE) \
+            if world is not None else ERRORS_RAISE
+        if handler == ERRORS_RAISE:
+            raise errs[0]
+        return errs
 
     def order(self, comm: Optional[Comm] = None, target_rank: int = ALL_RANKS):
         """``MPI_RMA_order``: order later accesses to ``target_rank``

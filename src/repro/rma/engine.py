@@ -94,13 +94,29 @@ class OpRecord:
     ev_local: Event
     ev_remote: Optional[Event]
     nbytes: int
+    #: Attributes the op was issued with (carried into RmaError on a
+    #: delivery failure); None for internal/zero-byte records.
+    attrs: Optional[RmaAttrs] = None
+
+
+def _collect_errors(events: List[Event]) -> List[RmaError]:
+    """RmaError values carried by completion events (failure-aware
+    completion succeeds events *with* the error object as value)."""
+    errs: List[RmaError] = []
+    for ev in events:
+        value = ev.value
+        if isinstance(value, RmaError):
+            errs.append(value)
+        elif isinstance(value, list):
+            errs.extend(v for v in value if isinstance(v, RmaError))
+    return errs
 
 
 class _OriginPeer:
     """Origin-side per-target state."""
 
     __slots__ = ("last_seq", "order_barrier", "outstanding",
-                 "last_atomic_seq")
+                 "last_atomic_seq", "broken", "completing")
 
     def __init__(self) -> None:
         self.last_seq = 0
@@ -110,6 +126,13 @@ class _OriginPeer:
         #: target (atomic application is deferred, which matters for
         #: deciding whether delivery == application downstream).
         self.last_atomic_seq = 0
+        #: Set on a transport path failure; every later op to this
+        #: target fails fast at issue.
+        self.broken = False
+        #: Records handed to an in-flight complete() (moved out of
+        #: ``outstanding``); a path failure must fail these too or the
+        #: waiting complete() would hang.
+        self.completing: List[OpRecord] = []
 
     def alloc_seq(self) -> int:
         self.last_seq += 1
@@ -211,11 +234,17 @@ class RmaEngine:
         self._next_mem_id = 1
         self._origin_peers: Dict[int, _OriginPeer] = {}
         self._target_peers: Dict[int, _TargetPeer] = {}
-        self._sw_ack_waiters: Dict[Tuple[int, int], Event] = {}
+        # Waiter maps carry the destination rank so a path failure can
+        # sweep exactly the waiters stranded on the broken path.
+        self._sw_ack_waiters: Dict[Tuple[int, int], Tuple[int, Event]] = {}
         self._pending_gets: Dict[Tuple[int, int], _PendingGet] = {}
-        self._pending_replies: Dict[Tuple[int, int], Event] = {}
-        self._flush_waiters: Dict[int, Event] = {}
+        self._pending_replies: Dict[Tuple[int, int], Tuple[int, str, Event]] = {}
+        self._flush_waiters: Dict[int, Tuple[int, Event]] = {}
         self._next_flush_id = 1
+        # Failure-aware completion state.
+        self._path_failures: Dict[int, Any] = {}
+        self.failures: List[Any] = []
+        self._failed_ops: set = set()
         self._rmi_handlers: Dict[str, Callable[..., Any]] = {}
         # Reusable staging buffer for *transient* byte work (e.g. the
         # swap pass of a heterogeneous get completion).  Never handed to
@@ -237,6 +266,10 @@ class RmaEngine:
         nic.register_handler("rma.unlock", self._on_unlock)
 
         self.serializer: Serializer = make_serializer(serializer_kind, self)
+
+        transport = nic.transport
+        if transport is not None:
+            transport.add_path_failure_callback(self._on_path_failure)
 
         # statistics
         self.stats: Dict[str, int] = {
@@ -326,6 +359,106 @@ class RmaEngine:
         return peer
 
     # ------------------------------------------------------------------
+    # Failure-aware completion (reliable-transport path failures)
+    # ------------------------------------------------------------------
+    def _path_broken(self, dst: int) -> bool:
+        """Whether ops to ``dst`` are doomed (fail fast at issue)."""
+        peer = self._origin_peers.get(dst)
+        if peer is not None and peer.broken:
+            return True
+        transport = self.nic.transport
+        if transport is not None and transport.is_broken(dst):
+            return True
+        return self.nic.fabric.is_dead(dst)
+
+    def _op_error(self, rec: OpRecord, failure=None) -> RmaError:
+        failure = failure if failure is not None \
+            else self._path_failures.get(rec.dst)
+        if failure is not None:
+            return RmaError(
+                f"rma {rec.kind} to rank {rec.dst} failed: {failure}",
+                op=rec.kind, target=rec.dst, attrs=rec.attrs,
+                retries=failure.attempts, sim_time=failure.sim_time,
+            )
+        return RmaError(
+            f"rma {rec.kind} to rank {rec.dst} failed: path broken",
+            op=rec.kind, target=rec.dst, attrs=rec.attrs,
+            sim_time=self.sim.now,
+        )
+
+    def _path_error(self, dst: int, op: str,
+                    attrs: Optional[RmaAttrs] = None,
+                    failure=None) -> RmaError:
+        failure = failure if failure is not None \
+            else self._path_failures.get(dst)
+        if failure is not None:
+            return RmaError(
+                f"rma {op} to rank {dst} failed: {failure}",
+                op=op, target=dst, attrs=attrs,
+                retries=failure.attempts, sim_time=failure.sim_time,
+            )
+        return RmaError(
+            f"rma {op} to rank {dst} failed: path broken or target dead",
+            op=op, target=dst, attrs=attrs, sim_time=self.sim.now,
+        )
+
+    def _on_path_failure(self, dst: int, failure) -> None:
+        """Reliable transport gave up on the path to ``dst``: convert
+        every stranded waiter into a structured RmaError *value* (events
+        succeed with the error object so AllOf aggregation in pending
+        complete()/waitall() calls keeps working — no bare event-loop
+        exceptions, no hangs)."""
+        self._path_failures[dst] = failure
+        self.failures.append(failure)
+        peer = self._origin_peers.get(dst)
+        if peer is not None:
+            peer.broken = True
+            for rec in peer.outstanding + peer.completing:
+                ev = rec.ev_remote
+                if ev is not None and not ev.triggered:
+                    ev.succeed(self._op_error(rec, failure))
+        for op_key in [k for k, (d, _ev) in self._sw_ack_waiters.items()
+                       if d == dst]:
+            _d, ev = self._sw_ack_waiters.pop(op_key)
+            if not ev.triggered:
+                ev.succeed(self._path_error(dst, "ack", failure=failure))
+        for op_key in [k for k, (d, _kind, _ev) in self._pending_replies.items()
+                       if d == dst]:
+            _d, kind, ev = self._pending_replies.pop(op_key)
+            if not ev.triggered:
+                ev.succeed(self._path_error(dst, kind, failure=failure))
+        for flush_id in [k for k, (d, _ev) in self._flush_waiters.items()
+                         if d == dst]:
+            _d, ev = self._flush_waiters.pop(flush_id)
+            if not ev.triggered:
+                ev.succeed(self._path_error(dst, "complete", failure=failure))
+        for op_key in [k for k, p in self._pending_gets.items()
+                       if p.location is not None and p.location[0] == dst]:
+            pend = self._pending_gets.pop(op_key)
+            self._failed_ops.add(op_key)
+            ev = pend.ev_done
+            if ev is not None and not ev.triggered:
+                ev.succeed(self._path_error(dst, "get", failure=failure))
+        if self.tracer is not None:
+            self.tracer.bump("rma.path_failure")
+            if self.tracer.enabled:
+                self.tracer.record(self.sim.now, "rma", "path_failure",
+                                   rank=self.rank, dst=dst,
+                                   reason=failure.reason)
+
+    def reset_path(self, other: int) -> None:
+        """Forget all per-path state shared with ``other`` (restart)."""
+        self._origin_peers.pop(other, None)
+        self._target_peers.pop(other, None)
+        self._path_failures.pop(other, None)
+
+    def reset_all_paths(self) -> None:
+        """Forget every per-path state (this rank restarted)."""
+        self._origin_peers.clear()
+        self._target_peers.clear()
+        self._path_failures.clear()
+
+    # ------------------------------------------------------------------
     # Issue path helpers
     # ------------------------------------------------------------------
     def send_control(self, dst: int, kind: str, payload: Dict[str, Any],
@@ -364,6 +497,10 @@ class RmaEngine:
                 tmem.coherent
                 and barrier_instant
                 and path.remote_completion_events
+                # Persistent loss toward the target: hardware delivery
+                # acks keep getting dropped, so degrade to software
+                # acks (which the reliable transport retransmits).
+                and not self.nic.path_degraded(tmem.rank)
             )
             return "hw" if hw_ok else "sw"
         return "flush"
@@ -458,6 +595,12 @@ class RmaEngine:
             origin_count, origin_dtype, tmem, target_disp, target_count,
             target_dtype,
         )
+        if self._path_broken(dst):
+            # Fail fast — before any lock acquisition (a dead target
+            # would never grant it) and before burning wire time.
+            ev = Event(self.sim).succeed(self._path_error(dst, kind, attrs))
+            return OpRecord((self.rank, 0), dst, 0, kind, "hw", ev, ev, 0,
+                            attrs)
         pack_cost = (
             0.0
             if origin_dtype.is_contiguous
@@ -530,11 +673,12 @@ class RmaEngine:
             )
         elif mode == "sw":
             ev_remote = self.sim.event()
-            self._sw_ack_waiters[op_key] = ev_remote
+            self._sw_ack_waiters[op_key] = (dst, ev_remote)
         else:
             ev_remote = None
 
-        rec = OpRecord(op_key, dst, seq, kind, mode, ev_local, ev_remote, nbytes)
+        rec = OpRecord(op_key, dst, seq, kind, mode, ev_local, ev_remote,
+                       nbytes, attrs)
         peer.outstanding.append(rec)
 
         if self.tracer is not None and self.tracer.enabled and nbytes <= 16:
@@ -589,6 +733,10 @@ class RmaEngine:
             self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
             origin_count,
         )
+        if self._path_broken(dst):
+            return Event(self.sim).succeed(
+                self._path_error(dst, "get", attrs)
+            )
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send
         )
@@ -680,6 +828,10 @@ class RmaEngine:
             origin_count,
         )
         dst = tmem.rank
+        if self._path_broken(dst):
+            return Event(self.sim).succeed(
+                self._path_error(dst, "getacc")
+            )
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send
         )
@@ -773,6 +925,10 @@ class RmaEngine:
         elem_size = np.dtype(np_elem).itemsize
         tmem.check_access(target_disp, 0, elem_size)
         dst = tmem.rank
+        if self._path_broken(dst):
+            return Event(self.sim).succeed(
+                self._path_error(dst, "rmw", attrs)
+            )
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send
         )
@@ -787,7 +943,7 @@ class RmaEngine:
         barrier = peer.order_barrier
         op_key = (self.rank, next(_op_counter))
         ev = self.sim.event()
-        self._pending_replies[op_key] = ev
+        self._pending_replies[op_key] = (dst, "rmw", ev)
         self.send_control(
             dst, "rma.rmw_req",
             {
@@ -817,6 +973,10 @@ class RmaEngine:
                 "RMI requires active messages or a communication thread "
                 "(paper §V: not trivial on all architectures)"
             )
+        if self._path_broken(dst):
+            return Event(self.sim).succeed(
+                self._path_error(dst, "rmi", attrs)
+            )
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send
         )
@@ -825,7 +985,7 @@ class RmaEngine:
         barrier = seq - 1 if attrs.ordering else peer.order_barrier
         op_key = (self.rank, next(_op_counter))
         ev = self.sim.event()
-        self._pending_replies[op_key] = ev
+        self._pending_replies[op_key] = (dst, "rmi", ev)
         from repro.mpi.endpoint import payload_nbytes
 
         self.send_control(
@@ -844,14 +1004,16 @@ class RmaEngine:
     # Completion and ordering (MPI_RMA_complete / MPI_RMA_order)
     # ------------------------------------------------------------------
     def complete_one(self, dst: int):
-        """Wait for remote completion of all prior ops to ``dst``."""
+        """Wait for remote completion of all prior ops to ``dst``.
+        Returns the list of :class:`RmaError` failures (empty normally)."""
         yield self.sim.timeout(self.timings.call_overhead)
-        yield from self._complete_peer(dst)
+        errs = yield from self._complete_peer(dst)
         self.stats["completes"] += 1
+        return errs
 
     def complete_all(self):
         """Remote-complete every target with outstanding traffic
-        (``MPI_ALL_RANKS``)."""
+        (``MPI_ALL_RANKS``).  Returns the list of failures."""
         yield self.sim.timeout(self.timings.call_overhead)
         events = []
         for dst in sorted(self._origin_peers):
@@ -859,6 +1021,7 @@ class RmaEngine:
         if events:
             yield AllOf(self.sim, events)
         self.stats["completes"] += 1
+        return _collect_errors(events)
 
     def _complete_peer(self, dst: int):
         events = self._completion_events(dst)
@@ -866,12 +1029,24 @@ class RmaEngine:
             yield events[0]
         elif events:
             yield AllOf(self.sim, events)
+        return _collect_errors(events)
 
     def _completion_events(self, dst: int) -> List[Event]:
         peer = self._origin_peers.get(dst)
         if peer is None or not peer.outstanding:
             return []
         events: List[Event] = []
+        if peer.broken:
+            # No flush round trip on a broken path: every record resolves
+            # to an error immediately (ops with per-op events were already
+            # failed by _on_path_failure; flush-mode ones get one here).
+            for rec in peer.outstanding:
+                ev = rec.ev_remote
+                if ev is None:
+                    ev = Event(self.sim).succeed(self._op_error(rec))
+                events.append(ev)
+            peer.completing, peer.outstanding = peer.outstanding, []
+            return events
         flush_watermark = 0
         for rec in peer.outstanding:
             if rec.ev_remote is not None:
@@ -882,14 +1057,14 @@ class RmaEngine:
             flush_id = self._next_flush_id
             self._next_flush_id += 1
             ev = self.sim.event()
-            self._flush_waiters[flush_id] = ev
+            self._flush_waiters[flush_id] = (dst, ev)
             self.send_control(
                 dst, "rma.flush_req",
                 {"watermark": flush_watermark, "flush_id": flush_id,
                  "src": self.rank},
             )
             events.append(ev)
-        peer.outstanding.clear()
+        peer.completing, peer.outstanding = peer.outstanding, []
         return events
 
     def order_one(self, dst: int) -> None:
@@ -1221,9 +1396,9 @@ class RmaEngine:
     # Origin-side protocol packet handlers
     # ------------------------------------------------------------------
     def _on_ack(self, packet: Packet) -> None:
-        ev = self._sw_ack_waiters.pop(packet.payload["op_key"], None)
-        if ev is not None:
-            ev.succeed(self.sim.now)
+        pair = self._sw_ack_waiters.pop(packet.payload["op_key"], None)
+        if pair is not None and not pair[1].triggered:
+            pair[1].succeed(self.sim.now)
 
     def _on_flush_req(self, packet: Packet) -> None:
         p = packet.payload
@@ -1235,14 +1410,18 @@ class RmaEngine:
             peer.flush_waiters.append((p["watermark"], p["flush_id"], p["src"]))
 
     def _on_flush_ack(self, packet: Packet) -> None:
-        ev = self._flush_waiters.pop(packet.payload["flush_id"], None)
-        if ev is not None:
-            ev.succeed(self.sim.now)
+        pair = self._flush_waiters.pop(packet.payload["flush_id"], None)
+        if pair is not None and not pair[1].triggered:
+            pair[1].succeed(self.sim.now)
 
     def _on_get_reply(self, packet: Packet) -> None:
         p = packet.payload
         pend = self._pending_gets.get(p["op_key"])
         if pend is None:
+            if p["op_key"] in self._failed_ops:
+                # The op was failed by a path failure; a straggler reply
+                # (e.g. delivered after a rank restart) is not an error.
+                return
             raise RmaError(f"rank {self.rank}: stray get reply {p['op_key']}")
         chunk = p["data"]
         pend.buffer[p["wire_off"] : p["wire_off"] + len(chunk)] = chunk
@@ -1274,9 +1453,9 @@ class RmaEngine:
         pend.ev_done.succeed()
 
     def _on_reply(self, packet: Packet) -> None:
-        ev = self._pending_replies.pop(packet.payload["op_key"], None)
-        if ev is not None:
-            ev.succeed(packet.payload["value"])
+        entry = self._pending_replies.pop(packet.payload["op_key"], None)
+        if entry is not None and not entry[2].triggered:
+            entry[2].succeed(packet.payload["value"])
 
     # -- lock-serializer packets (delegated) -----------------------------
     def _lock_serializer(self):

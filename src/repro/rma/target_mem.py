@@ -17,12 +17,53 @@ big-endian one, with the engine converting representations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["TargetMem", "RmaError"]
 
 
 class RmaError(RuntimeError):
-    """Protocol/usage error in the RMA layer."""
+    """Protocol/usage or delivery error in the RMA layer.
+
+    Plain usage errors carry only a message.  Delivery failures raised
+    by the failure-aware completion path (reliable transport gave up on
+    a path, or the target rank died) additionally populate the
+    structured fields so applications and tests can react
+    programmatically.
+
+    Attributes
+    ----------
+    op:
+        Operation kind that failed (``"put"``, ``"get"``, ...), or
+        ``None`` for usage errors.
+    target:
+        Target rank of the failed operation.
+    attrs:
+        The :class:`~repro.rma.attrs.RmaAttrs` the operation was issued
+        with, when known.
+    retries:
+        Transmission attempts the reliable transport made before giving
+        up.
+    sim_time:
+        Simulated time at which the failure was declared.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: Optional[str] = None,
+        target: Optional[int] = None,
+        attrs: object = None,
+        retries: Optional[int] = None,
+        sim_time: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.target = target
+        self.attrs = attrs
+        self.retries = retries
+        self.sim_time = sim_time
 
 
 @dataclass(frozen=True)

@@ -19,18 +19,23 @@ Example
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.machine.config import MachineConfig, generic_cluster
 from repro.machine.node import Node, RankMemory, build_nodes
 from repro.mpi.comm import Comm, Group
+from repro.mpi.constants import ERRORS_RAISE
 from repro.mpi.endpoint import MpiEndpoint
 from repro.network.config import NetworkConfig, generic_rdma
 from repro.network.fabric import Fabric
 from repro.network.nic import Nic
 from repro.sim.core import SimulationError, Simulator
+from repro.sim.process import Process, ProcessKilled
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["World", "RankContext"]
 
@@ -115,6 +120,15 @@ class World:
         Personality for transfers between ranks sharing a node; defaults
         to :func:`~repro.network.config.shared_memory_like` when the
         machine places multiple ranks per node, else no distinction.
+    fault_plan:
+        A :class:`~repro.faults.plan.FaultPlan` to arm.  When active it
+        installs a seeded :class:`~repro.faults.injector.FaultInjector`
+        on the fabric and the reliable transport on every NIC; an empty
+        or ``None`` plan keeps every fault-free fast path bit-identical.
+    rma_errhandler:
+        ``ERRORS_RAISE`` (default: failed RMA ops raise their
+        :class:`~repro.rma.target_mem.RmaError` out of wait/complete) or
+        ``ERRORS_RETURN`` (errors are returned/left on the request).
     """
 
     def __init__(
@@ -127,6 +141,8 @@ class World:
         serializer: str = "auto",
         eager_threshold: int = 16384,
         intra_node_network: Optional[NetworkConfig] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        rma_errhandler: str = ERRORS_RAISE,
     ) -> None:
         if machine is None:
             machine = generic_cluster(n_nodes=n_ranks if n_ranks else 8)
@@ -158,6 +174,7 @@ class World:
                 (lambda a, b: machine.node_of_rank(a) == machine.node_of_rank(b))
                 if intra_node_network is not None else None
             ),
+            n_ranks=self.n_ranks,
         )
         self.nodes: List[Node] = build_nodes(machine)
         self.memories: Dict[int, RankMemory] = {}
@@ -180,6 +197,21 @@ class World:
                     self, rank, self.sim, comm, mem, nic
                 )
         self.sim.context["world"] = self
+        self.fault_plan = fault_plan
+        self.injector = None
+        self.rma_errhandler = rma_errhandler
+        self._rank_procs: Dict[int, Process] = {}
+        if fault_plan is not None and fault_plan.active:
+            # Must happen before the subsystems attach: the RMA engines
+            # register their path-failure callbacks on nic.transport.
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(fault_plan, self.rng, tracer=self.tracer)
+            self.fabric.install_injector(injector)
+            for nic in self.nics.values():
+                nic.enable_reliability(fault_plan.transport)
+            injector.arm(self)
+            self.injector = injector
         self._attach_subsystems()
 
     # ------------------------------------------------------------------
@@ -221,6 +253,58 @@ class World:
             build_shmem(self)
 
     # ------------------------------------------------------------------
+    # Fault machinery
+    # ------------------------------------------------------------------
+    def set_errhandler(self, handler: str) -> None:
+        """Switch the RMA error handler (``ERRORS_RAISE``/``ERRORS_RETURN``)."""
+        self.rma_errhandler = handler
+
+    def fault_stats(self) -> Dict[str, Any]:
+        """Aggregate fault-injection and reliability statistics."""
+        stats: Dict[str, Any] = {
+            "injector": dict(self.injector.stats) if self.injector else {},
+            "dead_dropped": self.fabric.dead_dropped,
+            "transport": {},
+            "counters": dict(self.tracer.counters),
+        }
+        for rank, nic in self.nics.items():
+            if nic.transport is not None:
+                stats["transport"][rank] = dict(nic.transport.stats)
+        return stats
+
+    def _kill_rank(self, rank: int, kill_program: bool = True) -> None:
+        """Fault injection: rank dies at the current simulated time.
+        The fabric drops all its traffic; optionally its program process
+        is killed too (it fails with ProcessKilled, reported as None)."""
+        self.fabric.kill_rank(rank)
+        if kill_program:
+            proc = self._rank_procs.get(rank)
+            if proc is not None:
+                proc.kill()
+
+    def _restart_rank(self, rank: int) -> None:
+        """Fault injection: rank comes back.  Every peer's transport
+        flow and RMA path state shared with it resets (epoch restart);
+        already-failed operations stay failed."""
+        self.fabric.revive_rank(rank)
+        for r, nic in self.nics.items():
+            transport = nic.transport
+            if transport is None:
+                continue
+            if r == rank:
+                transport.reset_all()
+            else:
+                transport.reset_flow(rank)
+        for r, ctx in self.contexts.items():
+            engine = getattr(ctx.rma, "engine", None)
+            if engine is None:
+                continue
+            if r == rank:
+                engine.reset_all_paths()
+            else:
+                engine.reset_path(rank)
+
+    # ------------------------------------------------------------------
     def run(
         self,
         program: Callable[..., Any],
@@ -241,6 +325,7 @@ class World:
             procs[rank] = self.sim.spawn(
                 program(ctx, *args), name=f"rank-{rank}"
             )
+        self._rank_procs = procs
         # Stop when every rank program has finished — daemon processes
         # (NIC engines, serializer workers, progress pollers) never
         # terminate, so draining the heap is not a useful stop condition.
@@ -254,7 +339,7 @@ class World:
             proc = procs[rank]
             if not proc.triggered:
                 blocked.append(rank)
-            elif not proc.ok:
+            elif not proc.ok and not isinstance(proc.exception, ProcessKilled):
                 raise proc.exception  # type: ignore[misc]
         if blocked:
             raise SimulationError(
@@ -262,7 +347,9 @@ class World:
                 f"({'time limit reached' if limit is not None else 'deadlock'})"
             )
         for rank in target_ranks:
-            results.append(procs[rank].value)
+            proc = procs[rank]
+            # A fault-killed rank reports None (it has no return value).
+            results.append(proc.value if proc.ok else None)
         return results
 
     @property

@@ -54,6 +54,14 @@ class Tracer:
         self.enabled = enabled
         self._records: List[TraceRecord] = []
         self._seq = 0
+        #: Always-on named counters (cheap, no record objects).  Used by
+        #: the fault-injection/reliability layers to count retransmits,
+        #: checksum drops, etc. even when record tracing is off.
+        self.counters: Dict[str, int] = {}
+
+    def bump(self, key: str, n: int = 1) -> None:
+        """Increment counter ``key`` by ``n`` (independent of ``enabled``)."""
+        self.counters[key] = self.counters.get(key, 0) + n
 
     def record(
         self,

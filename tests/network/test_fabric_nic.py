@@ -120,6 +120,53 @@ class TestDelivery:
             Nic(sim, 0, fabric)
 
 
+class TestAttachValidation:
+    def test_rank_out_of_range_for_sized_fabric(self):
+        sim = Simulator()
+        fabric = Fabric(sim, NetworkConfig(), n_ranks=4)
+        Nic(sim, 3, fabric)  # last valid rank
+        with pytest.raises(ValueError, match="out of range"):
+            Nic(sim, 4, fabric)
+
+    def test_unsized_fabric_accepts_any_rank(self):
+        sim = Simulator()
+        fabric = Fabric(sim, NetworkConfig())
+        Nic(sim, 1000, fabric)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "0", None])
+    def test_non_rank_rejected(self, bad):
+        sim = Simulator()
+        fabric = Fabric(sim, NetworkConfig())
+        with pytest.raises(ValueError, match="non-negative int"):
+            fabric.attach(bad, lambda p: None)
+
+    def test_duplicate_attach_message_names_rank(self):
+        sim = Simulator()
+        fabric = Fabric(sim, NetworkConfig(), n_ranks=2)
+        Nic(sim, 1, fabric)
+        with pytest.raises(ValueError, match="rank 1 already attached"):
+            fabric.attach(1, lambda p: None)
+
+
+class TestUnknownPacketKind:
+    def test_error_carries_simulation_context(self):
+        from repro.network import UnknownPacketKind
+
+        sim, fabric, nics = setup_pair(NetworkConfig(jitter=0))
+        pkt = Packet(src=0, dst=1, kind="mystery")
+        nics[0].send(pkt)
+        with pytest.raises(UnknownPacketKind) as exc_info:
+            sim.run()
+        err = exc_info.value
+        assert isinstance(err, RuntimeError)  # old catch sites still work
+        assert err.rank == 1
+        assert err.kind == "mystery"
+        assert err.src == 0 and err.dst == 1
+        assert err.packet_id == pkt.packet_id
+        assert err.sim_time == sim.now
+        assert "no handler for packet kind 'mystery'" in str(err)
+
+
 class TestOrdering:
     def test_ordered_fabric_preserves_fifo(self):
         cfg = NetworkConfig(ordered=True, gap=0.1, byte_time=0.001, jitter=0.0)

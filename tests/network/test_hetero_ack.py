@@ -1,0 +1,77 @@
+"""Ack gating on heterogeneous fabrics.
+
+On a hierarchical machine the intra-node and inter-node paths can have
+different personalities.  Whether a hardware delivery ack exists is a
+*per-path* decision (``Fabric.config_for``), not a global one: a
+remote-completion put over a path without completion events must degrade
+to the software-ack protocol while the same put over the shared-memory
+path rides the hardware ack — and both must deliver correct data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE
+from repro.faults import FaultPlan
+from repro.machine import MachineConfig
+from repro.network import infiniband_like, shared_memory_like
+from repro.runtime import World
+
+
+def put_between(world, origin, target):
+    """One remote-completion put origin -> target; returns target's view."""
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64)
+        if ctx.rank == origin:
+            src = ctx.mem.space.alloc(16)
+            ctx.mem.store(src, 0, np.arange(1, 17, dtype=np.uint8))
+            yield from ctx.rma.put(src, 0, 16, BYTE, tmems[target], 0, 16,
+                                   BYTE, blocking=True,
+                                   remote_completion=True)
+        yield from ctx.comm.barrier()
+        ctx.mem.fence()
+        return ctx.mem.load(alloc, 0, 16).tolist()
+
+    return world.run(program)[target]
+
+
+def hetero_world(**kw):
+    # 2 nodes x 2 ranks: ranks {0,1} share a node, {2,3} the other.
+    # Inter-node InfiniBand-like RDMA has no remote-completion events;
+    # the intra-node shared-memory path does.
+    machine = MachineConfig(n_nodes=2, ranks_per_node=2)
+    return World(machine=machine, network=infiniband_like(),
+                 intra_node_network=shared_memory_like(), **kw)
+
+
+class TestHeteroAckGating:
+    def test_personalities_differ_per_path(self):
+        w = hetero_world()
+        assert w.fabric.config_for(0, 1).remote_completion_events
+        assert not w.fabric.config_for(0, 2).remote_completion_events
+
+    def test_intra_node_put_uses_hardware_ack(self):
+        w = hetero_world()
+        assert put_between(w, 0, 1) == list(range(1, 17))
+        assert w.fabric.acks_generated > 0
+
+    def test_inter_node_put_completes_without_hardware_ack(self):
+        w = hetero_world()
+        assert put_between(w, 0, 2) == list(range(1, 17))
+        # the inter path cannot generate completion events: the put went
+        # through the software-ack protocol instead of hanging
+        assert w.fabric.acks_generated == 0
+
+    @pytest.mark.parametrize("origin,target", [(0, 1), (0, 2), (2, 0)],
+                             ids=["intra", "inter", "inter-reverse"])
+    def test_both_directions_with_transport_armed(self, origin, target):
+        # An armed (but loss-free) reliable transport must preserve
+        # completion on both kinds of path too.
+        w = hetero_world(fault_plan=FaultPlan().drop(0.0), seed=3)
+        assert put_between(w, origin, target) == list(range(1, 17))
+
+    def test_lossy_inter_path_still_completes(self):
+        plan = FaultPlan().drop(0.10)
+        w = hetero_world(fault_plan=plan, seed=5)
+        assert put_between(w, 0, 2) == list(range(1, 17))
