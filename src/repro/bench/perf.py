@@ -19,11 +19,13 @@ on the host machine.  It times three tiers of the stack:
     full stack including fragmentation and the datatype engine on a
     bandwidth-bound workload.
 
-Results are written to ``BENCH_PR1.json`` (atomically, via a ``.tmp``
-rename).  Pass ``--baseline FILE`` to embed a previously recorded run
-under the ``"baseline"`` key so speedups are tracked in one artifact;
-future PRs extend the trajectory by pointing ``--baseline`` at the
-previous PR's file.
+Results are written to ``BENCH.json`` by default (atomically, via a
+``.tmp`` rename); an existing output file is never overwritten unless
+``--force`` is given, so a committed baseline such as ``BENCH_PR1.json``
+cannot be clobbered by a stray run.  Pass ``--baseline FILE`` to embed a
+previously recorded run under the ``"baseline"`` key so speedups are
+tracked in one artifact; future PRs extend the trajectory by pointing
+``--baseline`` at the previous PR's file.
 
 The harness feature-detects kernel APIs (``Simulator.schedule_call``)
 so the *same file* runs against older revisions — that is how the
@@ -205,13 +207,21 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--quick", action="store_true",
                         help="small sizes for CI smoke runs (~seconds)")
-    parser.add_argument("--out", default="BENCH_PR1.json",
+    parser.add_argument("--out", default="BENCH.json",
                         help="output JSON path (default: %(default)s)")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite --out if it already exists")
     parser.add_argument("--baseline", default=None,
                         help="embed a previously recorded JSON as the baseline")
     parser.add_argument("--label", default="current",
                         help="label stored with this run (default: %(default)s)")
     args = parser.parse_args(argv)
+
+    # Refuse to clobber an existing result file (recorded baselines are
+    # checked in); checked before the slow suite runs.
+    if os.path.exists(args.out) and not args.force:
+        parser.error(f"{args.out!r} already exists; pass --force to "
+                     "overwrite or choose another --out")
 
     base_doc: Optional[Dict[str, Any]] = None
     if args.baseline:

@@ -70,6 +70,9 @@ def fig2_attribute_cost(
     network: Optional[NetworkConfig] = None,
     machine: Optional[MachineConfig] = None,
     seed: int = 0,
+    trace: bool = False,
+    fault_plan=None,
+    world_out: Optional[list] = None,
 ) -> float:
     """Run the Figure-2 workload; returns the elapsed simulated µs.
 
@@ -78,6 +81,11 @@ def fig2_attribute_cost(
     serializer and once with the coarse-grain process-level lock.
     The time reported is the slowest origin's "100 puts + 1 complete"
     span, matching a per-iteration timing on the real machine.
+
+    ``trace`` enables the world's tracer so the observability layer can
+    rebuild per-operation spans (:mod:`repro.obs.spans`) afterwards;
+    ``world_out``, when given, receives the (finished) :class:`World`
+    so callers can reach ``world.tracer`` / ``world.metrics``.
     """
     n_ranks = n_origins + 1
     attrs = _fig2_attrs(mode)
@@ -112,8 +120,10 @@ def fig2_attribute_cost(
         return elapsed
 
     world = World(machine=machine, network=network, seed=seed,
-                  serializer=serializer)
+                  serializer=serializer, trace=trace, fault_plan=fault_plan)
     out = world.run(program)
+    if world_out is not None:
+        world_out.append(world)
     return max(out)
 
 

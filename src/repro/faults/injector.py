@@ -149,6 +149,7 @@ class FaultInjector:
             if (spec.drop_p and spec.matches(src, dst, "hw.ack", now)
                     and stream.random() < spec.drop_p):
                 self.stats["hw_acks_dropped"] += 1
+                self._bump("fault.hw_ack_drop", src=src, dst=dst)
                 return True
         return False
 
@@ -162,20 +163,27 @@ class FaultInjector:
             if nic is None:
                 raise ValueError(f"stall names unknown rank {stall.rank}")
             self.stats["stalls"] += 1
+            self._bump("fault.stall", rank=stall.rank)
             sim.schedule_call(max(0.0, stall.start - sim.now),
                               nic.stall_until, stall.start + stall.duration)
         for kill in self.plan.kills:
             if kill.rank not in world.nics:
                 raise ValueError(f"kill names unknown rank {kill.rank}")
             self.stats["kills"] += 1
+            self._bump("fault.kill", rank=kill.rank)
             sim.schedule_call(max(0.0, kill.at - sim.now),
                               world._kill_rank, kill.rank, kill.kill_program)
             if kill.restart_at is not None:
                 self.stats["restarts"] += 1
+                self._bump("fault.restart", rank=kill.rank)
                 sim.schedule_call(max(0.0, kill.restart_at - sim.now),
                                   world._restart_rank, kill.rank)
 
     # ------------------------------------------------------------------
+    def _bump(self, key: str, **labels) -> None:
+        if self.tracer is not None:
+            self.tracer.bump(key, **labels)
+
     def _trace(self, now: float, what: str, packet: "Packet") -> None:
         tracer = self.tracer
         if tracer is None:

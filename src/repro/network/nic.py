@@ -221,6 +221,14 @@ class Nic:
             self.packets_sent += 1
             self.bytes_sent += packet.wire_bytes
             self._pending -= 1
+            tracer = self.fabric.tracer
+            if tracer.enabled:
+                # Span milestone: serialization finished (the op's
+                # "inject" phase ends at the last fragment's record).
+                tracer.record(self.sim.now, "net", "inject",
+                              rank=self.rank, dst=packet.dst,
+                              kind_=packet.kind, op=packet.op_key(),
+                              bytes=packet.wire_bytes)
             ev = packet.ev_injected
             if ev is not None and not ev.triggered:
                 # Retransmits reuse the packet; only the first injection

@@ -72,6 +72,22 @@ class Packet:
         """Bytes on the wire including the fixed header."""
         return HEADER_SIZE + self.data_bytes
 
+    def op_key(self):
+        """The RMA operation this packet belongs to, or ``None``.
+
+        Protocol packets carry their operation key either at the payload
+        top level (``get_req``/``ack``/``reply``/``get_reply``) or
+        inside the fragment descriptor (``rma.frag``).  Used by the
+        observability layer to correlate inject/deliver/ack records into
+        per-operation spans; flush and transport-ack packets are not
+        per-operation and return ``None``.
+        """
+        payload = self.payload
+        desc = payload.get("desc")
+        if desc is not None:
+            return desc.get("op_key")
+        return payload.get("op_key")
+
     def payload_data(self):
         """The payload's bulk-data array, if any (checksum coverage).
 

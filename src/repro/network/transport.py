@@ -186,7 +186,7 @@ class ReliableTransport:
         # data with the true checksum.
         packet.wire_checksum = packet.checksum
         tracer = self.fabric.tracer
-        tracer.bump("xport.retransmit")
+        tracer.bump("xport.retransmit", rank=self.rank, dst=entry.dst)
         if tracer.enabled:
             tracer.record(self.sim.now, "xport", "retransmit",
                           rank=self.rank, dst=entry.dst, seq=entry.seq,
@@ -195,6 +195,11 @@ class ReliableTransport:
 
     def _on_ack_packet(self, packet: Packet) -> None:
         self.stats["acks_rx"] += 1
+        tracer = self.fabric.tracer
+        if tracer.enabled:
+            tracer.record(self.sim.now, "xport", "ack_rx",
+                          rank=self.rank, src=packet.src,
+                          seq=packet.payload["seq"])
         entry = self._outstanding.pop((packet.src, packet.payload["seq"]), None)
         if entry is None:
             return  # duplicate ack, or the flow already failed
@@ -220,7 +225,7 @@ class ReliableTransport:
             doomed = self._outstanding.pop(key)
             doomed.timer_gen += 1
         tracer = self.fabric.tracer
-        tracer.bump("xport.flow_failure")
+        tracer.bump("xport.flow_failure", rank=self.rank, dst=dst)
         if tracer.enabled:
             tracer.record(self.sim.now, "xport", "flow_failure",
                           rank=self.rank, dst=dst, reason=reason,
@@ -237,7 +242,7 @@ class ReliableTransport:
         if packet.wire_checksum != payload_checksum(packet):
             self.stats["csum_drops"] += 1
             tracer = self.fabric.tracer
-            tracer.bump("xport.csum_drop")
+            tracer.bump("xport.csum_drop", rank=self.rank, src=packet.src)
             if tracer.enabled:
                 tracer.record(self.sim.now, "xport", "csum_drop",
                               rank=self.rank, src=packet.src,

@@ -1,0 +1,34 @@
+"""Deterministic observability: metrics, protocol-phase spans, exporters.
+
+Layered on the existing :class:`~repro.sim.trace.Tracer` (which owns the
+:class:`MetricsRegistry`): lifecycle records gated on ``tracer.enabled``
+feed :mod:`repro.obs.spans`, which reconstructs per-operation
+protocol-phase spans; :mod:`repro.obs.export` renders them as Chrome
+trace-event JSON and ``python -m repro.obs.report`` prints the Figure-2
+cost decomposition.  With observability off the simulation is
+bit-identical to an uninstrumented build — see DESIGN §9.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    PHASES,
+    OpSpan,
+    attribute_phases,
+    build_spans,
+    observe_spans,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASES",
+    "OpSpan",
+    "attribute_phases",
+    "build_spans",
+    "observe_spans",
+    "chrome_trace",
+    "write_chrome_trace",
+]

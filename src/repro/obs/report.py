@@ -1,0 +1,193 @@
+"""Observability report (``python -m repro.obs.report``).
+
+Runs the paper's Figure-2 attribute sweep with tracing on, reconstructs
+protocol-phase spans from the traces, and prints the per-attribute-set
+cost decomposition the paper shows as Figure 2 — where the simulated
+time of each configuration actually goes (injection, wire flight,
+remote application, completion acks) rather than one opaque wall total.
+
+For every point the phase sums equal the operations' end-to-end
+simulated latencies exactly (interval attribution — see
+:mod:`repro.obs.spans`); the report verifies that identity and fails
+loudly if instrumentation ever breaks it.
+
+Options write the same data as machine-readable artifacts:
+``--json-out`` for the metrics/attribution document and ``--trace-out``
+for a Chrome trace-event file of one point (``--trace-point``),
+loadable in https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import PHASES, attribute_phases, build_spans, observe_spans
+
+__all__ = ["run_sweep_report", "format_attribution_table", "main"]
+
+
+def run_sweep_report(
+    sizes=(1024, 16384, 65536),
+    modes=("none", "ordering", "remote_complete", "atomicity+thread"),
+    puts_per_origin: int = 20,
+    seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Run the fig2 sweep traced; return the attribution document.
+
+    The returned dict maps ``"<mode>/<size>"`` to a row with the
+    workload's measured ``sim_us``, the span count, the per-phase
+    decomposition, and the world's merged fault/metrics counters.  The
+    traced worlds are kept under ``"_worlds"`` (not serialized) so the
+    caller can export one as a Chrome trace.
+    """
+    from repro.bench.workloads import fig2_attribute_cost
+
+    registry = registry if registry is not None else MetricsRegistry()
+    points: Dict[str, Any] = {}
+    worlds: Dict[str, Any] = {}
+    for mode in modes:
+        for size in sizes:
+            key = f"{mode}/{size}"
+            sink: List[Any] = []
+            sim_us = fig2_attribute_cost(
+                mode, size, puts_per_origin=puts_per_origin, seed=seed,
+                trace=True, world_out=sink,
+            )
+            world = sink[0]
+            spans = build_spans(world.tracer)
+            for span in spans:
+                if not math.isclose(sum(span.phases.values()), span.total,
+                                    rel_tol=1e-9, abs_tol=1e-9):
+                    raise AssertionError(
+                        f"{key}: span {span.op} phase sum "
+                        f"{sum(span.phases.values())!r} != end-to-end "
+                        f"{span.total!r}"
+                    )
+            observe_spans(spans, registry, mode=mode, size=size)
+            row = attribute_phases(spans)
+            row["sim_us"] = sim_us
+            row["counters"] = dict(world.tracer.counters)
+            points[key] = row
+            worlds[key] = world
+    return {
+        "schema": 1,
+        "workload": "fig2_attribute_cost",
+        "puts_per_origin": puts_per_origin,
+        "seed": seed,
+        "phases": list(PHASES),
+        "points": points,
+        "metrics": registry.snapshot(),
+        "_worlds": worlds,
+    }
+
+
+def format_attribution_table(doc: Dict[str, Any]) -> str:
+    """The per-attribute-set phase table as aligned text."""
+    phases = [p for p in PHASES
+              if any(p in row["phases"] for row in doc["points"].values())]
+    header = (["point", "ops"] + phases
+              + ["end-to-end", "sim_us"])
+    rows = [header]
+    for key, row in doc["points"].items():
+        rows.append(
+            [key, str(row["ops"])]
+            + [f"{row['phases'].get(p, 0.0):.1f}" for p in phases]
+            + [f"{row['end_to_end']:.1f}", f"{row['sim_us']:.1f}"]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j])
+            for j, cell in enumerate(row)
+        ))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _format_metrics(metrics: Dict[str, Any]) -> str:
+    lines = []
+    if metrics["counters"]:
+        lines.append("counters:")
+        for c in metrics["counters"]:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(c["labels"].items()))
+            lines.append(f"  {c['name']}{{{labels}}} = {c['value']}")
+    if metrics["histograms"]:
+        lines.append("histograms (simulated µs):")
+        for h in metrics["histograms"]:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(h["labels"].items()))
+            lines.append(
+                f"  {h['name']}{{{labels}}}: n={h['count']} "
+                f"mean={h['sum'] / h['count']:.2f} "
+                f"min={h['min']:.2f} max={h['max']:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Phase-attribution and metrics report for the fig2 sweep.",
+    )
+    parser.add_argument("--sizes", default="1024,16384,65536",
+                        help="comma-separated message sizes (default: %(default)s)")
+    parser.add_argument("--modes",
+                        default="none,ordering,remote_complete,atomicity+thread",
+                        help="comma-separated attribute modes (default: %(default)s)")
+    parser.add_argument("--puts", type=int, default=20,
+                        help="puts per origin (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sweep for CI smoke runs")
+    parser.add_argument("--json-out", default=None,
+                        help="write the report document as JSON to this path")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome trace-event JSON (Perfetto) here")
+    parser.add_argument("--trace-point", default=None,
+                        help="which <mode>/<size> point --trace-out exports "
+                             "(default: the last point of the sweep)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes, modes, puts = (1024, 16384), ("none", "remote_complete"), 5
+    else:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+        modes = tuple(m for m in args.modes.split(",") if m)
+        puts = args.puts
+
+    doc = run_sweep_report(sizes=sizes, modes=modes, puts_per_origin=puts,
+                           seed=args.seed)
+    worlds = doc.pop("_worlds")
+
+    print("== protocol-phase attribution (simulated µs, summed over ops) ==")
+    print(format_attribution_table(doc))
+    print()
+    print("== metrics ==")
+    print(_format_metrics(doc["metrics"]))
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[obs] wrote report {args.json_out}")
+    if args.trace_out:
+        point = args.trace_point or next(reversed(worlds))
+        if point not in worlds:
+            parser.error(f"--trace-point {point!r} not in sweep "
+                         f"({', '.join(worlds)})")
+        write_chrome_trace(args.trace_out, records=worlds[point].tracer)
+        print(f"[obs] wrote Chrome trace for {point} to {args.trace_out} "
+              f"(open in https://ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

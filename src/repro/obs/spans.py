@@ -1,0 +1,159 @@
+"""Protocol-phase spans reconstructed from trace records.
+
+The RMA engine, NIC, fabric and transport record lifecycle milestones
+for every operation (gated on ``tracer.enabled`` — the instrumentation
+is free when observability is off).  Each milestone record carries the
+operation's ``op`` key, so the full lifecycle
+
+    issue -> inject -> (wire) -> deliver -> serialize/apply -> ack/complete
+
+is reconstructable here into one :class:`OpSpan` per operation, split
+into *phases*.
+
+Phase attribution is interval-based: the span's milestone events are
+sorted by simulated time, and the interval between consecutive events
+is charged to the phase of the *later* event (time between ``inject``
+and ``deliver`` is wire flight; time between ``deliver`` and
+``applied`` is remote application; ...).  Milestones a protocol legally
+skips (flush-mode operations have no per-op ack; single-fragment
+transfers have one inject) simply contribute no interval, so the phase
+sums of every span equal its end-to-end simulated latency *exactly* —
+that identity is what lets the Figure-2 cost decomposition be derived
+from traces instead of wall totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["PHASES", "OpSpan", "build_spans", "attribute_phases",
+           "observe_spans"]
+
+#: Phase names in lifecycle order.
+PHASES = ("inject", "wire", "apply", "ack", "complete")
+
+#: Milestone record kind -> phase charged for the interval *ending* at
+#: that record.  ``*_issue`` kinds open the span and charge nothing.
+_PHASE_OF_KIND = {
+    "inject": "inject",      # origin NIC finished serializing a packet
+    "deliver": "wire",       # fabric delivered a packet at the target
+    "applied": "apply",      # target applied the operation to memory
+    "ack": "ack",            # completion ack arrived back at the origin
+    "complete": "complete",  # origin-side epilogue (get unpack, ...)
+}
+
+
+@dataclass(slots=True)
+class OpSpan:
+    """One operation's reconstructed lifecycle."""
+
+    op: Tuple[int, int]
+    kind: str
+    origin: Optional[int]
+    target: Optional[int]
+    nbytes: int
+    start: float
+    end: float
+    #: Simulated time charged to each phase; only phases that occurred
+    #: appear.  ``sum(phases.values()) == end - start`` always holds.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: The raw milestone timeline: ``(time, phase_or_"issue", record_kind)``.
+    events: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        """End-to-end simulated latency."""
+        return self.end - self.start
+
+
+def build_spans(records: Iterable) -> List[OpSpan]:
+    """Group milestone records by operation and build one span each.
+
+    ``records`` is any iterable of :class:`~repro.sim.trace.TraceRecord`
+    (a :class:`~repro.sim.trace.Tracer` works directly).  Records
+    without an ``op`` key in their detail (consistency litmus records,
+    fault instants, ...) are ignored.  Spans are returned sorted by
+    ``(start, op)``.
+    """
+    groups: Dict[Tuple[int, int], List[Tuple[float, int, str, Any]]] = {}
+    meta: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    for rec in records:
+        op = rec.detail.get("op")
+        if op is None:
+            continue
+        if rec.kind.endswith("_issue"):
+            meta[op] = {
+                "kind": rec.kind[: -len("_issue")],
+                "origin": rec.rank,
+                "target": rec.detail.get("dst"),
+                "nbytes": rec.detail.get("bytes", 0),
+            }
+            label = "issue"
+        else:
+            label = _PHASE_OF_KIND.get(rec.kind)
+            if label is None:
+                continue
+        groups.setdefault(op, []).append((rec.time, rec.seq, label, rec.kind))
+
+    spans: List[OpSpan] = []
+    for op, events in groups.items():
+        events.sort(key=lambda e: (e[0], e[1]))
+        info = meta.get(op, {})
+        start = events[0][0]
+        span = OpSpan(
+            op=op,
+            kind=info.get("kind", "?"),
+            origin=info.get("origin"),
+            target=info.get("target"),
+            nbytes=info.get("nbytes", 0),
+            start=start,
+            end=events[-1][0],
+        )
+        prev = start
+        for time, _seq, label, kind in events:
+            if label != "issue" and time > prev:
+                span.phases[label] = span.phases.get(label, 0.0) + (time - prev)
+            span.events.append((time, label, kind))
+            prev = time
+        spans.append(span)
+    spans.sort(key=lambda s: (s.start, s.op))
+    return spans
+
+
+def attribute_phases(spans: Iterable[OpSpan]) -> Dict[str, Any]:
+    """Aggregate spans into one attribution row.
+
+    Returns ``{"ops": n, "end_to_end": total_us, "phases": {phase: us}}``
+    with phases in lifecycle order.  By construction
+    ``sum(phases.values()) == end_to_end`` (exact float identity: both
+    sides sum the very same interval lengths).
+    """
+    n = 0
+    end_to_end = 0.0
+    totals: Dict[str, float] = {}
+    for span in spans:
+        n += 1
+        for phase, dur in span.phases.items():
+            totals[phase] = totals.get(phase, 0.0) + dur
+            end_to_end += dur
+    ordered = {p: totals[p] for p in PHASES if p in totals}
+    ordered.update({p: d for p, d in sorted(totals.items())
+                    if p not in ordered})
+    return {"ops": n, "end_to_end": end_to_end, "phases": ordered}
+
+
+def observe_spans(spans: Iterable[OpSpan], registry, **labels: Any) -> None:
+    """Feed spans into ``registry`` histograms/counters.
+
+    Fills ``rma.op.latency`` (end-to-end) and ``rma.phase.<phase>``
+    histograms plus an ``rma.ops`` counter, all carrying ``labels``
+    (e.g. ``mode="ordering"``) — the deterministic bridge from traces to
+    the metrics report.
+    """
+    for span in spans:
+        registry.counter("rma.ops", kind=span.kind, **labels).inc()
+        registry.histogram("rma.op.latency", kind=span.kind,
+                           **labels).observe(span.total)
+        for phase, dur in span.phases.items():
+            registry.histogram(f"rma.phase.{phase}", **labels).observe(dur)

@@ -74,8 +74,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["RmaEngine", "OpRecord", "build_rma"]
 
-_op_counter = itertools.count(1)
-
 #: Accumulate operations supported by the engine.
 ACC_OPS = ("sum", "prod", "min", "max", "replace", "daxpy")
 #: Read-modify-write operations (paper §V: conditional and unconditional).
@@ -241,6 +239,11 @@ class RmaEngine:
         self._pending_replies: Dict[Tuple[int, int], Tuple[int, str, Event]] = {}
         self._flush_waiters: Dict[int, Tuple[int, Event]] = {}
         self._next_flush_id = 1
+        # Per-engine op-key counter: keys are (rank, n), so a per-engine
+        # count keeps them unique within a world while staying identical
+        # across same-seed runs (a process-global counter would leak
+        # between worlds and break trace bit-identity).
+        self._op_counter = itertools.count(1)
         # Failure-aware completion state.
         self._path_failures: Dict[int, Any] = {}
         self.failures: List[Any] = []
@@ -632,7 +635,7 @@ class RmaEngine:
                                       via_lock, peer)
         if via_queue or via_lock:
             peer.last_atomic_seq = seq
-        op_key = (self.rank, next(_op_counter))
+        op_key = (self.rank, next(self._op_counter))
 
         frags = fragment_layout(target_dtype, target_count, wire, self.network.mtu)
         desc = {
@@ -695,7 +698,7 @@ class RmaEngine:
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(self.sim.now, "rma", f"{kind}_issue",
                                rank=self.rank, dst=dst, seq=seq,
-                               bytes=nbytes, attrs=str(attrs))
+                               bytes=nbytes, attrs=str(attrs), op=op_key)
         return rec
 
     def _release_lock_after(self, dst: int, rec: OpRecord):
@@ -751,7 +754,7 @@ class RmaEngine:
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
         barrier = seq - 1 if attrs.ordering else peer.order_barrier
-        op_key = (self.rank, next(_op_counter))
+        op_key = (self.rank, next(self._op_counter))
         pend = _PendingGet(
             nbytes, origin_alloc, origin_offset, origin_dtype, origin_count,
             swap=self.mem.space.endianness != tmem.endianness,
@@ -776,7 +779,8 @@ class RmaEngine:
         self.stats["bytes_got"] += nbytes
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(self.sim.now, "rma", "get_issue",
-                               rank=self.rank, dst=dst, seq=seq, bytes=nbytes)
+                               rank=self.rank, dst=dst, seq=seq, bytes=nbytes,
+                               op=op_key)
         return ev_done
 
     def _release_lock_after_event(self, dst: int, ev: Event):
@@ -849,7 +853,7 @@ class RmaEngine:
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
         peer.last_atomic_seq = seq
-        op_key = (self.rank, next(_op_counter))
+        op_key = (self.rank, next(self._op_counter))
         pend = _PendingGet(
             nbytes, origin_alloc, origin_offset, origin_dtype, origin_count,
             swap=self.mem.space.endianness != tmem.endianness,
@@ -882,6 +886,10 @@ class RmaEngine:
                            name=f"lockrel-{self.rank}")
         self.stats["accumulates"] += 1
         self.stats["gets"] += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(self.sim.now, "rma", "getacc_issue",
+                               rank=self.rank, dst=dst, seq=seq, bytes=nbytes,
+                               op=op_key)
         return ev_done
 
     def _serve_getacc(self, peer: _TargetPeer, op: _InboundOp) -> None:
@@ -941,7 +949,7 @@ class RmaEngine:
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
         barrier = peer.order_barrier
-        op_key = (self.rank, next(_op_counter))
+        op_key = (self.rank, next(self._op_counter))
         ev = self.sim.event()
         self._pending_replies[op_key] = (dst, "rmw", ev)
         self.send_control(
@@ -960,6 +968,10 @@ class RmaEngine:
             self.sim.spawn(self._release_lock_after_event(dst, ev),
                            name=f"lockrel-{self.rank}")
         self.stats["rmws"] += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(self.sim.now, "rma", "rmw_issue",
+                               rank=self.rank, dst=dst, seq=seq,
+                               bytes=elem_size, op=op_key)
         return ev
 
     # ------------------------------------------------------------------
@@ -983,7 +995,7 @@ class RmaEngine:
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
         barrier = seq - 1 if attrs.ordering else peer.order_barrier
-        op_key = (self.rank, next(_op_counter))
+        op_key = (self.rank, next(self._op_counter))
         ev = self.sim.event()
         self._pending_replies[op_key] = (dst, "rmi", ev)
         from repro.mpi.endpoint import payload_nbytes
@@ -1345,7 +1357,7 @@ class RmaEngine:
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(self.sim.now, "rma", "applied",
                                rank=self.rank, src=desc["src"], seq=op.seq,
-                               kind_=desc["kind"])
+                               kind_=desc["kind"], op=desc.get("op_key"))
         self._drain_gated(peer)
         self._answer_flushes(peer)
 
@@ -1396,7 +1408,12 @@ class RmaEngine:
     # Origin-side protocol packet handlers
     # ------------------------------------------------------------------
     def _on_ack(self, packet: Packet) -> None:
-        pair = self._sw_ack_waiters.pop(packet.payload["op_key"], None)
+        op_key = packet.payload["op_key"]
+        if self.tracer is not None and self.tracer.enabled:
+            # Span milestone: software application ack back at the origin.
+            self.tracer.record(self.sim.now, "rma", "ack",
+                               rank=self.rank, src=packet.src, op=op_key)
+        pair = self._sw_ack_waiters.pop(op_key, None)
         if pair is not None and not pair[1].triggered:
             pair[1].succeed(self.sim.now)
 
@@ -1410,6 +1427,12 @@ class RmaEngine:
             peer.flush_waiters.append((p["watermark"], p["flush_id"], p["src"]))
 
     def _on_flush_ack(self, packet: Packet) -> None:
+        if self.tracer is not None and self.tracer.enabled:
+            # Timeline marker only: a flush covers many ops, so it is
+            # not attributed to any single span.
+            self.tracer.record(self.sim.now, "rma", "flush_ack",
+                               rank=self.rank, src=packet.src,
+                               flush_id=packet.payload["flush_id"])
         pair = self._flush_waiters.pop(packet.payload["flush_id"], None)
         if pair is not None and not pair[1].triggered:
             pair[1].succeed(self.sim.now)
@@ -1428,9 +1451,10 @@ class RmaEngine:
         pend.received += len(chunk)
         if pend.received >= p["total"]:
             del self._pending_gets[p["op_key"]]
-            self.sim.spawn(self._finish_get(pend), name=f"getfin-{self.rank}")
+            self.sim.spawn(self._finish_get(pend, p["op_key"]),
+                           name=f"getfin-{self.rank}")
 
-    def _finish_get(self, pend: _PendingGet):
+    def _finish_get(self, pend: _PendingGet, op_key=None):
         from repro.datatypes.pack import unpack, unpack_swapped
 
         yield self.sim.timeout(
@@ -1449,11 +1473,19 @@ class RmaEngine:
                 self.sim.now, "consistency", "read", rank=self.rank,
                 location=pend.location, value=tuple(pend.buffer.tolist()),
             )
+        if self.tracer is not None and self.tracer.enabled:
+            # Span milestone: reply unpacked into the origin buffer.
+            self.tracer.record(self.sim.now, "rma", "complete",
+                               rank=self.rank, op=op_key)
         assert pend.ev_done is not None
         pend.ev_done.succeed()
 
     def _on_reply(self, packet: Packet) -> None:
-        entry = self._pending_replies.pop(packet.payload["op_key"], None)
+        op_key = packet.payload["op_key"]
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(self.sim.now, "rma", "complete",
+                               rank=self.rank, src=packet.src, op=op_key)
+        entry = self._pending_replies.pop(op_key, None)
         if entry is not None and not entry[2].triggered:
             entry[2].succeed(packet.payload["value"])
 

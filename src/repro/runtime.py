@@ -166,6 +166,10 @@ class World:
 
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace)
+        #: The world's metrics registry (shared with the tracer, so
+        #: ``tracer.bump`` counters and observability metrics live in
+        #: one place).  See :mod:`repro.obs.metrics`.
+        self.metrics = self.tracer.metrics
         self.rng = RngRegistry(seed)
         self.fabric = Fabric(
             self.sim, self.network, rng=self.rng, tracer=self.tracer,
@@ -260,7 +264,13 @@ class World:
         self.rma_errhandler = handler
 
     def fault_stats(self) -> Dict[str, Any]:
-        """Aggregate fault-injection and reliability statistics."""
+        """Aggregate fault-injection and reliability statistics.
+
+        The historical keys (``injector``/``dead_dropped``/``transport``/
+        ``counters``) keep their shapes; ``metrics`` adds the full
+        registry snapshot (after publishing component gauges via
+        :meth:`collect_metrics`).
+        """
         stats: Dict[str, Any] = {
             "injector": dict(self.injector.stats) if self.injector else {},
             "dead_dropped": self.fabric.dead_dropped,
@@ -270,7 +280,34 @@ class World:
         for rank, nic in self.nics.items():
             if nic.transport is not None:
                 stats["transport"][rank] = dict(nic.transport.stats)
+        self.collect_metrics()
+        stats["metrics"] = self.metrics.snapshot()
         return stats
+
+    def collect_metrics(self) -> "Any":
+        """Publish component stats into the metrics registry as gauges.
+
+        NIC traffic counts, transport reliability stats and fault
+        injector stats are kept in plain attributes on the hot paths;
+        this pulls them into ``world.metrics`` (idempotent — gauges are
+        set, not incremented) so one registry snapshot describes the
+        whole run.  Returns the registry.
+        """
+        metrics = self.metrics
+        for rank, nic in self.nics.items():
+            metrics.gauge("nic.packets_sent", rank=rank).set(nic.packets_sent)
+            metrics.gauge("nic.bytes_sent", rank=rank).set(nic.bytes_sent)
+            metrics.gauge("nic.packets_received", rank=rank).set(
+                nic.packets_received
+            )
+            if nic.transport is not None:
+                for key, value in nic.transport.stats.items():
+                    metrics.gauge(f"xport.{key}", rank=rank).set(value)
+        metrics.gauge("fabric.dead_dropped").set(self.fabric.dead_dropped)
+        if self.injector is not None:
+            for key, value in self.injector.stats.items():
+                metrics.gauge(f"fault.{key}").set(value)
+        return metrics
 
     def _kill_rank(self, rank: int, kill_program: bool = True) -> None:
         """Fault injection: rank dies at the current simulated time.

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["TraceRecord", "Tracer"]
 
 
@@ -50,18 +52,27 @@ class Tracer:
     boolean check per potential record.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(self, enabled: bool = False,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.enabled = enabled
         self._records: List[TraceRecord] = []
         self._seq = 0
-        #: Always-on named counters (cheap, no record objects).  Used by
-        #: the fault-injection/reliability layers to count retransmits,
-        #: checksum drops, etc. even when record tracing is off.
-        self.counters: Dict[str, int] = {}
+        #: Always-on typed metrics (cheap, no record objects).  The
+        #: fault-injection/reliability layers bump counters here to
+        #: count retransmits, checksum drops, etc. even when record
+        #: tracing is off; the span/report layers fill histograms.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
-    def bump(self, key: str, n: int = 1) -> None:
-        """Increment counter ``key`` by ``n`` (independent of ``enabled``)."""
-        self.counters[key] = self.counters.get(key, 0) + n
+    def bump(self, key: str, n: int = 1, **labels: Any) -> None:
+        """Increment counter ``key`` by ``n`` (independent of
+        ``enabled``), optionally labeled (e.g. ``rank=3``)."""
+        self.metrics.counter(key, **labels).inc(n)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counters aggregated over labels — the untyped-dict compat
+        view of :attr:`metrics` (a snapshot, not a live reference)."""
+        return self.metrics.counter_totals()
 
     def record(
         self,
@@ -116,5 +127,9 @@ class Tracer:
         return out
 
     def clear(self) -> None:
-        """Discard all records (keeps the sequence counter monotonic)."""
+        """Discard all records *and* reset every metric (counters,
+        gauges, histograms), so a tracer reused across bench repetitions
+        or chaos seeds never double-counts.  The record sequence counter
+        stays monotonic across clears."""
         self._records.clear()
+        self.metrics.reset()

@@ -1,0 +1,142 @@
+"""Chrome trace export: golden file, JSON validity, determinism.
+
+The golden file pins the exporter's exact output on a tiny 2-rank
+put/get workload.  To regenerate after an intentional format change:
+
+    REGEN_OBS_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_export.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.datatypes import BYTE
+from repro.faults import FaultPlan
+from repro.network.config import generic_rdma
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.spans import build_spans, observe_spans
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import World
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_chrome_trace.json")
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+
+def _tiny_world(seed=0):
+    """The golden workload: rank 0 puts 32B to rank 1, then gets it back."""
+    world = World(n_ranks=2, seed=seed, trace=True)
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(128)
+        src = ctx.mem.space.alloc(32, fill=ctx.rank + 1)
+        yield from ctx.comm.barrier()
+        if ctx.rank == 0:
+            yield from ctx.rma.put(
+                src, 0, 32, BYTE, tmems[1], 0, 32, BYTE,
+                blocking=True, remote_completion=True,
+            )
+            yield from ctx.rma.get(
+                src, 0, 32, BYTE, tmems[1], 0, 32, BYTE, blocking=True,
+            )
+        yield from ctx.comm.barrier()
+
+    world.run(program)
+    return world
+
+
+def _chaos_world(seed=CHAOS_SEED):
+    """A lossy 4-rank ring with retransmissions exercising fault records."""
+    world = World(n_ranks=4, network=generic_rdma(), seed=seed,
+                  trace=True, fault_plan=FaultPlan().drop(0.05))
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(2048)
+        src = ctx.mem.space.alloc(2048, fill=ctx.rank + 1)
+        peer = (ctx.rank + 1) % ctx.size
+        for i in range(4):
+            yield from ctx.rma.put(src, 0, 512, BYTE, tmems[peer],
+                                   i * 512, 512, BYTE)
+        yield from ctx.rma.complete()
+        yield from ctx.comm.barrier()
+        return True
+
+    assert world.run(program) == [True] * 4
+    return world
+
+
+class TestChromeTraceGolden:
+    def test_matches_golden_file(self):
+        doc = chrome_trace(records=_tiny_world().tracer)
+        rendered = json.loads(json.dumps(doc, sort_keys=True))
+        if os.environ.get("REGEN_OBS_GOLDEN"):
+            with open(GOLDEN, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            pytest.skip("regenerated golden file")
+        with open(GOLDEN) as fh:
+            golden = json.load(fh)
+        assert rendered == golden
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(str(path), records=_tiny_world().tracer)
+        with open(path) as fh:
+            assert json.load(fh) == json.loads(json.dumps(doc))
+
+
+class TestChromeTraceShape:
+    def test_valid_trace_event_json(self):
+        doc = chrome_trace(records=_tiny_world().tracer)
+        events = doc["traceEvents"]
+        assert isinstance(events, list) and events
+        for ev in events:
+            assert ev["ph"] in ("X", "i", "M")
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+                assert isinstance(ev["ts"], (int, float))
+        # one process_name metadata entry per rank
+        procs = [e for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert {e["pid"] for e in procs} == {0, 1}
+        # op spans live on the origin's process with per-op lanes
+        ops = [e for e in events if e["ph"] == "X" and e["cat"] == "rma"
+               and e["name"].startswith(("put", "get"))]
+        assert len(ops) == 2
+        assert all(e["pid"] == 0 for e in ops)
+
+    def test_fault_records_become_instants(self):
+        world = _chaos_world()
+        doc = chrome_trace(records=world.tracer)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert any(n.startswith("fault.") or n.startswith("xport.")
+                   for n in names)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trace_doc(self):
+        a = chrome_trace(records=_tiny_world(seed=5).tracer)
+        b = chrome_trace(records=_tiny_world(seed=5).tracer)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_same_seed_identical_metrics(self):
+        def metrics():
+            world = _tiny_world(seed=9)
+            reg = MetricsRegistry()
+            observe_spans(build_spans(world.tracer), reg, run="x")
+            return reg.snapshot()
+
+        assert metrics() == metrics()
+
+    def test_chaos_seed_identical_metrics_and_trace(self):
+        def run():
+            world = _chaos_world()
+            stats = world.fault_stats()
+            doc = chrome_trace(records=world.tracer)
+            return stats["metrics"], stats["counters"], json.dumps(
+                doc, sort_keys=True)
+
+        a, b = run(), run()
+        assert a == b
+        # the fault plan actually fired, so the equality is non-trivial
+        assert a[1].get("xport.retransmit", 0) > 0

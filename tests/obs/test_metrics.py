@@ -1,0 +1,114 @@
+"""Unit tests for the typed metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(7)
+        g.add(-2)
+        assert g.value == 5
+
+
+class TestBucketIndex:
+    @pytest.mark.parametrize("value, idx", [
+        (1.0, 0),      # (0.5, 1]
+        (1.5, 1),      # (1, 2]
+        (2.0, 1),
+        (2.1, 2),
+        (4.0, 2),
+        (0.5, -1),
+        (0.25, -2),
+        (1024.0, 10),
+    ])
+    def test_boundaries(self, value, idx):
+        # Bucket i covers (2**(i-1), 2**i]: the bound itself is inside.
+        assert bucket_index(value) == idx
+        assert value <= 2.0 ** idx
+        assert value > 2.0 ** (idx - 1)
+
+
+class TestHistogram:
+    def test_stats_and_buckets(self):
+        h = Histogram("lat")
+        for v in (0.0, 1.0, 1.5, 3.0, 3.5):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(9.0)
+        assert h.min == 0.0 and h.max == 3.5
+        assert h.zero_count == 1
+        # zero bucket leads; 1.0 -> (0.5,1]; 1.5 -> (1,2]; 3.0/3.5 -> (2,4]
+        assert h.buckets() == [(0.0, 1), (1.0, 1), (2.0, 1), (4.0, 2)]
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_snapshot_is_json_able(self):
+        h = Histogram("lat")
+        h.observe(2.5)
+        json.dumps(h.snapshot())
+
+
+class TestMetricsRegistry:
+    def test_memoizes_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", rank=1) is reg.counter("a", rank=1)
+        assert reg.counter("a", rank=1) is not reg.counter("a", rank=2)
+        assert reg.counter("a", rank=1) is not reg.counter("b", rank=1)
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1, y=2) is reg.counter("a", y=2, x=1)
+
+    def test_counter_totals_aggregates_over_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("xport.retransmit", rank=0).inc(2)
+        reg.counter("xport.retransmit", rank=1).inc(3)
+        reg.counter("untouched").inc(0)
+        assert reg.counter_totals() == {"xport.retransmit": 5}
+
+    def test_snapshot_deterministic_and_json_able(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("c", rank=1).inc()
+            reg.gauge("g").set(3.5)
+            reg.histogram("h", path="0->1").observe(2.0)
+            return reg.snapshot()
+
+        a, b = build(), build()
+        assert a == b
+        assert json.loads(json.dumps(a)) == json.loads(json.dumps(b))
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1.0)
+        assert len(reg) == 3
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.counter_totals() == {}

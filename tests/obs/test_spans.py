@@ -1,0 +1,116 @@
+"""Span reconstruction and phase attribution from trace records."""
+
+import math
+
+from repro.datatypes import BYTE
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import attribute_phases, build_spans, observe_spans
+from repro.runtime import World
+
+
+def _put_get_world(seed=0):
+    """2-rank workload: one remotely-complete put and one get."""
+    world = World(n_ranks=2, seed=seed, trace=True)
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(256)
+        src = ctx.mem.space.alloc(64, fill=ctx.rank + 1)
+        yield from ctx.comm.barrier()
+        if ctx.rank == 0:
+            yield from ctx.rma.put(
+                src, 0, 64, BYTE, tmems[1], 0, 64, BYTE,
+                blocking=True, remote_completion=True,
+            )
+            yield from ctx.rma.get(
+                src, 0, 64, BYTE, tmems[1], 0, 64, BYTE, blocking=True,
+            )
+        yield from ctx.comm.barrier()
+
+    world.run(program)
+    return world
+
+
+class TestBuildSpans:
+    def test_put_and_get_spans_reconstructed(self):
+        world = _put_get_world()
+        spans = build_spans(world.tracer)
+        kinds = sorted(s.kind for s in spans)
+        assert kinds == ["get", "put"]
+        for span in spans:
+            assert span.origin == 0
+            assert span.target == 1
+            assert span.nbytes == 64
+            assert span.end >= span.start
+
+    def test_phase_sums_equal_end_to_end_exactly(self):
+        world = _put_get_world()
+        for span in build_spans(world.tracer):
+            assert math.isclose(sum(span.phases.values()), span.total,
+                                rel_tol=1e-12, abs_tol=1e-12)
+
+    def test_put_span_covers_ack_and_get_span_completes(self):
+        world = _put_get_world()
+        by_kind = {s.kind: s for s in build_spans(world.tracer)}
+        assert "ack" in by_kind["put"].phases  # remote completion round trip
+        # get ends at the origin-side unpack milestone
+        assert by_kind["get"].events[-1][2] == "complete"
+
+    def test_records_without_op_are_ignored(self):
+        world = _put_get_world()
+        # Two-sided barrier traffic records p2p packets with op=None.
+        assert any(r.detail.get("op") is None for r in world.tracer)
+        ops = {s.op for s in build_spans(world.tracer)}
+        assert None not in ops
+
+
+class TestAttributePhases:
+    def test_aggregate_identity(self):
+        spans = build_spans(_put_get_world().tracer)
+        row = attribute_phases(spans)
+        assert row["ops"] == len(spans) == 2
+        assert math.isclose(sum(row["phases"].values()), row["end_to_end"],
+                            rel_tol=1e-12, abs_tol=1e-12)
+
+    def test_fig2_point_phase_sums_match(self):
+        from repro.bench.workloads import fig2_attribute_cost
+
+        sink = []
+        fig2_attribute_cost("remote_complete", 1024, puts_per_origin=3,
+                            seed=0, trace=True, world_out=sink)
+        spans = build_spans(sink[0].tracer)
+        assert len(spans) == 7 * 3  # n_origins * puts_per_origin
+        row = attribute_phases(spans)
+        assert math.isclose(sum(row["phases"].values()), row["end_to_end"],
+                            rel_tol=1e-12, abs_tol=1e-12)
+        assert row["phases"]["ack"] > 0  # remote completion was paid for
+
+    def test_flush_mode_ops_have_no_ack_phase(self):
+        from repro.bench.workloads import fig2_attribute_cost
+
+        sink = []
+        fig2_attribute_cost("none", 1024, puts_per_origin=3,
+                            seed=0, trace=True, world_out=sink)
+        row = attribute_phases(build_spans(sink[0].tracer))
+        assert "ack" not in row["phases"]
+
+
+class TestObserveSpans:
+    def test_fills_registry(self):
+        spans = build_spans(_put_get_world().tracer)
+        reg = MetricsRegistry()
+        observe_spans(spans, reg, mode="test")
+        snap = reg.snapshot()
+        names = {c["name"] for c in snap["counters"]}
+        assert names == {"rma.ops"}
+        hnames = {h["name"] for h in snap["histograms"]}
+        assert "rma.op.latency" in hnames
+        total_ops = sum(c["value"] for c in snap["counters"])
+        assert total_ops == len(spans)
+
+    def test_same_seed_same_snapshot(self):
+        def snap():
+            reg = MetricsRegistry()
+            observe_spans(build_spans(_put_get_world(seed=3).tracer), reg)
+            return reg.snapshot()
+
+        assert snap() == snap()

@@ -142,6 +142,61 @@ class TestBurstTimestampParity:
         assert not called
 
 
+class TestObservabilityOffPinnedToBaseline:
+    """With observability off, simulated timestamps are bit-identical to
+    the values recorded in ``BENCH_PR1.json`` before the observability
+    layer existed — the pay-for-what-you-use guarantee.
+
+    Pinned with the burst path both on and off, and with an (inert)
+    empty fault plan, so none of the instrumented layers may shift a
+    single simulated event when tracing is disabled.
+    """
+
+    @classmethod
+    def _baseline(cls):
+        import json
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "BENCH_PR1.json")
+        with open(path) as fh:
+            return json.load(fh)["results"]
+
+    # fig2 runs in BENCH_PR1.json used puts_per_origin=50.
+    FIG2_POINTS = [("none", 1024), ("none", 16384), ("none", 65536),
+                   ("ordering", 16384), ("remote_complete", 1024),
+                   ("remote_complete", 16384)]
+
+    @pytest.mark.parametrize("burst", [True, False],
+                             ids=["burst-on", "burst-off"])
+    @pytest.mark.parametrize("mode,size", FIG2_POINTS)
+    def test_fig2_sim_us_bit_identical(self, mode, size, burst):
+        expected = self._baseline()["fig2"]["points"][f"{mode}/{size}"]["sim_us"]
+        Nic.burst_enabled = burst
+        try:
+            assert fig2_attribute_cost(mode, size,
+                                       puts_per_origin=50) == expected
+        finally:
+            Nic.burst_enabled = True
+
+    def test_fig2_sim_us_with_empty_fault_plan(self):
+        from repro.faults import FaultPlan
+
+        expected = self._baseline()["fig2"]["points"]["none/16384"]["sim_us"]
+        assert fig2_attribute_cost(
+            "none", 16384, puts_per_origin=50, fault_plan=FaultPlan()
+        ) == expected
+
+    def test_halo_sim_us_bit_identical(self):
+        expected = self._baseline()["halo"]
+        got = halo_exchange_time(
+            "strawman", n_ranks=expected["n_ranks"],
+            halo_bytes=expected["halo_bytes"],
+            iterations=expected["iterations"],
+        )
+        assert got == expected["sim_us_per_iter"]
+
+
 class TestSegmentsForFastPath:
     def _reference(self, dtype, count):
         segs = []

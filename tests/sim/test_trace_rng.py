@@ -42,6 +42,58 @@ class TestTracer:
         tr.record(1.0, "a", "x")
         assert [r.kind for r in tr] == ["x"]
 
+    def test_bump_and_counters_view(self):
+        tr = Tracer()
+        tr.bump("xport.retransmit")
+        tr.bump("xport.retransmit", 2, rank=3)
+        # the compat view aggregates over labels, keyed by bare name
+        assert tr.counters == {"xport.retransmit": 3}
+        # the underlying registry keeps the labeled split
+        assert tr.metrics.counter("xport.retransmit", rank=3).value == 2
+
+    def test_clear_resets_counters_too(self):
+        # Regression: clear() used to drop records but leak counters, so
+        # a tracer reused across bench repetitions double-counted.
+        tr = Tracer(enabled=True)
+        tr.record(1.0, "a", "x")
+        tr.bump("fault.drop")
+        tr.metrics.histogram("h").observe(1.0)
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.counters == {}
+        assert len(tr.metrics) == 0
+
+    def test_disabled_tracer_record_is_never_called_by_call_sites(self,
+                                                                  monkeypatch):
+        # Convention check: every record() call site in the stack must be
+        # gated on tracer.enabled (record is not free even when it drops
+        # the record).  A poisoned record on an untraced faulty workload
+        # proves no site slipped through.
+        from repro.datatypes import BYTE
+        from repro.faults import FaultPlan
+        from repro.network.config import generic_rdma
+        from repro.runtime import World
+
+        def boom(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("Tracer.record called while disabled")
+
+        monkeypatch.setattr(Tracer, "record", boom)
+        world = World(n_ranks=2, network=generic_rdma(),
+                      fault_plan=FaultPlan().drop(0.05), seed=7)
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(1024)
+            src = ctx.mem.space.alloc(1024, fill=ctx.rank + 1)
+            peer = (ctx.rank + 1) % ctx.size
+            yield from ctx.rma.put(src, 0, 1024, BYTE, tmems[peer], 0,
+                                   1024, BYTE, remote_completion=True,
+                                   blocking=True)
+            yield from ctx.rma.complete()
+            yield from ctx.comm.barrier()
+            return True
+
+        assert world.run(program) == [True, True]
+
 
 class TestRngRegistry:
     def test_same_seed_same_stream_is_reproducible(self):
