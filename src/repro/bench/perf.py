@@ -27,6 +27,15 @@ previously recorded run under the ``"baseline"`` key so speedups are
 tracked in one artifact; future PRs extend the trajectory by pointing
 ``--baseline`` at the previous PR's file.
 
+``--compare FILE`` is the regression gate: it *recomputes* every
+simulated-time observable recorded in ``FILE`` (the halo µs/iter and
+each Figure-2 point) with the recorded parameters and exits non-zero
+when any drifts beyond ``--tolerance`` (relative; default exact to
+float noise).  Wall-clock numbers are machine-dependent and are never
+compared — only simulated time, which must be bit-stable.  CI runs
+this against ``BENCH_PR1.json`` so a change that silently shifts the
+model's timing fails the build.
+
 The harness feature-detects kernel APIs (``Simulator.schedule_call``)
 so the *same file* runs against older revisions — that is how the
 pre-optimization baseline embedded in ``BENCH_PR1.json`` was produced.
@@ -41,7 +50,7 @@ import sys
 import time
 from typing import Any, Callable, Dict, Optional
 
-__all__ = ["run_all", "main"]
+__all__ = ["run_all", "compare_to_baseline", "main"]
 
 
 def _best_of(n: int, fn: Callable[[], float]) -> float:
@@ -186,6 +195,52 @@ def run_all(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+def compare_to_baseline(baseline: Dict[str, Any],
+                        tolerance: float = 1e-9) -> list:
+    """Recompute the simulated-time observables recorded in ``baseline``
+    and return drift messages (empty list = everything matches).
+
+    Only simulated time is compared — the model's output, which must be
+    reproducible to the bit on any machine.  ``tolerance`` is relative:
+    a value ``v`` matches its recorded counterpart ``b`` when
+    ``|v - b| <= tolerance * max(|b|, 1)``.
+    """
+    from repro.bench.workloads import fig2_attribute_cost, halo_exchange_time
+
+    results = baseline.get("results", baseline)
+    failures = []
+
+    def check(name: str, current: float, recorded: float) -> None:
+        if abs(current - recorded) > tolerance * max(abs(recorded), 1.0):
+            failures.append(
+                f"{name}: recomputed {current!r} != recorded {recorded!r}"
+            )
+
+    halo = results.get("halo") or {}
+    if "sim_us_per_iter" in halo:
+        sim_us = halo_exchange_time(
+            "strawman",
+            n_ranks=int(halo.get("n_ranks", 8)),
+            halo_bytes=int(halo.get("halo_bytes", 8192)),
+            iterations=int(halo.get("iterations", 40)),
+        )
+        check("halo.sim_us_per_iter", sim_us, halo["sim_us_per_iter"])
+
+    fig2 = results.get("fig2") or {}
+    puts_per_origin = int(fig2.get("puts_per_origin", 100))
+    for key in sorted(fig2.get("points", {})):
+        point = fig2["points"][key]
+        if "sim_us" not in point:
+            continue
+        mode, _, size = key.rpartition("/")
+        sim_us = fig2_attribute_cost(
+            mode, int(size), puts_per_origin=puts_per_origin,
+        )
+        check(f"fig2.{key}.sim_us", sim_us, point["sim_us"])
+
+    return failures
+
+
 def _speedups(current: Dict[str, Any],
               baseline: Dict[str, Any]) -> Dict[str, float]:
     out: Dict[str, float] = {}
@@ -215,7 +270,32 @@ def main(argv: Optional[list] = None) -> int:
                         help="embed a previously recorded JSON as the baseline")
     parser.add_argument("--label", default="current",
                         help="label stored with this run (default: %(default)s)")
+    parser.add_argument("--compare", default=None, metavar="FILE",
+                        help="regression gate: recompute the simulated-time "
+                             "observables recorded in FILE and exit non-zero "
+                             "on drift (writes nothing)")
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="relative sim-time drift tolerance for "
+                             "--compare (default: %(default)s)")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        try:
+            with open(args.compare) as fh:
+                base_doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline {args.compare!r}: {exc}")
+        print(f"[perf] comparing simulated time against {args.compare} "
+              f"(tolerance {args.tolerance:g}) ...", flush=True)
+        failures = compare_to_baseline(base_doc, tolerance=args.tolerance)
+        for msg in failures:
+            print(f"[perf] DRIFT {msg}")
+        if failures:
+            print(f"[perf] FAIL: {len(failures)} simulated-time observable(s) "
+                  "drifted from the recorded baseline")
+            return 1
+        print("[perf] OK: all recorded simulated-time observables match")
+        return 0
 
     # Refuse to clobber an existing result file (recorded baselines are
     # checked in); checked before the slow suite runs.

@@ -6,9 +6,10 @@ NIC injectors stall, and whole nodes die.  This package provides a
 seeded, fully reproducible fault model:
 
 - :class:`FaultPlan` — a declarative schedule of packet-level faults
-  (:class:`LossSpec`), NIC injector stalls (:class:`StallSpec`) and
-  rank kills/restarts (:class:`KillSpec`), plus the reliable-transport
-  tuning knobs (:class:`TransportParams`);
+  (:class:`LossSpec`), NIC injector stalls (:class:`StallSpec`),
+  rank kills/restarts (:class:`KillSpec`) and topology cable failures
+  (:class:`LinkDownSpec`, routed fabrics only), plus the
+  reliable-transport tuning knobs (:class:`TransportParams`);
 - :class:`FaultInjector` — the runtime object the
   :class:`~repro.network.fabric.Fabric` consults per packet.  It draws
   from its own named RNG streams (one per (src, dst) path), so adding
@@ -27,6 +28,7 @@ from repro.faults.injector import FaultInjector, PacketFate
 from repro.faults.plan import (
     FaultPlan,
     KillSpec,
+    LinkDownSpec,
     LossSpec,
     StallSpec,
     TransportParams,
@@ -36,6 +38,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "KillSpec",
+    "LinkDownSpec",
     "LossSpec",
     "PacketFate",
     "StallSpec",

@@ -90,6 +90,8 @@ class FaultInjector:
             "stalls": 0,
             "kills": 0,
             "restarts": 0,
+            "link_downs": 0,
+            "link_restores": 0,
         }
 
     def _stream(self, src: int, dst: int):
@@ -178,6 +180,28 @@ class FaultInjector:
                 self._bump("fault.restart", rank=kill.rank)
                 sim.schedule_call(max(0.0, kill.restart_at - sim.now),
                                   world._restart_rank, kill.rank)
+        if self.plan.link_downs:
+            topo = getattr(world, "topo", None)
+            if topo is None:
+                raise ValueError(
+                    "the plan fails topology links but the world's fabric "
+                    "is flat (no topology in the network config)"
+                )
+            for spec in self.plan.link_downs:
+                if (spec.u, spec.v) not in topo.topology.graph.edges:
+                    raise ValueError(
+                        f"link-down names unknown link {spec.u!r} -> {spec.v!r}"
+                    )
+                self.stats["link_downs"] += 1
+                self._bump("fault.link_down")
+                sim.schedule_call(max(0.0, spec.at - sim.now),
+                                  topo.fail_link, spec.u, spec.v, spec.both)
+                if spec.restore_at is not None:
+                    self.stats["link_restores"] += 1
+                    self._bump("fault.link_restore")
+                    sim.schedule_call(max(0.0, spec.restore_at - sim.now),
+                                      topo.restore_link, spec.u, spec.v,
+                                      spec.both)
 
     # ------------------------------------------------------------------
     def _bump(self, key: str, **labels) -> None:

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
-__all__ = ["LossSpec", "StallSpec", "KillSpec", "TransportParams", "FaultPlan"]
+__all__ = ["LossSpec", "StallSpec", "KillSpec", "LinkDownSpec",
+           "TransportParams", "FaultPlan"]
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,33 @@ class KillSpec:
 
 
 @dataclass(frozen=True)
+class LinkDownSpec:
+    """Fail a topology cable at ``at`` (and optionally restore it).
+
+    Only meaningful on a routed fabric (a world whose network config
+    carries a topology); arming it on a flat fabric raises.  ``u`` and
+    ``v`` name graph nodes of the topology; with ``both`` (default) the
+    full-duplex cable fails in both directions.  Traffic re-routes
+    around the dead cable; when none survives, packets between the
+    partitioned hosts are dropped and the reliable transport's retry
+    budget eventually surfaces the partition as a structured
+    :class:`~repro.rma.target_mem.RmaError`.
+    """
+
+    u: Any
+    v: Any
+    at: float
+    restore_at: Optional[float] = None
+    both: bool = True
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("link-down time must be >= 0")
+        if self.restore_at is not None and self.restore_at <= self.at:
+            raise ValueError("restore_at must be after the link-down time")
+
+
+@dataclass(frozen=True)
 class TransportParams:
     """Tuning knobs of the reliable transport armed with a fault plan.
 
@@ -158,6 +186,7 @@ class FaultPlan:
     losses: List[LossSpec] = field(default_factory=list)
     stalls: List[StallSpec] = field(default_factory=list)
     kills: List[KillSpec] = field(default_factory=list)
+    link_downs: List[LinkDownSpec] = field(default_factory=list)
     transport: TransportParams = field(default_factory=TransportParams)
 
     # -- builders --------------------------------------------------------
@@ -194,6 +223,14 @@ class FaultPlan:
         self.kills.append(KillSpec(rank, at, restart_at, kill_program))
         return self
 
+    def link_down(self, u: Any, v: Any, at: float,
+                  restore_at: Optional[float] = None,
+                  both: bool = True) -> "FaultPlan":
+        """Fail the topology cable ``u <-> v`` at simulated time ``at``
+        (routed fabrics only; see :class:`LinkDownSpec`)."""
+        self.link_downs.append(LinkDownSpec(u, v, at, restore_at, both))
+        return self
+
     def with_transport(self, **kw) -> "FaultPlan":
         """Replace transport tuning parameters."""
         from dataclasses import replace
@@ -210,7 +247,8 @@ class FaultPlan:
         transport — the simulation stays on the fault-free fast path
         and is timestamp-identical to passing no plan.
         """
-        return bool(self.losses or self.stalls or self.kills)
+        return bool(self.losses or self.stalls or self.kills
+                    or self.link_downs)
 
     @classmethod
     def empty(cls) -> "FaultPlan":
@@ -219,4 +257,5 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<FaultPlan losses={len(self.losses)} "
-                f"stalls={len(self.stalls)} kills={len(self.kills)}>")
+                f"stalls={len(self.stalls)} kills={len(self.kills)} "
+                f"link_downs={len(self.link_downs)}>")

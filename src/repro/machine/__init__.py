@@ -36,8 +36,10 @@ from repro.machine.config import (
     nec_sx9,
 )
 from repro.machine.node import Node, RankMemory, build_nodes
+from repro.machine.placement import PLACEMENTS, placement_map
 
 __all__ = [
+    "PLACEMENTS",
     "AddressSpace",
     "Allocation",
     "CacheModel",
@@ -57,4 +59,5 @@ __all__ = [
     "generic_cluster",
     "hybrid_accelerator",
     "nec_sx9",
+    "placement_map",
 ]

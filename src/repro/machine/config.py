@@ -36,6 +36,7 @@ from repro.machine.cache import (
     NoCache,
     WriteThroughNonCoherentCache,
 )
+from repro.machine.placement import PLACEMENTS, placement_map
 
 __all__ = [
     "MachineTimings",
@@ -115,6 +116,11 @@ class MachineConfig:
     ``nodes`` may be shorter than the node count implied by
     ``n_nodes``; the last entry is replicated (convenient for
     homogeneous machines described by one :class:`NodeConfig`).
+
+    ``placement`` picks the rank-to-node strategy (see
+    :mod:`repro.machine.placement`): ``"block"`` (the default, rank
+    ``r`` on node ``r // ranks_per_node``), ``"round_robin"``, or
+    ``"random"`` (seeded by ``placement_seed``).
     """
 
     name: str = "generic"
@@ -123,6 +129,8 @@ class MachineConfig:
     threads_allowed: bool = True
     nodes: List[NodeConfig] = field(default_factory=lambda: [NodeConfig()])
     timings: MachineTimings = field(default_factory=MachineTimings)
+    placement: str = "block"
+    placement_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -131,6 +139,15 @@ class MachineConfig:
             raise ValueError("ranks_per_node must be >= 1")
         if not self.nodes:
             raise ValueError("at least one NodeConfig is required")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}: "
+                f"expected one of {PLACEMENTS}")
+        # Cache the rank->node map (frozen dataclass: set via object).
+        object.__setattr__(
+            self, "_rank_node",
+            placement_map(self.placement, self.n_nodes,
+                          self.ranks_per_node, self.placement_seed))
 
     @property
     def n_ranks(self) -> int:
@@ -146,14 +163,25 @@ class MachineConfig:
         return self.nodes[-1]
 
     def node_of_rank(self, rank: int) -> int:
-        """Block distribution of ranks over nodes."""
+        """The node hosting ``rank`` under this machine's placement."""
         if rank < 0 or rank >= self.n_ranks:
             raise ValueError(f"rank {rank} out of range 0..{self.n_ranks - 1}")
-        return rank // self.ranks_per_node
+        return self._rank_node[rank]  # type: ignore[attr-defined]
+
+    def ranks_on_node(self, node_id: int) -> List[int]:
+        """The ranks hosted on ``node_id`` (ascending)."""
+        if node_id < 0 or node_id >= self.n_nodes:
+            raise ValueError(f"node {node_id} out of range 0..{self.n_nodes - 1}")
+        rank_node = self._rank_node  # type: ignore[attr-defined]
+        return [r for r in range(self.n_ranks) if rank_node[r] == node_id]
 
     def with_nodes(self, n_nodes: int) -> "MachineConfig":
         """Copy with a different node count."""
         return replace(self, n_nodes=n_nodes)
+
+    def with_placement(self, strategy: str, seed: int = 0) -> "MachineConfig":
+        """Copy with a different rank-to-node placement."""
+        return replace(self, placement=strategy, placement_seed=seed)
 
 
 # ---------------------------------------------------------------------

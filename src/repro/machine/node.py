@@ -91,9 +91,6 @@ def build_nodes(config: MachineConfig) -> List[Node]:
     """Instantiate every node and rank memory for a machine config."""
     nodes = []
     for node_id in range(config.n_nodes):
-        ranks = [
-            node_id * config.ranks_per_node + i
-            for i in range(config.ranks_per_node)
-        ]
+        ranks = config.ranks_on_node(node_id)
         nodes.append(Node(node_id, config.node_config(node_id), ranks))
     return nodes

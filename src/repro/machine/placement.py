@@ -1,0 +1,55 @@
+"""Rank-to-node placement strategies.
+
+Where ranks land on the machine decides which traffic stays inside a
+node (the shared-memory path) and which crosses the interconnect — and,
+on a routed topology, *how far* it travels.  A halo exchange placed
+block-wise on a torus talks to neighbours one hop away; the same
+exchange under a random placement scatters neighbours across the
+machine and pays multi-hop routes through contended links (see
+``examples/torus_placement.py``).
+
+Strategies
+----------
+``block``
+    Ranks fill node 0, then node 1, … (``rank // ranks_per_node``).
+    This is the historical default and what MPI launchers usually do.
+``round_robin``
+    Rank ``r`` lands on node ``r % n_nodes`` (cyclic distribution).
+``random``
+    A seeded permutation of the block layout: node occupancy stays
+    exactly ``ranks_per_node`` everywhere, only *which* ranks share a
+    node is shuffled.  Deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["PLACEMENTS", "placement_map"]
+
+#: Recognised placement strategy names.
+PLACEMENTS: Tuple[str, ...] = ("block", "round_robin", "random")
+
+
+def placement_map(strategy: str, n_nodes: int, ranks_per_node: int,
+                  seed: int = 0) -> Tuple[int, ...]:
+    """The node of each rank, as a tuple indexed by rank.
+
+    Every strategy is load-balanced: exactly ``ranks_per_node`` ranks
+    land on each node.  ``seed`` only matters for ``random``.
+    """
+    if n_nodes < 1 or ranks_per_node < 1:
+        raise ValueError("n_nodes and ranks_per_node must be >= 1")
+    n_ranks = n_nodes * ranks_per_node
+    if strategy == "block":
+        return tuple(r // ranks_per_node for r in range(n_ranks))
+    if strategy == "round_robin":
+        return tuple(r % n_nodes for r in range(n_ranks))
+    if strategy == "random":
+        block = np.repeat(np.arange(n_nodes), ranks_per_node)
+        rng = np.random.default_rng(seed)
+        return tuple(int(x) for x in rng.permutation(block))
+    raise ValueError(
+        f"unknown placement {strategy!r}: expected one of {PLACEMENTS}")

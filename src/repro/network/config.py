@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topo.graph import Topology
 
 __all__ = [
     "NetworkConfig",
@@ -48,6 +52,15 @@ class NetworkConfig:
         Fragmentation is what makes concurrent non-atomic access to
         overlapping regions observably interleave (paper §II-A/§IV
         requirement 3: overlapping ops are permitted but undefined).
+    topology:
+        Optional :class:`~repro.topo.graph.Topology`.  When set, the
+        fabric routes inter-node packets over the topology graph —
+        per-hop latency/serialization and link contention replace the
+        flat ``latency`` for wire flight (NIC-side ``overhead_*``,
+        ``gap``, ``byte_time`` and the capability flags still apply).
+        When ``None`` (the default) the flat LogGP pipe is used and
+        every simulated timestamp stays bit-identical to the
+        pre-topology model.
     """
 
     name: str = "generic"
@@ -62,6 +75,7 @@ class NetworkConfig:
     small_atomics: bool = False
     jitter: float = 2.0
     mtu: int = 4096
+    topology: "Optional[Topology]" = None
 
     def __post_init__(self) -> None:
         for field_name in ("latency", "overhead_send", "overhead_recv", "gap",
@@ -84,9 +98,20 @@ class NetworkConfig:
         a spurious path failure breaks a flow."""
         from repro.network.packet import HEADER_SIZE
 
+        flight = self.latency + self.jitter
+        if self.topology is not None:
+            # Routed fabrics fly hop by hop; size the RTO to the
+            # longest healthy route (congestion beyond that is handled
+            # by backoff, and duplicates by the receive-side dedup).
+            flight = max(
+                flight,
+                self.topology.max_hops()
+                * (self.topology.link_latency
+                   + wire_bytes * self.topology.link_byte_time),
+            )
         return (
             self.serialization_time(wire_bytes)
-            + 2.0 * (self.latency + self.jitter)
+            + 2.0 * flight
             + self.overhead_recv
             + 2.0 * self.serialization_time(HEADER_SIZE)
         )

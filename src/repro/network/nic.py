@@ -169,6 +169,7 @@ class Nic:
         if (
             not self.burst_enabled
             or self.transport is not None
+            or self.fabric.topology is not None
             or not path_cfg.ordered
             or self.fabric.tracer.enabled
             or self._pending

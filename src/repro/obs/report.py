@@ -15,6 +15,14 @@ Options write the same data as machine-readable artifacts:
 ``--json-out`` for the metrics/attribution document and ``--trace-out``
 for a Chrome trace-event file of one point (``--trace-point``),
 loadable in https://ui.perfetto.dev.
+
+``--topo {torus,fattree,crossbar}`` switches to the routed-fabric
+report: it runs the hotspot-incast workload on that topology and prints
+the per-link traffic table (packets, bytes, busy/queue time,
+utilization) plus the tail-latency percentiles.  The table is verified
+against the routing totals — the per-link packet counts must sum to
+exactly the hops the runtime traversed — so the report fails loudly if
+link accounting ever drifts from what was actually routed.
 """
 
 from __future__ import annotations
@@ -29,7 +37,8 @@ from repro.obs.export import write_chrome_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import PHASES, attribute_phases, build_spans, observe_spans
 
-__all__ = ["run_sweep_report", "format_attribution_table", "main"]
+__all__ = ["run_sweep_report", "format_attribution_table",
+           "run_topo_report", "format_link_table", "main"]
 
 
 def run_sweep_report(
@@ -113,6 +122,112 @@ def format_attribution_table(doc: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def run_topo_report(
+    topology: str = "torus",
+    fanin: int = 7,
+    put_bytes: int = 2048,
+    puts_per_origin: int = 30,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Run the hotspot incast on a routed topology; return the per-link
+    traffic document.
+
+    The per-link packet counts are checked against the topology
+    runtime's hop total (every routed hop is exactly one link
+    traversal); a mismatch raises — that identity is what makes the
+    table trustworthy as an account of what was actually routed.
+    """
+    from repro.bench.workloads import hotspot_incast
+    from repro.topo import (
+        crossbar_network,
+        fattree_network,
+        link_label,
+        torus_network,
+    )
+
+    # Slow links (0.002 µs/B ≈ 500 MB/s) so the default fan-in visibly
+    # congests the hot ingress — this report exists to show contention.
+    if topology == "torus":
+        network = torus_network((4, 4, 4), link_byte_time=0.002)
+    elif topology == "fattree":
+        network = fattree_network(link_byte_time=0.002)
+    elif topology == "crossbar":
+        network = crossbar_network(n_hosts=fanin + 1, link_byte_time=0.002)
+    else:
+        raise ValueError(f"unknown topology {topology!r} "
+                         "(expected torus, fattree or crossbar)")
+
+    sink: List[Any] = []
+    latency = hotspot_incast(
+        fanin, put_bytes=put_bytes, puts_per_origin=puts_per_origin,
+        network=network, seed=seed, world_out=sink,
+    )
+    world = sink[0]
+    topo = world.topo
+    now = world.sim.now
+    world.collect_metrics()
+
+    links = []
+    packet_sum = 0
+    for link in sorted(topo.link_stats):
+        st = topo.link_stats[link]
+        packet_sum += st.packets
+        links.append({
+            "link": link_label(link),
+            "packets": st.packets,
+            "bytes": st.bytes,
+            "busy_us": st.busy_us,
+            "queue_us": st.queue_us,
+            "util": topo.utilization(link, now),
+        })
+    if packet_sum != topo.hops_traversed:
+        raise AssertionError(
+            f"link accounting broke: per-link packets sum to {packet_sum} "
+            f"but the runtime traversed {topo.hops_traversed} hops"
+        )
+    return {
+        "schema": 1,
+        "workload": "hotspot_incast",
+        "topology": network.name,
+        "fanin": fanin,
+        "put_bytes": put_bytes,
+        "puts_per_origin": puts_per_origin,
+        "seed": seed,
+        "latency_us": latency,
+        "totals": {
+            "packets_routed": topo.packets_routed,
+            "hops_traversed": topo.hops_traversed,
+            "unroutable": topo.unroutable,
+            "link_packet_sum": packet_sum,
+            "sim_us": now,
+        },
+        "links": links,
+        "metrics": world.metrics.snapshot(),
+    }
+
+
+def format_link_table(doc: Dict[str, Any], top: int = 20) -> str:
+    """The busiest-links table as aligned text (sorted by busy time)."""
+    ranked = sorted(doc["links"], key=lambda r: -r["busy_us"])[:top]
+    header = ["link", "packets", "bytes", "busy_us", "queue_us", "util"]
+    rows = [header]
+    for r in ranked:
+        rows.append([
+            r["link"], str(r["packets"]), str(r["bytes"]),
+            f"{r['busy_us']:.2f}", f"{r['queue_us']:.2f}", f"{r['util']:.3f}",
+        ])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j])
+            for j, cell in enumerate(row)
+        ))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def _format_metrics(metrics: Dict[str, Any]) -> str:
     lines = []
     if metrics["counters"]:
@@ -154,7 +269,38 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--trace-point", default=None,
                         help="which <mode>/<size> point --trace-out exports "
                              "(default: the last point of the sweep)")
+    parser.add_argument("--topo", default=None,
+                        choices=("torus", "fattree", "crossbar"),
+                        help="report per-link traffic of a hotspot incast "
+                             "on this topology instead of the fig2 sweep")
+    parser.add_argument("--fanin", type=int, default=7,
+                        help="incast fan-in for --topo (default: %(default)s)")
     args = parser.parse_args(argv)
+
+    if args.topo:
+        fanin = 3 if args.quick else args.fanin
+        puts = 10 if args.quick else 30
+        doc = run_topo_report(topology=args.topo, fanin=fanin,
+                              puts_per_origin=puts, seed=args.seed)
+        lat = doc["latency_us"]
+        tot = doc["totals"]
+        print(f"== hotspot incast on {doc['topology']} "
+              f"(fan-in {doc['fanin']}, {doc['put_bytes']} B puts) ==")
+        print(f"per-put latency (simulated µs): p50={lat['p50']:.2f} "
+              f"p90={lat['p90']:.2f} p99={lat['p99']:.2f} max={lat['max']:.2f}")
+        print(f"routed {tot['packets_routed']} packets over "
+              f"{tot['hops_traversed']} hops "
+              f"(link packet sum {tot['link_packet_sum']}, "
+              f"{tot['unroutable']} unroutable)")
+        print()
+        print("== busiest links ==")
+        print(format_link_table(doc))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[obs] wrote report {args.json_out}")
+        return 0
 
     if args.quick:
         sizes, modes, puts = (1024, 16384), ("none", "remote_complete"), 5

@@ -180,6 +180,25 @@ class World:
             ),
             n_ranks=self.n_ranks,
         )
+        #: Topology runtime when the network carries a routed topology
+        #: (``None`` on flat fabrics — the pre-topology fast path).
+        self.topo = None
+        if self.network.topology is not None:
+            from repro.topo.runtime import TopoRuntime
+
+            topo = self.network.topology
+            if machine.n_nodes > topo.n_hosts:
+                raise ValueError(
+                    f"machine has {machine.n_nodes} nodes but topology "
+                    f"{topo.name!r} only has {topo.n_hosts} host ports"
+                )
+            rank_to_host = {
+                r: topo.hosts[machine.node_of_rank(r)]
+                for r in range(self.n_ranks)
+            }
+            self.topo = TopoRuntime(topo, rank_to_host, rng=self.rng,
+                                    tracer=self.tracer)
+            self.fabric.install_topology(self.topo)
         self.nodes: List[Node] = build_nodes(machine)
         self.memories: Dict[int, RankMemory] = {}
         self.nics: Dict[int, Nic] = {}
@@ -304,6 +323,10 @@ class World:
                 for key, value in nic.transport.stats.items():
                     metrics.gauge(f"xport.{key}", rank=rank).set(value)
         metrics.gauge("fabric.dead_dropped").set(self.fabric.dead_dropped)
+        if self.topo is not None:
+            metrics.gauge("fabric.unroutable_dropped").set(
+                self.fabric.unroutable_dropped)
+            self.topo.publish_metrics(metrics, self.sim.now)
         if self.injector is not None:
             for key, value in self.injector.stats.items():
                 metrics.gauge(f"fault.{key}").set(value)

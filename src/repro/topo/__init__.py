@@ -1,0 +1,43 @@
+"""Topology-aware interconnects: routed fabrics with link contention.
+
+Turns the flat endpoint-to-endpoint LogGP pipe into a routed network —
+the concrete interconnects the paper's §III taxonomy is anchored in:
+
+- :class:`Torus3D` — Cray XT 3D torus (SeaStar/Portals), deterministic
+  dimension-order routing or minimal adaptive routing;
+- :class:`FatTree` — leaf/spine folded Clos for generic RDMA clusters,
+  up/down routing;
+- :class:`Crossbar` — NEC SX IXS central crossbar.
+
+A topology rides on :class:`~repro.network.config.NetworkConfig` via
+its ``topology`` field (the presets in :mod:`repro.topo.presets` build
+the pairing); the :class:`~repro.runtime.World` binds it to the machine
+placement and installs a :class:`TopoRuntime` on the fabric.  With
+``topology=None`` nothing here is ever imported or consulted — the flat
+fast path stays bit-identical.
+"""
+
+from repro.topo.graph import (
+    Crossbar,
+    FatTree,
+    NoRoute,
+    Topology,
+    Torus3D,
+    link_label,
+)
+from repro.topo.presets import crossbar_network, fattree_network, torus_network
+from repro.topo.runtime import LinkStats, TopoRuntime
+
+__all__ = [
+    "Crossbar",
+    "FatTree",
+    "LinkStats",
+    "NoRoute",
+    "TopoRuntime",
+    "Topology",
+    "Torus3D",
+    "crossbar_network",
+    "fattree_network",
+    "link_label",
+    "torus_network",
+]

@@ -1,0 +1,85 @@
+"""Named topology-network pairings matching the paper's machines.
+
+Each preset returns a :class:`~repro.network.config.NetworkConfig`
+whose ``topology`` field is populated — handing it to a
+:class:`~repro.runtime.World` turns the flat LogGP pipe into the routed
+fabric.  NIC-side LogGP parameters (overheads, gap, MTU, capability
+flags) come from the base personality; wire flight is taken over by the
+topology's per-hop link model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.network.config import (
+    NetworkConfig,
+    generic_rdma,
+    seastar_portals,
+)
+from repro.topo.graph import Crossbar, FatTree, Torus3D
+
+__all__ = ["torus_network", "fattree_network", "crossbar_network"]
+
+
+def torus_network(dims: Tuple[int, int, int] = (4, 4, 4),
+                  adaptive: bool = False,
+                  base: Optional[NetworkConfig] = None,
+                  link_latency: float = 0.5,
+                  link_byte_time: float = 0.0005) -> NetworkConfig:
+    """Cray XT personality on a routed 3D torus.
+
+    Deterministic dimension-order routing keeps the fabric ordered (the
+    SeaStar guarantee); ``adaptive=True`` switches to minimal adaptive
+    routing and *drops the ordering guarantee* — the §III-B1 trade the
+    ordering attribute then has to pay for in software.
+    """
+    base = base if base is not None else seastar_portals()
+    topo = Torus3D(dims, link_latency=link_latency,
+                   link_byte_time=link_byte_time, adaptive=adaptive)
+    return base.with_(
+        name=f"{base.name}+{topo.name}",
+        topology=topo,
+        ordered=base.ordered and not adaptive,
+        jitter=0.0,  # route variability is the jitter source on a torus
+    )
+
+
+def fattree_network(hosts_per_leaf: int = 4, n_leaf: int = 4,
+                    n_spine: int = 2, adaptive: bool = False,
+                    base: Optional[NetworkConfig] = None,
+                    link_latency: float = 0.5,
+                    link_byte_time: float = 0.0005) -> NetworkConfig:
+    """Generic RDMA cluster on a leaf/spine fat-tree."""
+    base = base if base is not None else generic_rdma()
+    topo = FatTree(hosts_per_leaf, n_leaf, n_spine,
+                   link_latency=link_latency, link_byte_time=link_byte_time,
+                   adaptive=adaptive)
+    return base.with_(
+        name=f"{base.name}+{topo.name}",
+        topology=topo,
+        ordered=base.ordered and not adaptive,
+        jitter=0.0,
+    )
+
+
+def crossbar_network(n_hosts: int = 8,
+                     base: Optional[NetworkConfig] = None,
+                     link_latency: float = 0.3,
+                     link_byte_time: float = 0.0002) -> NetworkConfig:
+    """NEC SX IXS personality: one central crossbar, fat host ports.
+
+    Pairs naturally with a hierarchical machine
+    (:func:`~repro.machine.config.nec_sx9`) whose intra-node traffic
+    stays on the shared-memory path while node-to-node transfers cross
+    the crossbar.
+    """
+    if base is None:
+        base = generic_rdma().with_(name="ixs-like",
+                                    latency=1.0, byte_time=0.0002)
+    topo = Crossbar(n_hosts, link_latency=link_latency,
+                    link_byte_time=link_byte_time)
+    return base.with_(
+        name=f"{base.name}+{topo.name}",
+        topology=topo,
+    )

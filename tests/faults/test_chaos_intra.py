@@ -1,0 +1,64 @@
+"""Chaos on hierarchical machines: faults must cover the intra-node path.
+
+The fast ``intra_config`` path (ranks sharing a node) skips the routed
+topology but NOT the fault injector — shared-memory transports lose and
+corrupt data too (torn writes, bit flips).  These tests run the ring
+workload on multi-rank nodes so every run exercises both intra- and
+inter-node flows under the same plan.
+"""
+
+import os
+
+from repro.faults import FaultPlan
+from repro.machine import generic_cluster
+from repro.network.config import generic_rdma
+from repro.runtime import World
+from repro.topo import crossbar_network
+
+from tests.faults.test_chaos import ring_put_program
+
+SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+
+def run_hierarchical(plan, machine=None, network=None, seed=SEED):
+    machine = machine or generic_cluster(n_nodes=2, ranks_per_node=2)
+    w = World(machine=machine, network=network or generic_rdma(),
+              fault_plan=plan, seed=seed)
+    results = w.run(ring_put_program)
+    assert results == [True] * machine.n_ranks
+    assert w.fabric.intra_node_packets > 0  # ring crosses the fast path
+    return w
+
+
+class TestIntraNodeChaos:
+    def test_drop_recovered_on_intra_path(self):
+        w = run_hierarchical(FaultPlan().drop(0.08))
+        assert w.fault_stats()["injector"]["dropped"] > 0
+
+    def test_corrupt_recovered_on_intra_path(self):
+        w = run_hierarchical(FaultPlan().corrupt(0.08))
+        assert w.fault_stats()["injector"]["corrupted"] > 0
+
+    def test_full_chaos_under_round_robin_placement(self):
+        # round_robin on 2x2 puts ranks {0,2} and {1,3} together, so the
+        # ring's intra/inter split differs from block placement — the
+        # transport must not care.
+        machine = generic_cluster(n_nodes=2, ranks_per_node=2)
+        machine = machine.with_placement("round_robin")
+        plan = FaultPlan().drop(0.04).corrupt(0.04).delay(0.05, mean=20.0)
+        w = run_hierarchical(plan, machine=machine)
+        assert w.fault_stats()["injector"]["examined"] > 0
+
+    def test_chaos_on_routed_fabric_with_shared_nodes(self):
+        # Topology + hierarchy + faults at once: inter-node packets are
+        # routed over the crossbar, intra-node ones fly the fast path,
+        # and the injector sees both.
+        machine = generic_cluster(n_nodes=2, ranks_per_node=2)
+        w = run_hierarchical(
+            FaultPlan().drop(0.05),
+            machine=machine,
+            network=crossbar_network(n_hosts=2),
+        )
+        assert w.topo is not None
+        assert w.topo.packets_routed > 0
+        assert w.fault_stats()["injector"]["dropped"] > 0

@@ -1,0 +1,111 @@
+"""Cable failures on routed fabrics: route-around, partition, restore."""
+
+import pytest
+
+from repro.datatypes import BYTE
+from repro.faults import FaultPlan, LinkDownSpec
+from repro.machine import generic_cluster
+from repro.rma.target_mem import RmaError
+from repro.runtime import World
+from repro.topo import crossbar_network, torus_network
+
+
+class TestSpec:
+    def test_link_down_spec_validation(self):
+        with pytest.raises(ValueError):
+            LinkDownSpec(u=("h", 0), v=("xbar", 0), at=-1.0)
+        with pytest.raises(ValueError):
+            LinkDownSpec(u=("h", 0), v=("xbar", 0), at=10.0, restore_at=5.0)
+
+    def test_plan_with_only_link_downs_is_active(self):
+        plan = FaultPlan().link_down(("h", 0), ("xbar", 0), at=1.0)
+        assert plan.active
+        assert not FaultPlan().active
+
+
+class TestArming:
+    def test_flat_world_rejects_link_down_plan(self):
+        plan = FaultPlan().link_down(("h", 0), ("xbar", 0), at=1.0)
+        with pytest.raises(ValueError, match="flat"):
+            World(n_ranks=2, fault_plan=plan, seed=0)
+
+    def test_unknown_link_rejected_at_arm(self):
+        plan = FaultPlan().link_down(("h", 0), ("h", 1), at=1.0)
+        with pytest.raises(ValueError, match="link"):
+            World(machine=generic_cluster(n_nodes=2),
+                  network=crossbar_network(n_hosts=2),
+                  fault_plan=plan, seed=0)
+
+
+def put_after(delay, n_ranks=2, payload=7):
+    """Rank 1 waits, then puts one byte-block at rank 0 and completes.
+
+    Returns the per-rank outcome: "delivered", "failed: <err>" for the
+    origin; the target just reports its final memory.  No barrier after
+    the fault window — a partitioned fabric cannot complete one.
+    """
+
+    def program(ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(4096)
+        yield from ctx.comm.barrier()
+        if ctx.rank == 1:
+            src = ctx.mem.space.alloc(256, fill=payload)
+            yield ctx.sim.timeout(delay)
+            try:
+                yield from ctx.rma.put(
+                    src, 0, 256, BYTE, tmems[0], 0, 256, BYTE)
+                yield from ctx.rma.complete(ctx.comm, 0)
+            except RmaError as err:
+                return f"failed: {err}"
+            return "delivered"
+        yield ctx.sim.timeout(delay + 30_000.0)
+        ctx.mem.fence()
+        return int(ctx.mem.load(alloc, 0, 1)[0])
+
+    return program
+
+
+class TestRouteAround:
+    def test_torus_detours_around_dead_cable(self):
+        # 4x1x1 ring: kill the direct 0->1 cable mid-run; traffic takes
+        # the 3-hop detour and the put still lands.
+        plan = FaultPlan().link_down((0, 0, 0), (1, 0, 0), at=50.0)
+        world = World(machine=generic_cluster(n_nodes=4),
+                      network=torus_network((4, 1, 1)),
+                      fault_plan=plan, seed=0)
+        out = world.run(put_after(100.0, n_ranks=4))
+        assert out[1] == "delivered"
+        assert out[0] == 7
+        assert world.fault_stats()["injector"]["link_downs"] == 1
+        assert len(world.topo.path_for(0, 1)) == 3
+
+    def test_restore_brings_direct_path_back(self):
+        plan = FaultPlan().link_down((0, 0, 0), (1, 0, 0),
+                                     at=10.0, restore_at=60.0)
+        world = World(machine=generic_cluster(n_nodes=4),
+                      network=torus_network((4, 1, 1)),
+                      fault_plan=plan, seed=0)
+        out = world.run(put_after(100.0, n_ranks=4))
+        assert out[1] == "delivered"
+        stats = world.fault_stats()["injector"]
+        assert stats["link_downs"] == 1
+        assert stats["link_restores"] == 1
+        assert len(world.topo.path_for(0, 1)) == 1  # direct again
+
+
+class TestPartition:
+    def test_partitioned_target_raises_rma_error(self):
+        # On a crossbar the host uplink is the only path: cutting
+        # h1<->xbar strands rank 1 entirely, so its put exhausts the
+        # transport retry budget and surfaces as an RmaError.
+        plan = (FaultPlan()
+                .link_down(("h", 0), ("xbar", 0), at=50.0)
+                .with_transport(retry_budget=2))
+        world = World(machine=generic_cluster(n_nodes=2),
+                      network=crossbar_network(n_hosts=2),
+                      fault_plan=plan, seed=0)
+        out = world.run(put_after(100.0))
+        assert out[1].startswith("failed:")
+        assert out[0] == 0  # nothing ever arrived
+        assert world.fabric.unroutable_dropped > 0
+        assert world.topo.unroutable > 0

@@ -1,0 +1,114 @@
+"""Rank-to-node placement strategies and their machine integration."""
+
+import pytest
+
+from repro.machine import (
+    MachineConfig,
+    PLACEMENTS,
+    build_nodes,
+    generic_cluster,
+    nec_sx9,
+    placement_map,
+)
+
+
+class TestPlacementMap:
+    def test_block_matches_historical_division(self):
+        m = placement_map("block", n_nodes=4, ranks_per_node=2)
+        assert m == tuple(r // 2 for r in range(8))
+
+    def test_round_robin_cycles(self):
+        m = placement_map("round_robin", n_nodes=4, ranks_per_node=2)
+        assert m == (0, 1, 2, 3, 0, 1, 2, 3)
+
+    def test_random_is_balanced_and_seeded(self):
+        a = placement_map("random", n_nodes=4, ranks_per_node=3, seed=7)
+        b = placement_map("random", n_nodes=4, ranks_per_node=3, seed=7)
+        c = placement_map("random", n_nodes=4, ranks_per_node=3, seed=8)
+        assert a == b
+        assert a != c
+        for node in range(4):
+            assert sum(1 for n in a if n == node) == 3
+
+    def test_every_strategy_is_load_balanced(self):
+        for strategy in PLACEMENTS:
+            m = placement_map(strategy, n_nodes=5, ranks_per_node=4, seed=1)
+            assert len(m) == 20
+            for node in range(5):
+                assert sum(1 for n in m if n == node) == 4
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            placement_map("snake", 4, 2)
+        with pytest.raises(ValueError):
+            placement_map("block", 0, 2)
+
+
+class TestMachineConfigPlacement:
+    def test_default_placement_is_block(self):
+        cfg = generic_cluster(n_nodes=4, ranks_per_node=2)
+        assert cfg.placement == "block"
+        assert [cfg.node_of_rank(r) for r in range(8)] == \
+            [r // 2 for r in range(8)]
+
+    def test_with_placement(self):
+        cfg = generic_cluster(n_nodes=4, ranks_per_node=2).with_placement(
+            "round_robin")
+        assert cfg.node_of_rank(0) == 0
+        assert cfg.node_of_rank(4) == 0
+        assert cfg.node_of_rank(1) == 1
+
+    def test_ranks_on_node_inverts_node_of_rank(self):
+        cfg = nec_sx9().with_placement("random", seed=3)
+        seen = []
+        for node in range(cfg.n_nodes):
+            ranks = cfg.ranks_on_node(node)
+            assert ranks == sorted(ranks)
+            for r in ranks:
+                assert cfg.node_of_rank(r) == node
+            seen.extend(ranks)
+        assert sorted(seen) == list(range(cfg.n_ranks))
+
+    def test_invalid_placement_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            MachineConfig(placement="scatter")
+
+    def test_build_nodes_follows_placement(self):
+        cfg = generic_cluster(n_nodes=2, ranks_per_node=2).with_placement(
+            "round_robin")
+        nodes = build_nodes(cfg)
+        assert nodes[0].ranks == [0, 2]
+        assert nodes[1].ranks == [1, 3]
+        assert set(nodes[0].memories) == {0, 2}
+
+    def test_out_of_range_queries_rejected(self):
+        cfg = generic_cluster(n_nodes=2)
+        with pytest.raises(ValueError):
+            cfg.node_of_rank(2)
+        with pytest.raises(ValueError):
+            cfg.ranks_on_node(2)
+
+
+class TestPlacementInWorld:
+    def test_same_node_ranks_use_intra_path_under_round_robin(self):
+        from repro.runtime import World
+
+        def program(ctx):
+            import numpy as np
+
+            peer = {0: 2, 2: 0, 1: 3, 3: 1}[ctx.rank]
+            data = np.full(32, ctx.rank, dtype=np.uint8)
+            if ctx.rank in (0, 1):
+                yield from ctx.comm.send(data, dest=peer)
+            else:
+                got = yield from ctx.comm.recv(source=peer)
+                assert got.nbytes == 32
+            return True
+
+        # round_robin on 2 nodes x 2 ranks: node0={0,2}, node1={1,3} —
+        # both transfers are intra-node and must ride the fast path.
+        machine = generic_cluster(n_nodes=2, ranks_per_node=2)
+        machine = machine.with_placement("round_robin")
+        world = World(machine=machine, seed=0)
+        assert world.run(program) == [True] * 4
+        assert world.fabric.intra_node_packets > 0

@@ -1,0 +1,129 @@
+"""TopoRuntime: flight-time math, link contention, accounting."""
+
+import pytest
+
+from repro.topo import Crossbar, LinkStats, TopoRuntime, Torus3D, link_label
+
+
+def xbar_runtime(n_hosts=4, link_latency=1.0, link_byte_time=0.01):
+    topo = Crossbar(n_hosts, link_latency=link_latency,
+                    link_byte_time=link_byte_time)
+    ranks = {r: ("h", r) for r in range(n_hosts)}
+    return TopoRuntime(topo, ranks)
+
+
+class TestFlightMath:
+    def test_uncontended_flight_is_ser_plus_latency_per_hop(self):
+        rt = xbar_runtime()
+        # 2 hops: each pays 100B * 0.01 = 1.0 ser + 1.0 latency.
+        arrival = rt.flight(0, 1, 100, now=5.0)
+        assert arrival == pytest.approx(5.0 + 2 * (1.0 + 1.0))
+
+    def test_second_packet_queues_on_busy_link(self):
+        rt = xbar_runtime()
+        a1 = rt.flight(0, 1, 100, now=0.0)
+        # Injected at the same instant: both cross h0->xbar then xbar->h1;
+        # the second serializes after the first on each hop.
+        a2 = rt.flight(0, 1, 100, now=0.0)
+        assert a2 > a1
+        ingress = rt.link_stats[(("h", 0), ("xbar", 0))]
+        assert ingress.packets == 2
+        assert ingress.queue_us == pytest.approx(1.0)  # one ser behind
+
+    def test_disjoint_paths_do_not_contend(self):
+        rt = xbar_runtime()
+        a1 = rt.flight(0, 1, 100, now=0.0)
+        a2 = rt.flight(2, 3, 100, now=0.0)
+        assert a1 == a2  # (0,1) and (2,3) share no link on a crossbar
+
+    def test_incast_serializes_on_target_egress(self):
+        rt = xbar_runtime()
+        arrivals = [rt.flight(src, 0, 100, now=0.0) for src in (1, 2, 3)]
+        # All three share xbar->h0: arrivals strictly spaced by >= ser.
+        assert arrivals[1] - arrivals[0] >= 1.0
+        assert arrivals[2] - arrivals[1] >= 1.0
+        egress = rt.link_stats[(("xbar", 0), ("h", 0))]
+        assert egress.packets == 3
+        assert egress.queue_us > 0
+
+    def test_same_host_loopback_pays_one_switch_latency(self):
+        topo = Crossbar(2, link_latency=1.0)
+        rt = TopoRuntime(topo, {0: ("h", 0), 1: ("h", 0)})
+        assert rt.flight(0, 1, 100, now=3.0) == pytest.approx(4.0)
+        assert rt.packets_routed == 0  # no cable traversed
+
+    def test_stats_identity_packets_vs_hops(self):
+        rt = xbar_runtime()
+        for src in (1, 2, 3):
+            for _ in range(5):
+                rt.flight(src, 0, 64, now=0.0)
+        link_sum = sum(st.packets for st in rt.link_stats.values())
+        assert link_sum == rt.hops_traversed == 30
+        assert rt.packets_routed == 15
+
+    def test_utilization(self):
+        rt = xbar_runtime()
+        rt.flight(0, 1, 100, now=0.0)  # 1.0 us busy per link
+        link = (("h", 0), ("xbar", 0))
+        assert rt.utilization(link, now=10.0) == pytest.approx(0.1)
+        assert rt.utilization(link, now=0.0) == 0.0
+        assert rt.utilization((("h", 2), ("xbar", 0)), now=10.0) == 0.0
+
+
+class TestDeadLinks:
+    def test_fail_and_restore_reroute(self):
+        topo = Torus3D((4, 1, 1), link_latency=1.0, link_byte_time=0.0)
+        rt = TopoRuntime(topo, {r: (r, 0, 0) for r in range(4)})
+        direct = rt.path_for(0, 1)
+        assert len(direct) == 1
+        rt.fail_link((0, 0, 0), (1, 0, 0))
+        assert len(rt.path_for(0, 1)) == 3  # the long way round
+        rt.restore_link((0, 0, 0), (1, 0, 0))
+        assert len(rt.path_for(0, 1)) == 1
+
+    def test_partition_returns_none_and_counts(self):
+        topo = Crossbar(2)
+        rt = TopoRuntime(topo, {0: ("h", 0), 1: ("h", 1)})
+        rt.fail_link(("h", 1), ("xbar", 0))
+        assert rt.path_for(0, 1) is None
+        assert rt.flight(0, 1, 64, now=0.0) is None
+        assert rt.unroutable == 1
+
+    def test_one_way_failure(self):
+        topo = Crossbar(2)
+        rt = TopoRuntime(topo, {0: ("h", 0), 1: ("h", 1)})
+        rt.fail_link(("xbar", 0), ("h", 1), both=False)
+        assert rt.path_for(0, 1) is None
+        assert rt.path_for(1, 0) is not None  # reverse direction fine
+
+    def test_unknown_link_rejected(self):
+        rt = xbar_runtime()
+        with pytest.raises(ValueError):
+            rt.fail_link(("h", 0), ("h", 1))  # hosts aren't wired directly
+
+
+class TestConstruction:
+    def test_unknown_host_rejected(self):
+        topo = Crossbar(2)
+        with pytest.raises(ValueError):
+            TopoRuntime(topo, {0: ("h", 0), 1: ("h", 99)})
+
+    def test_metrics_publication(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        rt = xbar_runtime()
+        rt.flight(1, 0, 100, now=0.0)
+        metrics = MetricsRegistry()
+        rt.publish_metrics(metrics, now=10.0)
+        snap = metrics.snapshot()
+        gauges = {(g["name"], tuple(sorted(g["labels"].items()))): g["value"]
+                  for g in snap["gauges"]}
+        label = link_label((("xbar", 0), ("h", 0)))
+        assert gauges[("topo.link.packets", (("link", label),))] == 1
+        assert gauges[("topo.packets_routed", ())] == 1
+        assert gauges[("topo.hops_traversed", ())] == 2
+
+    def test_linkstats_repr_fields(self):
+        st = LinkStats()
+        assert st.packets == 0 and st.bytes == 0
+        assert st.busy_us == 0.0 and st.queue_us == 0.0
