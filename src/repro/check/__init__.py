@@ -1,0 +1,46 @@
+"""Model-based conformance fuzzing (the correctness backstop).
+
+``repro.check`` closes the loop between the strawman RMA semantics the
+paper promises (§II-B, §III) and what the simulated stack actually
+delivers as it grows fast paths, transports, and routed topologies:
+
+1. a seeded **program generator** (:mod:`repro.check.generator`) emits
+   random-but-valid RMA programs — 2–8 ranks, put/get/accumulate/xfer/
+   RMW with random :class:`~repro.rma.attributes.RmaAttrs`, overlapping
+   scratch regions, ``complete``/``order`` variants, and interleaved
+   local loads/stores;
+2. a **differential oracle** (:mod:`repro.check.oracle`) executes each
+   program on the full simulated stack (any fabric, optionally under a
+   chaos :class:`~repro.faults.plan.FaultPlan`) *and* on a zero-latency
+   atomic reference executor (:mod:`repro.check.reference`), then feeds
+   the traced history through the :mod:`repro.consistency` checkers
+   with the expected guarantee level derived from the attributes each
+   op actually requested;
+3. a **delta-debugging shrinker** (:mod:`repro.check.shrink`) minimizes
+   any violating program to a smallest reproducer and serializes it as
+   a replayable JSON artifact;
+4. a CLI — ``python -m repro.check --seeds 0:100 --fabric all``.
+"""
+
+from repro.check.generator import generate_program
+from repro.check.oracle import CheckReport, CheckViolation, check_program
+from repro.check.program import ProgOp, RmaProgram, VarSpec
+from repro.check.runner import FABRICS, RunResult, build_world, run_program
+from repro.check.shrink import load_artifact, replay_artifact, shrink
+
+__all__ = [
+    "FABRICS",
+    "CheckReport",
+    "CheckViolation",
+    "ProgOp",
+    "RmaProgram",
+    "RunResult",
+    "VarSpec",
+    "build_world",
+    "check_program",
+    "generate_program",
+    "load_artifact",
+    "replay_artifact",
+    "run_program",
+    "shrink",
+]

@@ -1,0 +1,229 @@
+"""Seeded random program generator.
+
+The grammar (DESIGN §11) keeps every generated program *checkable
+without false positives*:
+
+- each data variable has exactly one writer per epoch (chosen fresh at
+  every epoch boundary unless the variable is "sticky"), so reads-from
+  relations and admissible final values can be derived from the program
+  text alone;
+- every data write carries a program-unique fill byte (1..255), so
+  :meth:`~repro.consistency.history.History.writer_of` never sees an
+  ambiguous value;
+- gets are always blocking: a non-blocking get completes at an
+  unpredictable later point of the issuing rank's program, which would
+  make its position in the traced program order meaningless;
+- counter variables only ever receive ``+1`` so the final value is a
+  pure op count and fetch returns must be distinct;
+- rmw variables are touched by a single non-owner rank with blocking
+  ops — the one case the zero-latency reference executor predicts
+  exactly, on any fabric;
+- noise puts live in the scratch half of the region, overlap each
+  other, and are large enough to stay out of the consistency trace.
+
+Roughly one program in six is *strict*: every op runs with
+``RmaAttrs.strict()`` (the paper's debugging mode), which upgrades the
+expected guarantee to causal/sequential consistency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.check.program import ProgOp, RmaProgram, VarSpec
+
+__all__ = ["generate_program"]
+
+_STRICT_ATTRS = ("ordering", "remote_completion", "atomicity", "blocking")
+
+#: Noise-put sizes: all > 16 B (untraced) and small enough to fit the
+#: scratch half of the region.
+_NOISE_SIZES = (64, 96, 160, 256, 384)
+
+
+def _random_attrs(rng: random.Random, strict: bool, *, read: bool = False):
+    if strict:
+        return _STRICT_ATTRS
+    attrs = []
+    if rng.random() < 0.5:
+        attrs.append("ordering")
+    if rng.random() < 0.35:
+        attrs.append("remote_completion")
+    if rng.random() < 0.2:
+        attrs.append("atomicity")
+    if read or rng.random() < 0.5:
+        # Gets must be blocking (see module docstring); writes are
+        # blocking about half the time.
+        attrs.append("blocking")
+    return tuple(attrs)
+
+
+def generate_program(
+    seed: int,
+    n_ranks: Optional[int] = None,
+    strict: Optional[bool] = None,
+    max_epochs: int = 3,
+    ops_per_rank: int = 4,
+) -> RmaProgram:
+    """Generate one random-but-valid program, deterministically from
+    ``seed``.  ``n_ranks``/``strict`` override the random draws (used by
+    tests and the shrinker's re-runs)."""
+    rng = random.Random(seed * 2654435761 % (2**31))
+    if n_ranks is None:
+        n_ranks = rng.randint(2, 8)
+    if strict is None:
+        strict = rng.random() < (1.0 / 6.0)
+
+    # -- variables -------------------------------------------------------
+    vars_: List[VarSpec] = []
+
+    def add_var(vtype: str, owner: int, user: int = -1) -> VarSpec:
+        v = VarSpec(vid=len(vars_), vtype=vtype, owner=owner, user=user)
+        vars_.append(v)
+        return v
+
+    data = [add_var("data", rng.randrange(n_ranks))
+            for _ in range(rng.randint(2, 4))]
+    counters = [add_var("counter", rng.randrange(n_ranks))
+                for _ in range(rng.randint(0, 2))]
+    rmws = []
+    for _ in range(rng.randint(0, 2)):
+        owner = rng.randrange(n_ranks)
+        user = rng.choice([r for r in range(n_ranks) if r != owner])
+        rmws.append(add_var("rmw", owner, user=user))
+
+    sticky = {v.vid: rng.random() < 0.5 for v in data}
+    writer: Dict[int, int] = {v.vid: rng.randrange(n_ranks) for v in data}
+    rmw_value: Dict[int, int] = {v.vid: 0 for v in rmws}
+
+    n_epochs = rng.randint(1, max_epochs)
+    fill = 0  # program-unique fill byte allocator (1..255)
+    ops: List[ProgOp] = []
+
+    for epoch in range(n_epochs):
+        if epoch:
+            ops.append(ProgOp(rank=-1, kind="sync"))
+            for v in data:
+                if not sticky[v.vid]:
+                    writer[v.vid] = rng.randrange(n_ranks)
+
+        per_rank: Dict[int, List[ProgOp]] = {r: [] for r in range(n_ranks)}
+        for rank in range(n_ranks):
+            # Feasible actions for this rank, weighted by repetition.
+            actions = []
+            for v in data:
+                if writer[v.vid] == rank and fill < 250:
+                    actions += [("write", v)] * 3
+                actions += [("read", v)] * 2
+            for v in counters:
+                if v.owner != rank:
+                    actions += [("count", v)] * 2
+            for v in rmws:
+                if v.user == rank:
+                    actions += [("rmw", v)] * 2
+            actions += [("order", None), ("complete", None),
+                        ("compute", None)]
+            if n_ranks > 1:
+                actions.append(("noise", None))
+
+            for _ in range(rng.randint(1, ops_per_rank)):
+                action, v = rng.choice(actions)
+                if action == "write":
+                    if fill >= 255:
+                        continue
+                    kind = "store" if v.owner == rank else "put"
+                    if kind == "put" and not strict and fill < 248 \
+                            and rng.random() < 0.35:
+                        # Burst: back-to-back puts to one variable where
+                        # only the `ordering` attribute sequences the
+                        # later ones — the litmus most sensitive to a
+                        # broken sequence-number flush.
+                        burst = rng.randint(2, 3)
+                        for k in range(burst):
+                            fill += 1
+                            attrs = (() if k == 0 and rng.random() < 0.5
+                                     else ("ordering",))
+                            per_rank[rank].append(ProgOp(
+                                rank=rank, kind="put", var=v.vid,
+                                value=fill, attrs=attrs))
+                        continue
+                    fill += 1
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind=kind, var=v.vid, value=fill,
+                        attrs=_random_attrs(rng, strict),
+                        via_xfer=kind == "put" and rng.random() < 0.25,
+                    ))
+                elif action == "read":
+                    kind = "load" if v.owner == rank else "get"
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind=kind, var=v.vid,
+                        attrs=(_random_attrs(rng, strict, read=True)
+                               if kind == "get" else ()),
+                        via_xfer=kind == "get" and rng.random() < 0.25,
+                    ))
+                elif action == "count":
+                    kind = rng.choice(("acc", "fetch_add", "getacc"))
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind=kind, var=v.vid, value=1,
+                        attrs=(_random_attrs(rng, strict)
+                               if kind in ("acc", "getacc") else ()),
+                        via_xfer=kind == "acc" and rng.random() < 0.25,
+                    ))
+                elif action == "rmw":
+                    kind = rng.choice(("cas", "fetch_add", "swap"))
+                    value = rng.randint(1, 999)
+                    compare = 0
+                    if kind == "cas":
+                        # Half the CAS ops are hits against the tracked
+                        # reference value, half deliberate misses.
+                        cur = rmw_value[v.vid]
+                        compare = cur if rng.random() < 0.5 else cur + 1000
+                        if compare == cur:
+                            rmw_value[v.vid] = value
+                    elif kind == "swap":
+                        rmw_value[v.vid] = value
+                    else:
+                        rmw_value[v.vid] += value
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind=kind, var=v.vid, value=value,
+                        compare=compare,
+                    ))
+                elif action in ("order", "complete"):
+                    target = -1
+                    if rng.random() < 0.5:
+                        target = rng.choice(
+                            [r for r in range(n_ranks) if r != rank])
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind=action, target=target))
+                elif action == "noise":
+                    target = rng.choice(
+                        [r for r in range(n_ranks) if r != rank])
+                    nbytes = rng.choice(_NOISE_SIZES)
+                    scratch = 512  # region_size // 2
+                    disp = scratch + rng.randrange(0, 512 - nbytes + 1, 16)
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind="noise", target=target,
+                        nbytes=nbytes, disp=disp,
+                        value=rng.randint(1, 255),
+                        attrs=_random_attrs(rng, strict),
+                    ))
+                else:  # compute
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind="compute",
+                        duration=round(rng.uniform(0.5, 8.0), 3)))
+
+        # Random interleaving that preserves each rank's program order.
+        queues = [per_rank[r] for r in range(n_ranks) if per_rank[r]]
+        while queues:
+            q = rng.choice(queues)
+            ops.append(q.pop(0))
+            if not q:
+                queues.remove(q)
+
+    program = RmaProgram(
+        n_ranks=n_ranks, vars=tuple(vars_), ops=tuple(ops),
+        strict=strict, label=f"seed{seed}",
+    )
+    program.validate()
+    return program

@@ -1,0 +1,238 @@
+"""The generated-program IR.
+
+A :class:`RmaProgram` is plain data: a set of typed variables living in
+each rank's exposed region plus a single global list of operations.  The
+global list order is the *canonical interleaving* (what the zero-latency
+reference executor runs); per-rank program order is its restriction to
+one rank.  Keeping one flat list makes delta-debugging trivial — any
+subsequence of ``ops`` is again a valid program.
+
+Region layout (one ``region_size``-byte exposure per rank):
+
+- variable slots: 8 bytes each at ``disp = 8 * vid`` in the *owner*'s
+  region (so slots never collide, whoever owns them);
+- scratch: ``[region_size // 2, region_size)`` — the playground for
+  "noise" puts, which deliberately overlap each other and are large
+  enough (> 16 bytes) to stay out of the consistency trace.
+
+Variable types:
+
+- ``data`` — written with whole-slot fill-byte writes (put or local
+  store), read with gets/loads.  Every write carries a program-unique
+  fill value so reads-from relations are unambiguous.
+- ``counter`` — targeted only by accumulating ops (``acc``,
+  ``fetch_add``, ``getacc``) with operand 1; checked by final sum and
+  fetch-return distinctness.
+- ``rmw`` — owned by one rank, *used* by exactly one other rank via
+  blocking CAS/fetch-add/swap; checked exactly against the reference
+  executor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["VarSpec", "ProgOp", "RmaProgram", "SLOT_BYTES"]
+
+#: Every variable is one full 8-byte slot.
+SLOT_BYTES = 8
+
+#: Operation kinds a :class:`ProgOp` may carry.
+OP_KINDS = (
+    "put",        # remote whole-slot write of a data var
+    "store",      # local whole-slot write of an own data var
+    "get",        # remote read of a data var (always blocking)
+    "load",       # local read of an own data var
+    "acc",        # accumulate(sum, operand) on a counter var
+    "fetch_add",  # atomic fetch-and-add on a counter or rmw var
+    "getacc",     # get_accumulate(sum, operand) on a counter var
+    "cas",        # compare-and-swap on an rmw var
+    "swap",       # atomic swap on an rmw var
+    "order",      # MPI_RMA_order to one target (or all)
+    "complete",   # MPI_RMA_complete to one target (or all)
+    "sync",       # collective complete_collective — an epoch boundary
+    "noise",      # large overlapping put into the target's scratch area
+    "compute",    # local compute phase (perturbs schedules)
+)
+
+
+@dataclass(frozen=True)
+class VarSpec:
+    """One 8-byte variable slot in some rank's exposed region."""
+
+    vid: int
+    vtype: str       # "data" | "counter" | "rmw"
+    owner: int       # rank whose region holds the slot
+    user: int = -1   # rmw vars: the single rank allowed to touch it
+
+    @property
+    def disp(self) -> int:
+        return SLOT_BYTES * self.vid
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"vid": self.vid, "vtype": self.vtype, "owner": self.owner,
+                "user": self.user}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "VarSpec":
+        return cls(vid=d["vid"], vtype=d["vtype"], owner=d["owner"],
+                   user=d.get("user", -1))
+
+
+@dataclass(frozen=True)
+class ProgOp:
+    """One operation of the canonical interleaving.
+
+    ``rank`` is the issuing rank; ``sync`` ops have ``rank = -1`` (they
+    are executed by every rank).  ``attrs`` holds only the RmaAttrs
+    flags that are on.  ``via_xfer`` routes put/get/acc through the
+    unified ``MPI_RMA_xfer`` entry point instead of the typed call.
+    """
+
+    rank: int
+    kind: str
+    var: int = -1                 # vid, when the op touches a variable
+    value: int = 0                # fill byte / operand / rmw value
+    compare: int = 0              # cas compare value
+    target: int = -1              # order/complete/noise target (-1 = all)
+    attrs: Tuple[str, ...] = ()   # RmaAttrs flags that are set
+    via_xfer: bool = False
+    nbytes: int = 0               # noise put size
+    disp: int = 0                 # noise put displacement
+    duration: float = 0.0         # compute phase length (µs)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+
+    def has(self, flag: str) -> bool:
+        return flag in self.attrs
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"rank": self.rank, "kind": self.kind}
+        if self.var >= 0:
+            d["var"] = self.var
+        if self.value:
+            d["value"] = self.value
+        if self.compare:
+            d["compare"] = self.compare
+        if self.target >= 0:
+            d["target"] = self.target
+        if self.attrs:
+            d["attrs"] = list(self.attrs)
+        if self.via_xfer:
+            d["via_xfer"] = True
+        if self.nbytes:
+            d["nbytes"] = self.nbytes
+        if self.disp:
+            d["disp"] = self.disp
+        if self.duration:
+            d["duration"] = self.duration
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ProgOp":
+        return cls(
+            rank=d["rank"], kind=d["kind"], var=d.get("var", -1),
+            value=d.get("value", 0), compare=d.get("compare", 0),
+            target=d.get("target", -1), attrs=tuple(d.get("attrs", ())),
+            via_xfer=d.get("via_xfer", False), nbytes=d.get("nbytes", 0),
+            disp=d.get("disp", 0), duration=d.get("duration", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class RmaProgram:
+    """A complete generated program (see module docstring)."""
+
+    n_ranks: int
+    vars: Tuple[VarSpec, ...]
+    ops: Tuple[ProgOp, ...]
+    region_size: int = 1024
+    strict: bool = False    # every op ran with RmaAttrs.strict()
+    label: str = ""
+
+    # -- views -----------------------------------------------------------
+    def var(self, vid: int) -> VarSpec:
+        return self.vars[vid]
+
+    def vars_of(self, vtype: str) -> List[VarSpec]:
+        return [v for v in self.vars if v.vtype == vtype]
+
+    def epochs(self) -> List[int]:
+        """Epoch number of each op index (number of preceding syncs)."""
+        out, epoch = [], 0
+        for op in self.ops:
+            out.append(epoch)
+            if op.kind == "sync":
+                epoch += 1
+        return out
+
+    def ops_for(self, rank: int) -> List[Tuple[int, ProgOp]]:
+        """This rank's program: its own ops plus every collective sync,
+        as (global index, op) pairs in canonical order."""
+        return [(i, op) for i, op in enumerate(self.ops)
+                if op.rank == rank or op.kind == "sync"]
+
+    def with_ops(self, ops) -> "RmaProgram":
+        return replace(self, ops=tuple(ops))
+
+    # -- validation ------------------------------------------------------
+    def validate(self) -> None:
+        if not 2 <= self.n_ranks <= 64:
+            raise ValueError(f"n_ranks out of range: {self.n_ranks}")
+        scratch = self.region_size // 2
+        if SLOT_BYTES * len(self.vars) > scratch:
+            raise ValueError("variable slots overflow into scratch")
+        for v in self.vars:
+            if not 0 <= v.owner < self.n_ranks:
+                raise ValueError(f"var {v.vid}: bad owner {v.owner}")
+        for op in self.ops:
+            if op.kind != "sync" and not 0 <= op.rank < self.n_ranks:
+                raise ValueError(f"bad rank in {op}")
+            if op.kind == "noise":
+                if not 0 <= op.target < self.n_ranks or op.target == op.rank:
+                    raise ValueError(f"bad noise target in {op}")
+                if op.disp < scratch or op.disp + op.nbytes > self.region_size:
+                    raise ValueError(f"noise outside scratch in {op}")
+                if op.nbytes <= 16:
+                    raise ValueError("noise puts must stay untraced (> 16 B)")
+            if op.var >= 0 and op.var >= len(self.vars):
+                raise ValueError(f"unknown var in {op}")
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_ranks": self.n_ranks,
+            "region_size": self.region_size,
+            "strict": self.strict,
+            "label": self.label,
+            "vars": [v.to_dict() for v in self.vars],
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RmaProgram":
+        return cls(
+            n_ranks=d["n_ranks"],
+            region_size=d.get("region_size", 1024),
+            strict=d.get("strict", False),
+            label=d.get("label", ""),
+            vars=tuple(VarSpec.from_dict(v) for v in d["vars"]),
+            ops=tuple(ProgOp.from_dict(o) for o in d["ops"]),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RmaProgram":
+        return cls.from_dict(json.loads(text))
+
+    def __str__(self) -> str:
+        n_sync = sum(1 for op in self.ops if op.kind == "sync")
+        return (f"<RmaProgram {self.label or 'anon'}: {self.n_ranks} ranks, "
+                f"{len(self.vars)} vars, {len(self.ops)} ops, "
+                f"{n_sync + 1} epoch(s){', strict' if self.strict else ''}>")

@@ -1,0 +1,73 @@
+"""Zero-latency atomic reference executor.
+
+Executes a program's canonical op list sequentially against plain
+dictionaries: every operation applies atomically and instantly, in
+canonical order.  This yields *one* legal outcome of the program — the
+differential baseline the oracle compares against wherever the derived
+guarantees make the outcome deterministic:
+
+- rmw variables (single blocking user): returns and final value are
+  exact on any fabric, because the one user's program order *is* the
+  canonical order restricted to it;
+- counter variables: the final value ``init + sum(operands)`` is
+  interleaving-independent (commutative ops, applied exactly once);
+- fully-sequenced single-writer data variables: the final value is the
+  last write of the canonical order.
+
+Everything racy (unsequenced data writes, fetch-return interleavings)
+is checked against admissible *sets* by the oracle instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.check.program import RmaProgram
+
+__all__ = ["RefResult", "reference_execute"]
+
+
+@dataclass
+class RefResult:
+    """Outcome of the canonical zero-latency execution."""
+
+    #: vid -> final integer value (fill byte for data vars).
+    finals: Dict[int, int] = field(default_factory=dict)
+    #: global op index -> fetched old value (rmw/getacc/fetch_add ops).
+    returns: Dict[int, int] = field(default_factory=dict)
+    #: vid -> total accumulated into a counter var.
+    counter_sums: Dict[int, int] = field(default_factory=dict)
+
+
+def reference_execute(program: RmaProgram) -> RefResult:
+    """Run the canonical interleaving with atomic instant application."""
+    res = RefResult()
+    mem: Dict[int, int] = {v.vid: 0 for v in program.vars}
+    for vid in mem:
+        res.counter_sums[vid] = 0
+
+    for idx, op in enumerate(program.ops):
+        kind = op.kind
+        if kind in ("put", "store"):
+            mem[op.var] = op.value
+        elif kind in ("get", "load"):
+            res.returns.setdefault(idx, mem[op.var])
+        elif kind == "acc":
+            mem[op.var] += op.value
+            res.counter_sums[op.var] += op.value
+        elif kind in ("fetch_add", "getacc"):
+            res.returns[idx] = mem[op.var]
+            mem[op.var] += op.value
+            res.counter_sums[op.var] += op.value
+        elif kind == "cas":
+            res.returns[idx] = mem[op.var]
+            if mem[op.var] == op.compare:
+                mem[op.var] = op.value
+        elif kind == "swap":
+            res.returns[idx] = mem[op.var]
+            mem[op.var] = op.value
+        # order/complete/sync/noise/compute don't touch variables
+
+    res.finals = dict(mem)
+    return res

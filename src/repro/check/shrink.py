@@ -1,0 +1,171 @@
+"""Delta-debugging shrinker + replayable JSON artifacts.
+
+Classic ddmin over the program's flat op list: every candidate subset
+is *re-executed* on the same (fabric, seed, chaos, mutations)
+configuration and kept only if the oracle still reports a violation.
+Because any subsequence of ``ops`` is again a valid program (the IR
+guarantees it), no repair pass is needed — the result is a 1-minimal
+op list: removing any single remaining op makes the failure disappear.
+
+The shrunk reproducer is serialized as a self-contained JSON artifact
+(program + configuration + the violations observed), and
+:func:`replay_artifact` re-runs it from the file — the CLI's
+``--replay`` path and the CI failure workflow both go through it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.check.oracle import CheckReport, check_program
+from repro.check.program import RmaProgram
+from repro.check.runner import run_program
+
+__all__ = ["ShrinkResult", "shrink", "save_artifact", "load_artifact",
+           "replay_artifact"]
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrinking session."""
+
+    program: RmaProgram          # the 1-minimal failing program
+    report: CheckReport          # the violation it still produces
+    original_ops: int
+    executions: int              # oracle runs spent shrinking
+
+    @property
+    def shrunk_ops(self) -> int:
+        return len(self.program.ops)
+
+
+def _fails(program: RmaProgram, fabric: str, seed: int, chaos: float,
+           mutations: Tuple[str, ...]) -> Optional[CheckReport]:
+    """Run + check; the report when it still violates, else ``None``.
+
+    A candidate subset that deadlocks or crashes the stack is treated
+    as *not failing* (we are minimizing the observed conformance
+    violation, not whatever new problem an odd subset tickles)."""
+    try:
+        result = run_program(program, fabric, seed, chaos=chaos,
+                             mutations=mutations)
+    except Exception:
+        return None
+    report = check_program(result)
+    return report if report.violations else None
+
+
+def shrink(
+    program: RmaProgram,
+    fabric: str,
+    seed: int,
+    chaos: float = 0.0,
+    mutations: Tuple[str, ...] = (),
+    max_executions: int = 400,
+) -> ShrinkResult:
+    """ddmin-minimize a failing program.
+
+    ``program`` must already fail on the given configuration (raises
+    otherwise — a shrink request for a passing program is a caller
+    bug)."""
+    executions = 0
+
+    def fails(candidate: RmaProgram) -> Optional[CheckReport]:
+        nonlocal executions
+        executions += 1
+        return _fails(candidate, fabric, seed, chaos, mutations)
+
+    report = fails(program)
+    if report is None:
+        raise ValueError(
+            f"program does not fail on fabric={fabric!r} seed={seed} — "
+            "nothing to shrink")
+
+    ops = list(program.ops)
+    best = program
+    best_report = report
+    n = 2
+    while len(ops) >= 2 and executions < max_executions:
+        chunk = max(1, len(ops) // n)
+        reduced = False
+        start = 0
+        while start < len(ops) and executions < max_executions:
+            candidate_ops = ops[:start] + ops[start + chunk:]
+            if candidate_ops:
+                candidate = program.with_ops(candidate_ops)
+                r = fails(candidate)
+                if r is not None:
+                    ops = candidate_ops
+                    best = candidate
+                    best_report = r
+                    n = max(n - 1, 2)
+                    reduced = True
+                    continue
+            start += chunk
+        if not reduced:
+            if n >= len(ops):
+                break
+            n = min(n * 2, len(ops))
+
+    return ShrinkResult(program=best, report=best_report,
+                        original_ops=len(program.ops),
+                        executions=executions)
+
+
+# ----------------------------------------------------------------------
+# Replayable artifacts
+# ----------------------------------------------------------------------
+def save_artifact(
+    path: str,
+    program: RmaProgram,
+    report: CheckReport,
+    *,
+    chaos: float = 0.0,
+    mutations: Tuple[str, ...] = (),
+    extra: Optional[Dict] = None,
+) -> None:
+    """Write a self-contained failing-program JSON artifact."""
+    doc = {
+        "version": ARTIFACT_VERSION,
+        "fabric": report.fabric,
+        "seed": report.seed,
+        "chaos": chaos,
+        "mutations": list(mutations),
+        "program": program.to_dict(),
+        "violations": [
+            {"check": v.check, "vid": v.vid, "message": v.message}
+            for v in report.violations
+        ],
+    }
+    if extra:
+        doc.update(extra)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict:
+    """Load and minimally validate an artifact file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("version") != ARTIFACT_VERSION:
+        raise ValueError(
+            f"unsupported artifact version {doc.get('version')!r} in {path}")
+    RmaProgram.from_dict(doc["program"]).validate()
+    return doc
+
+
+def replay_artifact(path: str) -> CheckReport:
+    """Re-execute an artifact's program on its recorded configuration
+    and re-check it; returns the fresh report."""
+    doc = load_artifact(path)
+    program = RmaProgram.from_dict(doc["program"])
+    result = run_program(
+        program, doc["fabric"], doc["seed"], chaos=doc.get("chaos", 0.0),
+        mutations=tuple(doc.get("mutations", ())),
+    )
+    return check_program(result)

@@ -20,6 +20,7 @@ or extracted from a traced simulation run
 """
 
 from repro.consistency.checkers import (
+    Skipped,
     Violation,
     check_causal,
     check_read_your_writes,
@@ -32,6 +33,7 @@ __all__ = [
     "History",
     "LocationPomset",
     "MemOp",
+    "Skipped",
     "Violation",
     "check_causal",
     "check_read_your_writes",

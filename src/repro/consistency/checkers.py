@@ -22,6 +22,7 @@ from repro.consistency.history import History, MemOp
 
 __all__ = [
     "Violation",
+    "Skipped",
     "check_read_your_writes",
     "check_causal",
     "check_sequential",
@@ -38,6 +39,34 @@ class Violation:
 
     def __str__(self) -> str:
         return f"[{self.model}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Skipped:
+    """Explicit "this check did not run" marker.
+
+    :func:`check_sequential` returns it for histories larger than its
+    backtracking cap.  It is falsy and iterates like an empty violation
+    list, so ``if check_sequential(h):`` and ``for v in ...`` keep
+    working — but callers that care (e.g. ``repro.check``) can
+    distinguish *verified clean* from *not verified* instead of
+    treating an oversized history as vacuously passing.
+    """
+
+    model: str
+    reason: str
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def __str__(self) -> str:
+        return f"[{self.model}] skipped: {self.reason}"
 
 
 # ----------------------------------------------------------------------
@@ -141,20 +170,26 @@ def check_causal(history: History) -> List[Violation]:
 # ----------------------------------------------------------------------
 # Sequential consistency (Lamport)
 # ----------------------------------------------------------------------
-def check_sequential(history: History, max_ops: int = 14) -> List[Violation]:
+def check_sequential(
+    history: History, max_ops: int = 14
+) -> "List[Violation] | Skipped":
     """Search for a legal serialization: one total order of all ops
     respecting program order in which every read returns the latest
     preceding write (or the initial value ``None``-style: here, a read
     with no matching write must come before any write to its location).
 
     Backtracking search — exponential in the worst case, so histories
-    larger than ``max_ops`` are rejected (use small litmus tests).
+    larger than ``max_ops`` return an explicit (falsy, empty-iterable)
+    :class:`Skipped` marker instead of running: the caller learns the
+    history was *not verified* rather than mistaking the cap for a
+    clean pass.
     """
     ops = history.ops
     if len(ops) > max_ops:
-        raise ValueError(
-            f"history has {len(ops)} ops; sequential check is a "
-            f"backtracking search capped at {max_ops}"
+        return Skipped(
+            "sequential",
+            f"history has {len(ops)} ops; the backtracking search is "
+            f"capped at {max_ops}",
         )
 
     per_proc = {p: history.by_process(p) for p in history.processes()}

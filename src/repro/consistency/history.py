@@ -105,6 +105,22 @@ class History:
         return [o for o in self._ops if o.kind == "write"
                 and o.location == location]
 
+    def restrict(self, locations) -> "History":
+        """A sub-history of the ops touching ``locations`` only.
+
+        Per-process program order is preserved (ops are re-added in the
+        original order, so ``po_index`` is re-compacted per process).
+        Used by ``repro.check`` to carve the data-variable history out
+        of a trace that also records accumulate operands and scratch
+        traffic.
+        """
+        keep = set(locations)
+        sub = History()
+        for op in self._ops:
+            if op.location in keep:
+                sub._add(op.process, op.kind, op.location, op.value, op.time)
+        return sub
+
     def writer_of(self, read: MemOp) -> Optional[MemOp]:
         """The write whose value the read returned (reads-from), if
         unambiguous.  ``None`` when the read returned an initial value

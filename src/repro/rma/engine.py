@@ -244,6 +244,13 @@ class RmaEngine:
         # across same-seed runs (a process-global counter would leak
         # between worlds and break trace bit-identity).
         self._op_counter = itertools.count(1)
+        #: Test-only semantic mutations for the conformance fuzzer
+        #: (``repro.check``): an empty set (the default, always, outside
+        #: fuzzer self-tests) keeps behaviour — and traces — untouched.
+        #: ``"drop_order_barrier"`` makes every put/get ignore its
+        #: ordering sequence barrier, the planted bug the oracle and
+        #: shrinker must catch.
+        self.conformance_mutations: frozenset = frozenset()
         # Failure-aware completion state.
         self._path_failures: Dict[int, Any] = {}
         self.failures: List[Any] = []
@@ -631,6 +638,9 @@ class RmaEngine:
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
         barrier = seq - 1 if attrs.ordering else peer.order_barrier
+        if self.conformance_mutations and \
+                "drop_order_barrier" in self.conformance_mutations:
+            barrier = 0
         mode = self._pick_remote_mode(attrs, tmem, barrier, via_queue,
                                       via_lock, peer)
         if via_queue or via_lock:
@@ -754,6 +764,9 @@ class RmaEngine:
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
         barrier = seq - 1 if attrs.ordering else peer.order_barrier
+        if self.conformance_mutations and \
+                "drop_order_barrier" in self.conformance_mutations:
+            barrier = 0
         op_key = (self.rank, next(self._op_counter))
         pend = _PendingGet(
             nbytes, origin_alloc, origin_offset, origin_dtype, origin_count,

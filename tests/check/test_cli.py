@@ -1,0 +1,54 @@
+"""CLI surface tests for ``python -m repro.check``."""
+
+import json
+import os
+
+import pytest
+
+from repro.check.cli import main
+
+
+def test_clean_sweep_exits_zero(capsys):
+    rc = main(["--seeds", "2", "--fabric", "ordered", "-q"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "violation" in out  # summary line
+    assert "checked" in out
+
+
+def test_seed_range_spec(capsys):
+    rc = main(["--seeds", "3:5", "--fabric", "ordered,torus", "-q"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # 2 seeds x 2 fabrics = 4 program-runs.
+    assert "checked 4 program-runs" in out
+
+
+def test_bad_specs_exit_two():
+    with pytest.raises(SystemExit) as exc:
+        main(["--seeds", "0:0"])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        main(["--fabric", "nope"])
+    assert exc.value.code == 2
+
+
+def test_mutated_run_writes_replayable_artifact(tmp_path, capsys):
+    rc = main([
+        "--seeds", "25", "--fabric", "unordered",
+        "--mutate", "drop_order_barrier", "--shrink",
+        "--max-failures", "1", "--artifact-dir", str(tmp_path), "-q",
+    ])
+    assert rc == 1
+    artifacts = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+    assert artifacts
+    doc = json.loads((tmp_path / artifacts[0]).read_text())
+    assert doc["mutations"] == ["drop_order_barrier"]
+    assert doc["violations"]
+    # Shrunk reproducer stays tiny (acceptance: <= 4 ops).
+    assert len(doc["program"]["ops"]) <= 4
+    capsys.readouterr()
+
+    rc = main(["--replay", str(tmp_path / artifacts[0])])
+    assert rc == 1
+    assert "reproduced" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Generator determinism, IR validity, and serialization round-trips."""
+
+import pytest
+
+from repro.check import ProgOp, RmaProgram, VarSpec, generate_program
+from repro.check.program import OP_KINDS, SLOT_BYTES
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        for seed in range(20):
+            a = generate_program(seed)
+            b = generate_program(seed)
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        programs = {generate_program(seed).to_json() for seed in range(20)}
+        assert len(programs) > 15  # a collision or two would be fine
+
+    def test_overrides_respected(self):
+        p = generate_program(3, n_ranks=4, strict=True)
+        assert p.n_ranks == 4
+        assert p.strict
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_generated_programs_validate(self, seed):
+        p = generate_program(seed)
+        p.validate()
+        assert 2 <= p.n_ranks <= 8
+        assert p.ops
+        for op in p.ops:
+            assert op.kind in OP_KINDS
+            if op.kind == "sync":
+                assert op.rank == -1
+            else:
+                assert 0 <= op.rank < p.n_ranks
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_one_writer_per_data_var_per_epoch(self, seed):
+        p = generate_program(seed)
+        epochs = p.epochs()
+        writers = {}  # (vid, epoch) -> rank
+        for i, op in enumerate(p.ops):
+            if op.kind in ("put", "store") and p.var(op.var).vtype == "data":
+                key = (op.var, epochs[i])
+                assert writers.setdefault(key, op.rank) == op.rank
+            if op.kind == "noise":
+                # Noise stays in the untraced scratch half.
+                assert op.nbytes > 16
+                assert op.disp >= p.region_size // 2
+                assert op.disp + op.nbytes <= p.region_size
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_fill_bytes_program_unique(self, seed):
+        p = generate_program(seed)
+        fills = [op.value for op in p.ops
+                 if op.kind in ("put", "store")
+                 and p.var(op.var).vtype == "data"]
+        assert len(fills) == len(set(fills))
+        assert all(1 <= f <= 255 for f in fills)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_reads_are_blocking(self, seed):
+        p = generate_program(seed)
+        for op in p.ops:
+            if op.kind == "get":
+                assert op.has("blocking")
+
+    def test_validate_rejects_traced_noise(self):
+        v = VarSpec(vid=0, vtype="data", owner=0)
+        bad = RmaProgram(
+            n_ranks=2, vars=(v,),
+            ops=(ProgOp(rank=1, kind="noise", target=0, nbytes=8,
+                        disp=512),))
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_json_round_trip(self, seed):
+        p = generate_program(seed)
+        assert RmaProgram.from_json(p.to_json()) == p
+
+    def test_epochs_and_per_rank_view(self):
+        v = VarSpec(vid=0, vtype="data", owner=0)
+        ops = (
+            ProgOp(rank=1, kind="put", var=0, value=1),
+            ProgOp(rank=-1, kind="sync"),
+            ProgOp(rank=1, kind="get", var=0, attrs=("blocking",)),
+        )
+        p = RmaProgram(n_ranks=2, vars=(v,), ops=ops)
+        assert p.epochs() == [0, 0, 1]
+        # Every rank sees the sync op; only rank 1 sees the RMA ops.
+        assert [op.kind for _, op in p.ops_for(0)] == ["sync"]
+        assert [op.kind for _, op in p.ops_for(1)] == ["put", "sync", "get"]
+
+    def test_var_disp_uses_slot_stride(self):
+        v = VarSpec(vid=3, vtype="data", owner=0)
+        assert v.disp == 3 * SLOT_BYTES

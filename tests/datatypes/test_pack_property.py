@@ -1,0 +1,137 @@
+"""Seeded property tests: pack -> unpack round-trips bit-identically
+for randomly composed derived layouts (ISSUE 5 satellite).
+
+Each case builds a random (possibly nested) derived datatype, fills a
+source buffer with a random byte pattern, packs ``count`` instances,
+scatters them into a fresh buffer, and checks that exactly the bytes
+the layout touches arrive — and nothing else does.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.datatypes import (
+    DOUBLE,
+    FLOAT32,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    pack,
+    struct_type,
+    unpack,
+    vector,
+)
+
+_PRIMITIVES = (UINT8, INT16, INT32, INT64, FLOAT32, DOUBLE)
+
+
+def _random_type(rng, depth=0):
+    base = rng.choice(_PRIMITIVES)
+    if depth >= 2 or rng.random() < 0.3:
+        return base
+    kind = rng.choice(("contiguous", "vector", "hvector", "indexed",
+                       "hindexed", "struct"))
+    inner = _random_type(rng, depth + 1)
+    if kind == "contiguous":
+        return contiguous(rng.randint(1, 4), inner)
+    if kind == "vector":
+        count = rng.randint(1, 4)
+        blocklength = rng.randint(1, 3)
+        stride = blocklength + rng.randint(0, 3)
+        return vector(count, blocklength, stride, inner)
+    if kind == "hvector":
+        count = rng.randint(1, 4)
+        blocklength = rng.randint(1, 3)
+        # Byte stride must clear one block; keep it aligned to the
+        # element extent so blocks never overlap.
+        stride = (blocklength + rng.randint(0, 3)) * inner.extent
+        return hvector(count, blocklength, stride, inner)
+    if kind == "indexed":
+        n = rng.randint(1, 3)
+        blocklengths = [rng.randint(1, 3) for _ in range(n)]
+        displacements = []
+        pos = 0
+        for b in blocklengths:
+            pos += rng.randint(0, 2)
+            displacements.append(pos)
+            pos += b
+        return indexed(blocklengths, displacements, inner)
+    if kind == "hindexed":
+        n = rng.randint(1, 3)
+        blocklengths = [rng.randint(1, 3) for _ in range(n)]
+        displacements = []
+        pos = 0
+        for b in blocklengths:
+            pos += rng.randint(0, 2) * inner.extent
+            displacements.append(pos)
+            pos += b * inner.extent
+        return hindexed(blocklengths, displacements, inner)
+    # struct: disjoint fields of differing primitive types.
+    n = rng.randint(1, 3)
+    types = [rng.choice(_PRIMITIVES) for _ in range(n)]
+    blocklengths = [rng.randint(1, 3) for _ in range(n)]
+    displacements = []
+    pos = 0
+    for t, b in zip(types, blocklengths):
+        pos += rng.randint(0, 8)
+        displacements.append(pos)
+        pos += b * t.extent
+    return struct_type(blocklengths, displacements, types)
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_pack_unpack_round_trip(seed):
+    rng = random.Random(1000 + seed)
+    dtype = _random_type(rng)
+    count = rng.randint(1, 4)
+    offset = rng.randint(0, 32)
+    nbytes = offset + count * dtype.extent + rng.randint(0, 16)
+
+    src = np.frombuffer(
+        bytes(rng.getrandbits(8) for _ in range(nbytes)), dtype=np.uint8
+    ).copy()
+    wire = pack(src, offset, dtype, count)
+    assert wire.size == count * dtype.size
+
+    sentinel = 0xAB
+    dst = np.full(nbytes, sentinel, dtype=np.uint8)
+    unpack(wire, dst, offset, dtype, count)
+
+    # Bytes the layout touches arrive bit-identically...
+    touched = np.zeros(nbytes, dtype=bool)
+    for i in range(count):
+        base = offset + i * dtype.extent
+        for seg in dtype.segments:
+            touched[base + seg.disp : base + seg.disp + seg.nbytes] = True
+    assert np.array_equal(dst[touched], src[touched]), (
+        f"seed {seed}: {dtype!r} corrupted payload bytes")
+    # ...and gap/padding bytes stay untouched.
+    assert (dst[~touched] == sentinel).all(), (
+        f"seed {seed}: {dtype!r} wrote outside its layout")
+
+    # Packing the scattered copy again reproduces the same wire bytes.
+    assert np.array_equal(pack(dst, offset, dtype, count), wire)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_zero_copy_contiguous_view(seed):
+    rng = random.Random(7000 + seed)
+    base = rng.choice(_PRIMITIVES)
+    dtype = contiguous(rng.randint(1, 8), base)
+    count = rng.randint(1, 4)
+    offset = rng.randint(0, 16)
+    nbytes = offset + count * dtype.extent
+    src = np.frombuffer(
+        bytes(rng.getrandbits(8) for _ in range(nbytes)), dtype=np.uint8
+    ).copy()
+    view = pack(src, offset, dtype, count, copy=False)
+    assert not view.flags.writeable
+    assert np.shares_memory(view, src)
+    assert np.array_equal(view, pack(src, offset, dtype, count))
