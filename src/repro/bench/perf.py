@@ -196,7 +196,8 @@ def run_all(quick: bool = False) -> Dict[str, Any]:
 
 
 def compare_to_baseline(baseline: Dict[str, Any],
-                        tolerance: float = 1e-9) -> list:
+                        tolerance: float = 1e-9,
+                        walls: Optional[Dict[str, tuple]] = None) -> list:
     """Recompute the simulated-time observables recorded in ``baseline``
     and return drift messages (empty list = everything matches).
 
@@ -204,6 +205,12 @@ def compare_to_baseline(baseline: Dict[str, Any],
     reproducible to the bit on any machine.  ``tolerance`` is relative:
     a value ``v`` matches its recorded counterpart ``b`` when
     ``|v - b| <= tolerance * max(|b|, 1)``.
+
+    ``walls``, when given a dict, is filled with per-observable
+    ``(current_wall_sec, recorded_wall_sec_or_None)`` pairs so callers
+    can report wall-clock speedups alongside the exactness gate (the
+    recomputation runs the identical workload, so its wall time is a
+    like-for-like measurement against the baseline's recorded one).
     """
     from repro.bench.workloads import fig2_attribute_cost, halo_exchange_time
 
@@ -218,12 +225,15 @@ def compare_to_baseline(baseline: Dict[str, Any],
 
     halo = results.get("halo") or {}
     if "sim_us_per_iter" in halo:
+        t0 = time.perf_counter()
         sim_us = halo_exchange_time(
             "strawman",
             n_ranks=int(halo.get("n_ranks", 8)),
             halo_bytes=int(halo.get("halo_bytes", 8192)),
             iterations=int(halo.get("iterations", 40)),
         )
+        if walls is not None:
+            walls["halo"] = (time.perf_counter() - t0, halo.get("wall_sec"))
         check("halo.sim_us_per_iter", sim_us, halo["sim_us_per_iter"])
 
     fig2 = results.get("fig2") or {}
@@ -233,9 +243,13 @@ def compare_to_baseline(baseline: Dict[str, Any],
         if "sim_us" not in point:
             continue
         mode, _, size = key.rpartition("/")
+        t0 = time.perf_counter()
         sim_us = fig2_attribute_cost(
             mode, int(size), puts_per_origin=puts_per_origin,
         )
+        if walls is not None:
+            walls[f"fig2.{key}"] = (time.perf_counter() - t0,
+                                    point.get("wall_sec"))
         check(f"fig2.{key}.sim_us", sim_us, point["sim_us"])
 
     return failures
@@ -252,7 +266,35 @@ def _speedups(current: Dict[str, Any],
     if baseline.get("fig2", {}).get("wall_sec_total"):
         out["fig2_wall"] = (baseline["fig2"]["wall_sec_total"]
                             / current["fig2"]["wall_sec_total"])
+    base_points = baseline.get("fig2", {}).get("points", {})
+    cur_points = current.get("fig2", {}).get("points", {})
+    for key in sorted(base_points):
+        base_wall = base_points[key].get("wall_sec")
+        cur_wall = cur_points.get(key, {}).get("wall_sec")
+        if base_wall and cur_wall:
+            out[f"fig2.{key}"] = base_wall / cur_wall
     return out
+
+
+def _metadata() -> Dict[str, Any]:
+    """Record the fast-path toggles and numpy version alongside the run,
+    so a benchmark artifact is self-describing about which optimizations
+    were active when it was produced."""
+    from repro.mpi.nexus import CollectiveNexus
+    from repro.network.nic import Nic
+    from repro.rma.engine import RmaEngine
+
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "train_enabled": RmaEngine.train_enabled,
+        "burst_enabled": Nic.burst_enabled,
+        "nexus_enabled": CollectiveNexus.enabled,
+        "numpy": numpy_version,
+    }
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -277,7 +319,17 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--tolerance", type=float, default=1e-9,
                         help="relative sim-time drift tolerance for "
                              "--compare (default: %(default)s)")
+    parser.add_argument("--no-train", action="store_true",
+                        help="disable the vectorized op-train fast path (the "
+                             "collective nexus, which requires it, then "
+                             "declines too); CI runs --compare both ways to "
+                             "pin that the fast paths never move simulated "
+                             "time")
     args = parser.parse_args(argv)
+
+    if args.no_train:
+        from repro.rma.engine import RmaEngine
+        RmaEngine.train_enabled = False
 
     if args.compare:
         try:
@@ -285,15 +337,29 @@ def main(argv: Optional[list] = None) -> int:
                 base_doc = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             parser.error(f"cannot read baseline {args.compare!r}: {exc}")
+        meta = _metadata()
         print(f"[perf] comparing simulated time against {args.compare} "
-              f"(tolerance {args.tolerance:g}) ...", flush=True)
-        failures = compare_to_baseline(base_doc, tolerance=args.tolerance)
+              f"(tolerance {args.tolerance:g}; train="
+              f"{'on' if meta['train_enabled'] else 'off'} burst="
+              f"{'on' if meta['burst_enabled'] else 'off'} nexus="
+              f"{'on' if meta['nexus_enabled'] else 'off'}) ...", flush=True)
+        walls: Dict[str, tuple] = {}
+        failures = compare_to_baseline(base_doc, tolerance=args.tolerance,
+                                       walls=walls)
         for msg in failures:
             print(f"[perf] DRIFT {msg}")
         if failures:
             print(f"[perf] FAIL: {len(failures)} simulated-time observable(s) "
                   "drifted from the recorded baseline")
             return 1
+        # Wall-clock is informational only — never part of the gate — but
+        # the recomputation just re-ran the recorded workloads, so report
+        # the like-for-like speedup against each recorded wall time.
+        for key in sorted(walls):
+            cur, recorded = walls[key]
+            if recorded:
+                print(f"[perf] wall {key}: recorded {recorded:.4f}s -> "
+                      f"current {cur:.4f}s ({recorded / cur:.2f}x)")
         print("[perf] OK: all recorded simulated-time observables match")
         return 0
 
@@ -321,6 +387,7 @@ def main(argv: Optional[list] = None) -> int:
         "label": args.label,
         "quick": args.quick,
         "python": sys.version.split()[0],
+        "metadata": _metadata(),
         "results": results,
     }
     if base_doc is not None:

@@ -110,6 +110,16 @@ def generate_program(
 
         per_rank: Dict[int, List[ProgOp]] = {r: [] for r in range(n_ranks)}
         for rank in range(n_ranks):
+            # Rank-unique epoch stagger: barrier exits are quantized to
+            # sums of the fabric constants, so symmetric programs produce
+            # *float-exact* cross-rank timestamp ties whose resolution is
+            # event-heap insertion order — incidental state a fast path
+            # cannot replicate.  A distinct sub-quantum offset per rank
+            # desynchronizes the ranks the way real compute skew does,
+            # so races stay races without exact-tie coin flips.
+            per_rank[rank].append(ProgOp(
+                rank=rank, kind="compute",
+                duration=round(0.0137 * (rank + 1) + 0.0071 * epoch, 6)))
             # Feasible actions for this rank, weighted by repetition.
             actions = []
             for v in data:
@@ -126,6 +136,11 @@ def generate_program(
                         ("compute", None)]
             if n_ranks > 1:
                 actions.append(("noise", None))
+                # Op-train clause: long attribute-uniform runs are what
+                # the engine's vectorized fast path (DESIGN §12) detects;
+                # generating them drives the fuzzer across its
+                # eligibility boundary.
+                actions.append(("train", None))
 
             for _ in range(rng.randint(1, ops_per_rank)):
                 action, v = rng.choice(actions)
@@ -208,6 +223,26 @@ def generate_program(
                         value=rng.randint(1, 255),
                         attrs=_random_attrs(rng, strict),
                     ))
+                elif action == "train":
+                    # One attribute set, one target, one size for the
+                    # whole run — exactly the uniformity the op-train
+                    # fast path keys on.  Scratch-region puts like
+                    # noise, so the run costs no fill bytes and stays
+                    # out of the consistency trace.
+                    target = rng.choice(
+                        [r for r in range(n_ranks) if r != rank])
+                    attrs = _random_attrs(rng, strict)
+                    nbytes = rng.choice(_NOISE_SIZES)
+                    scratch = 512
+                    value = rng.randint(1, 255)
+                    for _k in range(rng.randint(4, 8)):
+                        disp = scratch + rng.randrange(
+                            0, 512 - nbytes + 1, 16)
+                        per_rank[rank].append(ProgOp(
+                            rank=rank, kind="noise", target=target,
+                            nbytes=nbytes, disp=disp, value=value,
+                            attrs=attrs,
+                        ))
                 else:  # compute
                     per_rank[rank].append(ProgOp(
                         rank=rank, kind="compute",

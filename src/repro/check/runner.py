@@ -87,8 +87,13 @@ class RunResult:
 
 
 def build_world(fabric: str, n_ranks: int, seed: int,
-                chaos: float = 0.0) -> World:
-    """A traced world on the named fabric with ``n_ranks`` ranks."""
+                chaos: float = 0.0, trace: bool = True) -> World:
+    """A world on the named fabric with ``n_ranks`` ranks.
+
+    ``trace=False`` builds it untraced — the consistency oracle loses
+    its history, but the op-train fast path (which self-disables under
+    tracing) becomes reachable, so differential train-on/off runs can
+    fuzz the batch timing against the per-op path."""
     try:
         net = FABRICS[fabric]()
     except KeyError:
@@ -100,7 +105,7 @@ def build_world(fabric: str, n_ranks: int, seed: int,
         machine=generic_cluster(n_nodes=n_ranks),
         network=net,
         seed=seed,
-        trace=True,
+        trace=trace,
         fault_plan=plan,
     )
 
@@ -121,15 +126,19 @@ def run_program(
     chaos: float = 0.0,
     mutations: Tuple[str, ...] = (),
     limit: Optional[float] = 10_000_000.0,
+    trace: bool = True,
 ) -> RunResult:
     """Run ``program`` and collect a :class:`RunResult`.
 
     ``mutations`` names test-only engine misbehaviours (see
     ``RmaEngine.conformance_mutations``) used to prove the oracle can
-    catch real semantic bugs.
+    catch real semantic bugs.  ``trace=False`` runs untraced (empty
+    history) so the op-train fast path may engage; the differential
+    oracle then compares final state, returns and simulated time
+    against a train-disabled run of the same program.
     """
     program.validate()
-    world = build_world(fabric, program.n_ranks, seed, chaos)
+    world = build_world(fabric, program.n_ranks, seed, chaos, trace=trace)
     if mutations:
         for ctx in world.contexts.values():
             ctx.rma.engine.conformance_mutations = frozenset(mutations)
@@ -180,6 +189,7 @@ def run_program(
                 )
                 continue
             if kind == "load":
+                ctx.rma.engine.materialize_inbound()
                 ctx.mem.fence()
                 data = ctx.mem.load(alloc, v.disp, SLOT_BYTES)
                 tracer.record(
@@ -299,5 +309,7 @@ def run_program(
         stats={
             "ops": len(program.ops),
             "history_ops": len(history),
+            "train_ops": sum(ctx.rma.engine.stats["train_ops"]
+                             for ctx in world.contexts.values()),
         },
     )

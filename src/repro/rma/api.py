@@ -419,6 +419,23 @@ class RmaInterface:
         """``MPI_RMA_complete_collective``: everyone completes, then a
         barrier guarantees global visibility."""
         comm = comm if comm is not None else self.comm_world
+        nexus = self.engine.sim.context.get("nexus")
+        if nexus is not None:
+            ev, bctx = nexus.enter_complete(comm, self.engine)
+            if ev is not None:
+                state, val = yield ev
+                if state == "ok":
+                    return []
+                # rescued: replay the complete_all charge at its exact
+                # end, then run the real flush + barrier protocol
+                errs = yield from self.engine.complete_all(
+                    resume_at=val + self.engine.timings.call_overhead
+                )
+                yield from comm.barrier(_ctx=bctx)
+                return self._handle_completion_errors(errs)
+            errs = yield from self.engine.complete_all()
+            yield from comm.barrier(_ctx=bctx)
+            return self._handle_completion_errors(errs)
         errs = yield from self.engine.complete_all()
         yield from comm.barrier()
         return self._handle_completion_errors(errs)

@@ -55,7 +55,7 @@ from repro.machine.config import MachineConfig, MachineTimings
 from repro.machine.node import RankMemory
 from repro.mpi.request import Request
 from repro.network.nic import Nic
-from repro.network.packet import Packet
+from repro.network.packet import ACK_SIZE, HEADER_SIZE, Packet
 from repro.rma.attributes import RmaAttrs
 from repro.rma.layout import (
     Fragment,
@@ -66,7 +66,8 @@ from repro.rma.layout import (
 )
 from repro.rma.serializer import Serializer, make_serializer
 from repro.rma.target_mem import RmaError, TargetMem
-from repro.sim.events import AllOf, Event
+from repro.rma.train import OpTrain, TrainElement
+from repro.sim.events import AllOf, DeferredEvent, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime import World
@@ -78,6 +79,11 @@ __all__ = ["RmaEngine", "OpRecord", "build_rma"]
 ACC_OPS = ("sum", "prod", "min", "max", "replace", "daxpy")
 #: Read-modify-write operations (paper §V: conditional and unconditional).
 RMW_OPS = ("cas", "fetch_add", "swap")
+
+#: Conformance mutations under which the op-train path may stay active
+#: (its own planted bug only); any other mutation alters per-packet
+#: behaviour the closed form does not model, so the path stands down.
+_TRAIN_MUTATIONS = frozenset({"train_mistime"})
 
 
 @dataclass(slots=True)
@@ -114,7 +120,8 @@ class _OriginPeer:
     """Origin-side per-target state."""
 
     __slots__ = ("last_seq", "order_barrier", "outstanding",
-                 "last_atomic_seq", "broken", "completing")
+                 "last_atomic_seq", "last_deferred_seq", "broken",
+                 "completing")
 
     def __init__(self) -> None:
         self.last_seq = 0
@@ -124,6 +131,12 @@ class _OriginPeer:
         #: target (atomic application is deferred, which matters for
         #: deciding whether delivery == application downstream).
         self.last_atomic_seq = 0
+        #: Most recent op whose *application* happens after delivery
+        #: without being atomic (serializer-routed rmw, RMI handlers,
+        #: atomic-queue gets).  The op-train fast path reasons
+        #: "delivery order == application order" and must stand down
+        #: while any such op is in the sequence window.
+        self.last_deferred_seq = 0
         #: Set on a transport path failure; every later op to this
         #: target fails fast at issue.
         self.broken = False
@@ -209,6 +222,12 @@ class _PendingGet:
 class RmaEngine:
     """Per-rank RMA protocol engine (see module docstring)."""
 
+    #: Master switch for the vectorized op-train fast path (see
+    #: :meth:`_try_issue_train` and :mod:`repro.rma.train`).  The
+    #: determinism regression tests flip this off to prove the analytic
+    #: and event-loop paths produce identical simulated timestamps.
+    train_enabled: bool = True
+
     def __init__(
         self,
         sim: "Simulator",
@@ -249,8 +268,22 @@ class RmaEngine:
         #: fuzzer self-tests) keeps behaviour — and traces — untouched.
         #: ``"drop_order_barrier"`` makes every put/get ignore its
         #: ordering sequence barrier, the planted bug the oracle and
-        #: shrinker must catch.
+        #: shrinker must catch.  ``"train_mistime"`` shifts every
+        #: timestamp of the first op-train per target by +1e-3 µs — the
+        #: planted batch-path bug proving the train-on/off differential
+        #: oracle detects closed-form timing errors.
         self.conformance_mutations: frozenset = frozenset()
+        # Op-train fast path state: the open train per destination (a
+        # train closes once materialized) and the set of destinations
+        # already mis-timed by the "train_mistime" mutation.
+        self._active_trains: Dict[int, OpTrain] = {}
+        self._train_mistimed: set = set()
+        # Op-train memos: fig2/halo issue thousands of identically-shaped
+        # ops, so both the fragment-size split (keyed by (dtype, count))
+        # and the per-fragment serialization charges (keyed by the sizes
+        # tuple) are computed once.
+        self._train_sizes_cache: Dict[tuple, tuple] = {}
+        self._train_ser_cache: Dict[tuple, Any] = {}
         # Failure-aware completion state.
         self._path_failures: Dict[int, Any] = {}
         self.failures: List[Any] = []
@@ -293,6 +326,7 @@ class RmaEngine:
             "bytes_put": 0,
             "bytes_got": 0,
             "gated_frags": 0,
+            "train_ops": 0,
         }
 
     # ------------------------------------------------------------------
@@ -472,11 +506,12 @@ class RmaEngine:
     # Issue path helpers
     # ------------------------------------------------------------------
     def send_control(self, dst: int, kind: str, payload: Dict[str, Any],
-                     data_bytes: int = 0, want_ack: bool = False) -> Packet:
+                     data_bytes: int = 0, want_ack: bool = False,
+                     inject_from: float = None) -> Packet:
         """Inject a small protocol packet."""
         pkt = Packet(src=self.rank, dst=dst, kind=kind, payload=payload,
                      data_bytes=data_bytes, want_ack=want_ack)
-        self.nic.send(pkt)
+        self.nic.send(pkt, inject_from=inject_from)
         return pkt
 
     def _pick_remote_mode(self, attrs: RmaAttrs, tmem: TargetMem,
@@ -594,6 +629,216 @@ class RmaEngine:
         tmem.check_access(target_disp, lo, hi)
         return o_bytes
 
+    def _try_issue_train(self, kind, dst, tmem, target_disp, target_dtype,
+                         target_count, wire, nbytes, attrs, extra):
+        """Closed-form issue of one non-atomic write riding an op-train.
+
+        When every condition below holds, the op's entire lifetime —
+        injection, serialization, arrival, application, hardware ack —
+        is a pure function of current NIC/fabric state, so it is
+        computed here as (vectorized) float arithmetic identical to
+        what the event-loop path would perform, recorded on the
+        destination's :class:`~repro.rma.train.OpTrain`, and costs zero
+        kernel events until observed.  Returns the :class:`OpRecord`,
+        or ``None`` to fall back to the packet path.
+
+        Eligibility (each is load-bearing; see DESIGN §12):
+        flat ordered fault-free path, idle untraced NIC, no reliable
+        transport, coherent target, no atomic or deferred-application
+        op in the peer's sequence window, and a remote-completion mode
+        that is closed-form ("hw" delivery acks or "flush").
+        """
+        nic = self.nic
+        fabric = nic.fabric
+        if (
+            not self.train_enabled
+            or not nic.burst_enabled
+            or nic.transport is not None
+            or nic._pending
+            or fabric.topology is not None
+            or fabric._faulty
+            or fabric.tracer.enabled
+            or not tmem.coherent
+            or not self.conformance_mutations <= _TRAIN_MUTATIONS
+        ):
+            return None
+        sim = self.sim
+        if sim.context.get("world") is None:
+            # Lazy materialization needs the world's engine directory.
+            return None
+        path = fabric.config_for(self.rank, dst)
+        if not path.ordered:
+            return None
+        peer = self._origin_peer(dst)
+        if peer.broken or peer.last_atomic_seq or peer.last_deferred_seq:
+            return None
+        if attrs.remote_completion:
+            # With a clean window (no atomic seq) on an ordered path to
+            # a coherent target, _pick_remote_mode would choose exactly
+            # this; "sw" acks need the target engine to run per-op.
+            if not path.remote_completion_events:
+                return None
+            mode = "hw"
+        else:
+            mode = "flush"
+
+        cfg = self.network
+        mtu = cfg.mtu
+        if nbytes > mtu:
+            # Rendezvous transfers ride as zero-copy views pinned until
+            # delivery; the train applies them after the caller may have
+            # reused the buffer, so snapshot the payload at issue.
+            wire = wire.copy()
+        seq = peer.alloc_seq()
+        op_key = (self.rank, next(self._op_counter))
+        swap = self.mem.space.endianness != tmem.endianness
+        if kind == "put" and not swap and target_dtype.is_contiguous:
+            # Lazy element: one dense run — fragment sizes are pure
+            # arithmetic and application is a single NIC deposit of the
+            # whole wire, so no Fragment objects are ever built.
+            frags = None
+            skey = (target_dtype, target_count)
+            sizes = self._train_sizes_cache.get(skey)
+            if sizes is None:
+                elem = target_dtype.segments[0].elem_size
+                full = mtu - (mtu % elem) if elem > 1 else mtu
+                nfull, rem = divmod(nbytes, full)
+                sizes = (full,) * nfull + ((rem,) if rem else ())
+                self._train_sizes_cache[skey] = sizes
+            acc_args = None
+            sig = ("contig", tmem.mem_id, target_disp, nbytes)
+        else:
+            frags = fragment_layout(target_dtype, target_count, wire, mtu)
+            sizes = tuple(len(f.data) for f in frags)
+            if kind == "put":
+                acc_args = None
+                sig = ("frags", tmem.mem_id, target_disp,
+                       tuple(f.subsegs for f in frags))
+            else:
+                acc_args = (extra["np_elem"], extra["acc_op"],
+                            extra["acc_scale"])
+                sig = None
+        nfrags = len(sizes)
+        ser = self._train_ser_cache.get(sizes)
+        if ser is None:
+            gap, bt = cfg.gap, cfg.byte_time
+            ser = self._train_ser_cache[sizes] = [
+                max(gap, (HEADER_SIZE + s) * bt) for s in sizes
+            ]
+        if fabric._nexus_active:
+            # A parked peer's virtual flush request may already cover this
+            # NIC; the nexus then rescues synchronously (delivering the
+            # flush and reserving the serializer for its ack) before the
+            # reservation is read below.
+            fabric._nexus.note_reserve(self.rank)
+        now = sim.now
+        start = now if now > nic._reserved_until else nic._reserved_until
+        key = (self.rank, dst)
+        prev = fabric._last_delivery.get(key, -1.0)
+        latency = path.latency
+        inject_value = None
+        arrivals = None
+        if nfrags == 1:
+            # Scalar algebra: exactly Nic.send's idle path + transmit.
+            inject_end = start + ser[0]
+            arrival = inject_end + latency
+            if arrival <= prev:
+                arrival = prev + 1e-9
+        elif nfrags <= 32:
+            # Short trains: a plain running-sum loop beats numpy's fixed
+            # per-call overhead, and is trivially bit-exact (it IS the
+            # send_burst / transmit_burst float sequence).
+            t = start
+            a = prev
+            inject_value = []
+            arrivals = []
+            for s in ser:
+                t += s
+                inject_value.append(t)
+                r = t + latency
+                if r <= a:
+                    r = a + 1e-9
+                a = r
+                arrivals.append(r)
+            inject_end = t
+            arrival = a
+        else:
+            # Long ops: vectorized algebra.  Bit-exactness: the burst
+            # path computes a running sum ``t = start; t += ser_i`` —
+            # seeding the cumsum with start makes every partial sum
+            # round in the same order.
+            arr = np.empty(nfrags + 1, dtype=np.float64)
+            arr[0] = start
+            arr[1:] = ser
+            injects = np.cumsum(arr)[1:]
+            inject_end = float(injects[-1])
+            raw = injects + latency
+            if cfg.gap > 0.0 and raw[0] > prev:
+                # gap > 0 makes injections (hence raw arrivals) strictly
+                # increasing, and the first clears the FIFO clamp — so
+                # no element needs the +1e-9 nudge.
+                arrivals = raw.tolist()
+            else:
+                arrivals = raw.tolist()
+                p = prev
+                for i, r in enumerate(arrivals):
+                    if r <= p:
+                        r = p + 1e-9
+                        arrivals[i] = r
+                    p = r
+            arrival = arrivals[-1]
+            inject_value = injects.tolist()
+        if self.conformance_mutations \
+                and "train_mistime" in self.conformance_mutations \
+                and dst not in self._train_mistimed:
+            # Planted batch-path bug: shift every timestamp of the first
+            # train op per destination.  Reservation and FIFO bookkeeping
+            # shift too, so nothing hangs — the run simply diverges.
+            self._train_mistimed.add(dst)
+            shift = 1e-3
+            inject_end += shift
+            arrival += shift
+            if arrivals is not None:
+                arrivals = [a + shift for a in arrivals]
+            if inject_value is not None:
+                inject_value = [v + shift for v in inject_value]
+        apply_time = arrival
+        nic._reserved_until = inject_end
+        fabric._last_delivery[key] = arrival
+        nic.packets_sent += nfrags
+        nic.bytes_sent += nbytes + HEADER_SIZE * nfrags
+        ev_local = DeferredEvent(
+            sim, inject_end,
+            inject_end if inject_value is None else inject_value,
+        )
+        if mode == "hw":
+            rev = fabric.config_for(dst, self.rank)
+            ack_flight = rev.latency + ACK_SIZE * rev.byte_time
+            if nfrags == 1:
+                ack_due = ack_value = arrival + ack_flight
+            else:
+                ack_value = [a + ack_flight for a in arrivals]
+                ack_due = ack_value[-1]
+            fabric.acks_generated += nfrags
+            ev_remote: Optional[Event] = DeferredEvent(sim, ack_due, ack_value)
+        else:
+            ev_remote = None
+
+        train = self._active_trains.get(dst)
+        if train is None or train.done:
+            train = OpTrain(sim, self.rank, dst)
+            self._active_trains[dst] = train
+            fabric.register_train(dst, train)
+        train.append(TrainElement(
+            seq, op_key, kind, tmem.mem_id, target_disp, swap, frags, wire,
+            nfrags, apply_time, acc_args, sig, nbytes + HEADER_SIZE * nfrags,
+        ))
+        rec = OpRecord(op_key, dst, seq, kind, mode, ev_local, ev_remote,
+                       nbytes, attrs)
+        peer.outstanding.append(rec)
+        self.stats["train_ops"] += 1
+        return rec
+
     def _issue_write(
         self, kind, origin_alloc, origin_offset, origin_count, origin_dtype,
         tmem, target_disp, target_count, target_dtype, attrs, extra,
@@ -632,6 +877,13 @@ class RmaEngine:
             return OpRecord((self.rank, 0), dst, 0, kind, "hw", ev, ev, 0)
 
         via_queue, via_lock = self._atomic_routing(attrs)
+        if not via_queue and not via_lock:
+            train_rec = self._try_issue_train(
+                kind, dst, tmem, target_disp, target_dtype, target_count,
+                wire, nbytes, attrs, extra,
+            )
+            if train_rec is not None:
+                return train_rec
         if via_lock:
             yield from self.serializer.origin_acquire(dst)
 
@@ -767,6 +1019,10 @@ class RmaEngine:
         if self.conformance_mutations and \
                 "drop_order_barrier" in self.conformance_mutations:
             barrier = 0
+        if via_queue:
+            # Atomic-queue gets are served by a serializer job after
+            # delivery: application is deferred, the train must wait.
+            peer.last_deferred_seq = seq
         op_key = (self.rank, next(self._op_counter))
         pend = _PendingGet(
             nbytes, origin_alloc, origin_offset, origin_dtype, origin_count,
@@ -907,6 +1163,7 @@ class RmaEngine:
 
     def _serve_getacc(self, peer: _TargetPeer, op: _InboundOp) -> None:
         """Read the old section, apply the update, reply with the old."""
+        self.materialize_inbound()
         desc = op.desc
         alloc = self._resolve(desc["mem_id"])
         old = read_layout(self.mem, alloc, desc["base_disp"],
@@ -961,6 +1218,11 @@ class RmaEngine:
             yield from self.serializer.origin_acquire(dst)
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
+        if not use_hw and not via_lock:
+            # Serializer-routed RMW: applied by a queued job after
+            # delivery, so later train ops cannot assume delivery order
+            # equals application order.
+            peer.last_deferred_seq = seq
         barrier = peer.order_barrier
         op_key = (self.rank, next(self._op_counter))
         ev = self.sim.event()
@@ -1007,6 +1269,9 @@ class RmaEngine:
         )
         peer = self._origin_peer(dst)
         seq = peer.alloc_seq()
+        # RMI handlers run from a spawned process (or serializer job)
+        # after delivery — always deferred application.
+        peer.last_deferred_seq = seq
         barrier = seq - 1 if attrs.ordering else peer.order_barrier
         op_key = (self.rank, next(self._op_counter))
         ev = self.sim.event()
@@ -1036,13 +1301,26 @@ class RmaEngine:
         self.stats["completes"] += 1
         return errs
 
-    def complete_all(self):
+    def complete_all(self, resume_at: float = None):
         """Remote-complete every target with outstanding traffic
-        (``MPI_ALL_RANKS``).  Returns the list of failures."""
-        yield self.sim.timeout(self.timings.call_overhead)
+        (``MPI_ALL_RANKS``).  Returns the list of failures.
+
+        ``resume_at`` replays the call-overhead charge at its exact
+        absolute end (nexus-rescue fallback); an end already in the
+        simulated past is skipped, with the flush sends backdated to it —
+        everything downstream runs at absolute times, so the timeline is
+        reproduced exactly."""
+        inject_from = None
+        if resume_at is None:
+            yield self.sim.timeout(self.timings.call_overhead)
+        elif resume_at >= self.sim.now:
+            yield self.sim.wake_at(resume_at)
+        else:
+            inject_from = resume_at
         events = []
         for dst in sorted(self._origin_peers):
-            events.extend(self._completion_events(dst))
+            events.extend(self._completion_events(dst,
+                                                  inject_from=inject_from))
         if events:
             yield AllOf(self.sim, events)
         self.stats["completes"] += 1
@@ -1056,7 +1334,8 @@ class RmaEngine:
             yield AllOf(self.sim, events)
         return _collect_errors(events)
 
-    def _completion_events(self, dst: int) -> List[Event]:
+    def _completion_events(self, dst: int,
+                           inject_from: float = None) -> List[Event]:
         peer = self._origin_peers.get(dst)
         if peer is None or not peer.outstanding:
             return []
@@ -1073,11 +1352,28 @@ class RmaEngine:
             peer.completing, peer.outstanding = peer.outstanding, []
             return events
         flush_watermark = 0
+        deferred: List[DeferredEvent] = []
         for rec in peer.outstanding:
-            if rec.ev_remote is not None:
-                events.append(rec.ev_remote)
+            ev = rec.ev_remote
+            if ev is not None:
+                events.append(ev)
+                if (type(ev) is DeferredEvent and not ev._armed
+                        and not ev.triggered):
+                    deferred.append(ev)
             else:
                 flush_watermark = max(flush_watermark, rec.seq)
+        if deferred:
+            # Retire the whole group of analytic hw-ack events with one
+            # heap entry at the latest due time.  Each event still
+            # auto-fires at its own due when polled (DeferredEvent), so
+            # no observable timestamp moves — only the timer count does.
+            due = max(ev.due for ev in deferred)
+            for ev in deferred:
+                ev.mark_armed()
+            self.sim.schedule_bulk_succeed_at(
+                due, deferred,
+                [ev._deferred_value for ev in deferred],
+            )
         if flush_watermark:
             flush_id = self._next_flush_id
             self._next_flush_id += 1
@@ -1087,6 +1383,7 @@ class RmaEngine:
                 dst, "rma.flush_req",
                 {"watermark": flush_watermark, "flush_id": flush_id,
                  "src": self.rank},
+                inject_from=inject_from,
             )
             events.append(ev)
         peer.completing, peer.outstanding = peer.outstanding, []
@@ -1186,6 +1483,7 @@ class RmaEngine:
             if desc["kind"] == "getacc":
                 self._serve_getacc(peer, op)
                 return
+            self.materialize_inbound()
             alloc = self._resolve(desc["mem_id"])
             for frag in op.frags:
                 if desc["kind"] == "put":
@@ -1209,6 +1507,17 @@ class RmaEngine:
     # ------------------------------------------------------------------
     # Target side: gets / rmw / rmi
     # ------------------------------------------------------------------
+    def materialize_inbound(self) -> None:
+        """Apply analytically-arrived train elements destined to this
+        rank.  Packet deliveries materialize automatically, but target
+        memory is also read/written from serializer-deferred jobs
+        (atomic gets, getacc, locked rmw) and from local CPU loads —
+        any such access must first apply whatever the per-op path would
+        already have delivered by now."""
+        fabric = self.nic.fabric
+        if fabric is not None and fabric._pending_trains:
+            fabric.materialize_trains(self.rank)
+
     def _on_get_req(self, packet: Packet) -> None:
         desc = packet.payload
         peer = self._target_peer(desc["src"])
@@ -1271,6 +1580,7 @@ class RmaEngine:
             raise RmaError(f"unknown inbound op kind {kind!r}")
 
     def _serve_get(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        self.materialize_inbound()
         desc = op.desc
         alloc = self._resolve(desc["mem_id"])
         data = read_layout(self.mem, alloc, desc["base_disp"], desc["dtype"],
@@ -1305,6 +1615,7 @@ class RmaEngine:
         self.serializer.submit_job(job)
 
     def _execute_rmw(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        self.materialize_inbound()
         desc = op.desc
         alloc = self._resolve(desc["mem_id"])
         np_dt = np.dtype(desc["np_elem"]).newbyteorder(
@@ -1336,6 +1647,7 @@ class RmaEngine:
         )
 
     def _execute_rmi(self, peer: _TargetPeer, op: _InboundOp) -> None:
+        self.materialize_inbound()
         desc = op.desc
         fn = self._rmi_handlers.get(desc["name"])
         if fn is None:

@@ -220,6 +220,14 @@ class World:
                     self, rank, self.sim, comm, mem, nic
                 )
         self.sim.context["world"] = self
+        # Analytic fast path for full-communicator collectives.  Always
+        # constructed; its own gates keep it inert on traced / faulty /
+        # routed / contended runs (see repro.mpi.nexus).
+        from repro.mpi.nexus import CollectiveNexus
+
+        self.nexus = CollectiveNexus(self)
+        self.sim.context["nexus"] = self.nexus
+        self.fabric._nexus = self.nexus
         self.fault_plan = fault_plan
         self.injector = None
         self.rma_errhandler = rma_errhandler
@@ -393,6 +401,12 @@ class World:
         for proc in procs.values():
             proc.add_callback(pending.discard)
         self.sim.run_while_pending(pending, limit)
+        if self.fabric._pending_trains:
+            # Lazily-applied op-trains whose arrival has passed but which
+            # no later packet forced: drain them so post-run memory reads
+            # observe the final state (exactly what the per-packet path
+            # leaves behind).
+            self.fabric.materialize_all_trains()
         results = []
         blocked = []
         for rank in target_ranks:

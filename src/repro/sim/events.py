@@ -19,7 +19,8 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
 
-__all__ = ["Event", "Timeout", "AnyOf", "AllOf", "EventError"]
+__all__ = ["Event", "Timeout", "DeferredEvent", "AnyOf", "AllOf",
+           "EventError"]
 
 _PENDING = object()
 
@@ -114,6 +115,19 @@ class Event:
         self.sim.schedule_urgent_call(self._process_callbacks)
         return self
 
+    def succeed_now(self, value: Any = None) -> "Event":
+        """:meth:`succeed`, but with the callbacks run inline instead of
+        deferred through the urgent queue — for the rare caller that must
+        observe the waiters' resulting state before its own next
+        statement (the collective nexus's synchronous rescue)."""
+        if self._value is not _PENDING or self._exception is not None:
+            raise EventError(f"{self!r} already triggered")
+        self._value = value
+        self._to_run = self._callbacks
+        self._callbacks = None
+        self._process_callbacks()
+        return self
+
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure; waiters get the exception."""
         if self._value is not _PENDING or self._exception is not None:
@@ -171,7 +185,77 @@ class Timeout(Event):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
         self.delay = delay
-        sim.schedule_call(delay, self.succeed, value)
+        sim.schedule_call(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        # Runs from a heap pop, where the urgent deque is by construction
+        # empty — so invoking the callbacks inline is indistinguishable
+        # from succeed()'s urgent-queue round trip, and saves one kernel
+        # event per timeout (the single most common event in a run).
+        if self._value is not _PENDING or self._exception is not None:
+            return  # triggered early by other means; the timer is stale
+        self._value = value
+        self._processed = True
+        callbacks = self._callbacks
+        self._callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+
+class DeferredEvent(Event):
+    """An event whose trigger time and value are both known at creation.
+
+    The op-train fast path (:mod:`repro.rma.train`) precomputes every
+    completion timestamp analytically; most of the resulting events are
+    never waited on individually (non-blocking operations retired
+    wholesale by a later ``complete()``).  A deferred event therefore
+    costs *zero* kernel events until somebody looks:
+
+    - reading :attr:`triggered` (``Request.test()``/``state``) at or
+      after the due time fires the event inline with its stored value;
+    - attaching a callback before the due time arms one exact timer, so
+      a blocking waiter resumes at precisely the analytic timestamp;
+    - a batch owner may :meth:`mark_armed` a whole group and retire it
+      with one :meth:`~repro.sim.core.Simulator.schedule_bulk_succeed`
+      heap entry.
+    """
+
+    __slots__ = ("due", "_deferred_value", "_armed")
+
+    def __init__(self, sim: "Simulator", due: float, value: Any = None) -> None:
+        super().__init__(sim)
+        self.due = due
+        self._deferred_value = value
+        self._armed = False
+
+    @property
+    def triggered(self) -> bool:
+        if self._value is not _PENDING or self._exception is not None:
+            return True
+        if self.sim.now >= self.due:
+            self.succeed(self._deferred_value)
+            return True
+        return False
+
+    def mark_armed(self) -> None:
+        """Claim the firing: the caller promises to ``succeed()`` this
+        event at (or after) its due time, so no per-event timer is
+        armed when waiters attach."""
+        self._armed = True
+
+    def _fire(self) -> None:
+        if self._value is _PENDING and self._exception is None:
+            self.succeed(self._deferred_value)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if (self._value is _PENDING and self._exception is None
+                and self.sim.now >= self.due):
+            self.succeed(self._deferred_value)
+        if self._callbacks is not None and not self._armed:
+            self._armed = True
+            self.sim.schedule_call(self.due - self.sim.now, self._fire)
+        super().add_callback(callback)
 
 
 class _Condition(Event):

@@ -108,6 +108,8 @@ class TestBurstTimestampParity:
         assert wl() == reference
 
     def test_burst_path_actually_engages(self, monkeypatch):
+        from repro.rma.engine import RmaEngine
+
         hits = []
         original = Fabric.transmit_burst
 
@@ -116,6 +118,9 @@ class TestBurstTimestampParity:
             return original(self, packets, inject_times)
 
         monkeypatch.setattr(Fabric, "transmit_burst", counting)
+        # The op-train fast path supersedes burst transmission entirely
+        # (no packets at all); pin it off to observe the burst layer.
+        monkeypatch.setattr(RmaEngine, "train_enabled", False)
         fig2_attribute_cost("remote_complete", 65536, puts_per_origin=10)
         assert hits and all(n >= 2 for n in hits)
 
