@@ -98,7 +98,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--replay", metavar="FILE.json",
         help="re-execute a failing-program artifact and re-check it "
-             "(ignores --seeds/--fabric).")
+             "(ignores --seeds/--fabric; durability artifacts replay "
+             "through the durability oracle).")
+    parser.add_argument(
+        "--durability", action="store_true",
+        help="run the durable_kv workload instead of conformance "
+             "fuzzing: seeded kill/restart scenarios checked by the "
+             "acknowledged-write durability oracle (see "
+             "repro.check.durability).")
+    parser.add_argument(
+        "--rf", type=int, default=2,
+        help="replication factor for --durability runs. Default: 2.")
     parser.add_argument(
         "--artifact-dir", default=".",
         help="where failing-program JSON artifacts are written.")
@@ -114,6 +124,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.replay:
+        import json as _json
+
+        with open(args.replay) as fh:
+            kind = _json.load(fh).get("kind")
+        if kind == "durable_kv":
+            from repro.check.durability import replay_kv_artifact
+
+            violations = replay_kv_artifact(args.replay)
+            for v in violations:
+                print(f"  {v}")
+            if not violations:
+                print(f"replay of {args.replay}: no violation reproduced")
+                return 0
+            print(f"replay of {args.replay}: {len(violations)} "
+                  f"violation(s) reproduced")
+            return 1
         report = replay_artifact(args.replay)
         for v in report.violations:
             print(f"  {v}")
@@ -129,6 +155,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         fabrics = _parse_fabrics(args.fabric)
     except ValueError as exc:
         parser.error(str(exc))  # exits 2
+
+    if args.durability:
+        from repro.check.durability import sweep
+
+        failures = sweep(
+            seeds, rf=args.rf, chaos=args.chaos, do_shrink=args.shrink,
+            artifact_dir=args.artifact_dir, mutations=tuple(args.mutate),
+            max_failures=args.max_failures, quiet=args.quiet,
+        )
+        return 1 if failures else 0
 
     mutations = tuple(args.mutate)
     metrics = MetricsRegistry()

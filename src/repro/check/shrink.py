@@ -23,10 +23,53 @@ from repro.check.oracle import CheckReport, check_program
 from repro.check.program import RmaProgram
 from repro.check.runner import run_program
 
-__all__ = ["ShrinkResult", "shrink", "save_artifact", "load_artifact",
-           "replay_artifact"]
+__all__ = ["ShrinkResult", "ddmin_list", "shrink", "save_artifact",
+           "load_artifact", "replay_artifact"]
 
 ARTIFACT_VERSION = 1
+
+
+def ddmin_list(items: List, fails: Callable[[List], Optional[object]],
+               max_executions: int = 400):
+    """Generic ddmin over a flat list.
+
+    ``fails(candidate)`` returns evidence (any truthy object) when the
+    candidate still exhibits the failure, else ``None``.  ``items`` must
+    already fail.  Returns ``(minimal_items, evidence, executions)``
+    where the result is 1-minimal up to the execution budget.
+    """
+    executions = 0
+
+    def run(candidate):
+        nonlocal executions
+        executions += 1
+        return fails(candidate)
+
+    evidence = run(items)
+    if evidence is None:
+        raise ValueError("items do not fail — nothing to shrink")
+    items = list(items)
+    n = 2
+    while len(items) >= 2 and executions < max_executions:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        start = 0
+        while start < len(items) and executions < max_executions:
+            candidate = items[:start] + items[start + chunk:]
+            if candidate:
+                ev = run(candidate)
+                if ev is not None:
+                    items = candidate
+                    evidence = ev
+                    n = max(n - 1, 2)
+                    reduced = True
+                    continue
+            start += chunk
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(n * 2, len(items))
+    return items, evidence, executions
 
 
 @dataclass
@@ -72,46 +115,21 @@ def shrink(
     ``program`` must already fail on the given configuration (raises
     otherwise — a shrink request for a passing program is a caller
     bug)."""
-    executions = 0
 
-    def fails(candidate: RmaProgram) -> Optional[CheckReport]:
-        nonlocal executions
-        executions += 1
-        return _fails(candidate, fabric, seed, chaos, mutations)
+    def fails(candidate_ops: List) -> Optional[CheckReport]:
+        return _fails(program.with_ops(candidate_ops), fabric, seed, chaos,
+                      mutations)
 
-    report = fails(program)
-    if report is None:
+    try:
+        ops, best_report, executions = ddmin_list(
+            list(program.ops), fails, max_executions
+        )
+    except ValueError:
         raise ValueError(
             f"program does not fail on fabric={fabric!r} seed={seed} — "
             "nothing to shrink")
 
-    ops = list(program.ops)
-    best = program
-    best_report = report
-    n = 2
-    while len(ops) >= 2 and executions < max_executions:
-        chunk = max(1, len(ops) // n)
-        reduced = False
-        start = 0
-        while start < len(ops) and executions < max_executions:
-            candidate_ops = ops[:start] + ops[start + chunk:]
-            if candidate_ops:
-                candidate = program.with_ops(candidate_ops)
-                r = fails(candidate)
-                if r is not None:
-                    ops = candidate_ops
-                    best = candidate
-                    best_report = r
-                    n = max(n - 1, 2)
-                    reduced = True
-                    continue
-            start += chunk
-        if not reduced:
-            if n >= len(ops):
-                break
-            n = min(n * 2, len(ops))
-
-    return ShrinkResult(program=best, report=best_report,
+    return ShrinkResult(program=program.with_ops(ops), report=best_report,
                         original_ops=len(program.ops),
                         executions=executions)
 

@@ -9,5 +9,6 @@ arbitrary global regions, plus an atomic read-and-increment.
 """
 
 from repro.ga.global_array import GaError, GlobalArray
+from repro.ga.replicated import ReplicatedGlobalArray
 
-__all__ = ["GaError", "GlobalArray"]
+__all__ = ["GaError", "GlobalArray", "ReplicatedGlobalArray"]

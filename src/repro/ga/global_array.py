@@ -138,6 +138,9 @@ class GlobalArray:
 
     def local_view(self) -> np.ndarray:
         """Writable NumPy view of the locally owned block."""
+        # A local CPU load must see every train element that has already
+        # arrived analytically (same convention as check/runner).
+        self._ctx.rma.engine.materialize_inbound()
         lo, hi = self.local_slice()
         cols = self.shape[1] if self.ndim == 2 else None
         count = (hi - lo) * (cols if cols else 1)

@@ -348,5 +348,55 @@ class Comm:
         world = [self.group.world_rank(r) for _, r in members]
         return Comm(self.endpoint, Group(world), new_ctx + (color,))
 
+    # -- failure recovery (ULFM-style) ------------------------------------
+    def shrink(self, dead) -> Optional["Comm"]:
+        """Survivor communicator excluding the ``dead`` world ranks.
+
+        Unlike MPI's ``MPI_Comm_shrink`` this is *not* itself a
+        collective: every survivor constructs the identical group and
+        context purely locally from the agreed-on dead set (use
+        :meth:`agree` first to reach that agreement), so no message ever
+        has to transit a failed process.  The first collective on the
+        returned communicator synchronizes the survivors.
+
+        Returns ``None`` when the calling rank is itself in ``dead``.
+        ``dead`` holds *world* ranks (the detector's currency); ranks
+        not in this communicator are ignored.
+        """
+        dead = frozenset(dead)
+        survivors = [wr for wr in self.group.world_ranks if wr not in dead]
+        if self.endpoint.rank in dead or not survivors:
+            return None
+        # The context derives from the dead set, not a per-rank counter:
+        # every survivor computes the same tuple without communicating.
+        ctx = self.context + ("shrink", tuple(sorted(
+            wr for wr in dead if wr in self.group)))
+        return Comm(self.endpoint, Group(survivors), ctx)
+
+    def agree(self, dead, flag: bool = True):
+        """Fault-tolerant agreement among the survivors (``yield from``).
+
+        Every survivor passes its locally suspected ``dead`` world-rank
+        set (normally the failure detector's converged view — see
+        DESIGN §13 for the convergence requirement) plus a local
+        ``flag``.  Returns ``(all_flags, agreed_dead)``: the logical
+        AND of every survivor's flag and the union of their dead sets,
+        identical on all survivors — MPI ULFM's ``MPIX_Comm_agree``
+        shape.  The exchange itself runs on the shrunk survivor group,
+        so it cannot block on a failed process.
+        """
+        dead = frozenset(dead)
+        scomm = self.shrink(dead)
+        if scomm is None:
+            raise ValueError("agree() called by a rank in the dead set")
+        views = yield from scomm.allgather(
+            (bool(flag), tuple(sorted(dead))))
+        agreed = set()
+        verdict = True
+        for f, d in views:
+            verdict = verdict and f
+            agreed.update(d)
+        return verdict, frozenset(agreed)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Comm rank={self.rank}/{self.size} ctx={self.context}>"

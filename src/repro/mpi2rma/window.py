@@ -24,6 +24,8 @@ from repro.machine.address_space import Allocation
 from repro.mpi.comm import Comm
 from repro.mpi2rma.epoch import AccessTracker, EpochState, Mpi2Error
 from repro.mpi2rma.locks import WindowLockManager
+from repro.network.packet import Packet
+from repro.resil.errors import WindowRevoked
 from repro.rma.attributes import RmaAttrs
 from repro.rma.target_mem import TargetMem
 
@@ -35,6 +37,8 @@ __all__ = ["Win", "Mpi2Interface", "build_mpi2"]
 _NO_ATTRS = RmaAttrs()
 _POST_TAG = 1
 _COMPLETE_TAG = 2
+#: Packet kind of a ULFM-style revoke notice (fire-and-forget fan-out).
+_REVOKE_KIND = "mpi2.revoke"
 
 
 class Win:
@@ -56,15 +60,51 @@ class Win:
         self._epoch = EpochState()
         self._tracker = AccessTracker()
         self._freed = False
+        self._revoked = False
+        self._revoke_cause: Any = None
 
     # -- helpers ---------------------------------------------------------
     @property
     def _engine(self):
         return self._iface.engine
 
+    @property
+    def revoked(self) -> bool:
+        """Whether this rank's handle has seen the window revoked."""
+        return self._revoked
+
+    def revoke(self, cause: Any = None) -> None:
+        """ULFM ``MPI_Win_revoke``: poison the window everywhere.
+
+        Local, non-blocking.  Marks this handle revoked and fans a
+        revoke notice out to every other comm member (fire-and-forget
+        packets; notices to dead ranks are simply dropped).  From the
+        moment a rank's handle is revoked, its new operations and its
+        synchronization calls raise :class:`WindowRevoked` instead of
+        blocking inside collectives that surviving ranks can never
+        finish.  Also fired automatically by the failure detector when
+        a member of the window's communicator is declared failed (see
+        :meth:`Mpi2Interface.win_create`).
+        """
+        if self._revoked or self._freed:
+            return
+        self._revoked = True
+        self._revoke_cause = cause
+        self._iface._broadcast_revoke(self)
+
+    def _check_revoked(self, doing: str) -> None:
+        if self._revoked:
+            raise WindowRevoked(
+                f"{doing} on revoked window {self.win_id!r}",
+                win_id=self.win_id,
+                failed_rank=getattr(self._revoke_cause, "rank", None),
+                src=self.comm.rank,
+            )
+
     def _check_open(self, target: int) -> None:
         if self._freed:
             raise Mpi2Error("operation on a freed window")
+        self._check_revoked("RMA operation")
         if not self._epoch.access_open:
             raise Mpi2Error(
                 "RMA operation outside an access epoch (MPI-2 requires "
@@ -128,6 +168,7 @@ class Win:
         """Collective: closes the previous fence epoch and opens a new one."""
         if self._freed:
             raise Mpi2Error("fence on a freed window")
+        self._check_revoked("fence")
         if self._epoch.start_group is not None or self._epoch.locked_target is not None:
             raise Mpi2Error("fence while a start/lock epoch is open")
         yield from self._drain_local_completion()
@@ -139,6 +180,7 @@ class Win:
     # -- post/start/complete/wait (Fig. 1b) ---------------------------------
     def post(self, origin_ranks: Sequence[int]):
         """Expose local memory to ``origin_ranks`` (target side)."""
+        self._check_revoked("post")
         if self._epoch.post_group is not None:
             raise Mpi2Error("post while an exposure epoch is already open")
         self._epoch.post_group = list(origin_ranks)
@@ -150,6 +192,7 @@ class Win:
     def start(self, target_ranks: Sequence[int]):
         """Open an access epoch toward ``target_ranks`` (origin side);
         waits for each target's matching post."""
+        self._check_revoked("start")
         if self._epoch.start_group is not None:
             raise Mpi2Error("start while an access epoch is already open")
         if self._epoch.fence_active:
@@ -162,6 +205,7 @@ class Win:
     def complete(self):
         """Close the start epoch: force remote completion at each target
         and notify it."""
+        self._check_revoked("complete")
         if self._epoch.start_group is None:
             raise Mpi2Error("complete without a matching start")
         yield from self._drain_local_completion()
@@ -177,6 +221,7 @@ class Win:
 
     def wait(self):
         """Close the post epoch: wait for every origin's complete."""
+        self._check_revoked("wait")
         if self._epoch.post_group is None:
             raise Mpi2Error("wait without a matching post")
         for origin in self._epoch.post_group:
@@ -186,6 +231,7 @@ class Win:
     # -- lock/unlock (Fig. 1c) ----------------------------------------------
     def lock(self, target: int, shared: bool = True):
         """Open a passive-target epoch toward ``target``."""
+        self._check_revoked("lock")
         if self._epoch.access_open:
             raise Mpi2Error("lock while another access epoch is open")
         world_target = self.comm.group.world_rank(target)
@@ -200,6 +246,7 @@ class Win:
     def unlock(self, target: int):
         """Close the passive-target epoch; all ops are remotely complete
         when unlock returns."""
+        self._check_revoked("unlock")
         if self._epoch.locked_target != target:
             raise Mpi2Error(f"unlock({target}) without a matching lock")
         world_target = self.comm.group.world_rank(target)
@@ -211,9 +258,16 @@ class Win:
 
     # -- lifecycle -----------------------------------------------------------
     def free(self):
-        """Collective window destruction."""
+        """Collective window destruction (local-only once revoked)."""
         if self._freed:
             raise Mpi2Error("double free of window")
+        if self._revoked:
+            # ULFM semantics: a revoked window frees locally — the
+            # collective drain/barrier could never complete with failed
+            # members in the communicator.
+            self._engine.withdraw(self._tmems[self.comm.rank])
+            self._freed = True
+            return
         yield from self._drain_local_completion()
         yield from self._engine.complete_all()
         yield from self.comm.barrier()
@@ -240,12 +294,14 @@ class Mpi2Interface:
     """Per-rank frontend (``ctx.mpi2``)."""
 
     def __init__(self, engine, comm_world: Comm,
-                 lock_mgr: WindowLockManager) -> None:
+                 lock_mgr: WindowLockManager, world: Any = None) -> None:
         self.engine = engine
         self.comm_world = comm_world
         self.lock_mgr = lock_mgr
+        self.world = world
         self._win_seq = itertools.count()
         self._win_comms: Dict[object, Comm] = {}
+        self._wins: Dict[object, Win] = {}
         self._pending_gets: List[Any] = []
 
     def win_create(self, alloc: Allocation, comm: Optional[Comm] = None):
@@ -259,14 +315,56 @@ class Mpi2Interface:
         win_id = ("win",) + comm.context + (next(self._win_seq),)
         win = Win(self, win_id, comm, alloc, tmems)
         self._win_comms[win_id] = win_comm
+        self._wins[win_id] = win
+        resil = getattr(self.world, "resil", None)
+        if resil is not None:
+            # Auto-revocation: a member of the window's communicator
+            # declared failed by this rank's detector poisons the local
+            # handle (and fans the notice out to survivors).
+            me = self.engine.rank
+
+            def on_rank_failed(notice, win=win):
+                if not win._freed and notice.rank in win.comm.group:
+                    win.revoke(cause=notice)
+
+            resil.subscribe(me, on_rank_failed)
         return win
 
     def _win_comm(self, win: Win) -> Comm:
         return self._win_comms[win.win_id]
+
+    # -- revocation fan-out ------------------------------------------------
+    def _broadcast_revoke(self, win: Win) -> None:
+        """Send a revoke notice for ``win`` to every other member."""
+        nic = self.engine.nic
+        me = win.comm.rank
+        for member in range(win.comm.size):
+            if member == me:
+                continue
+            nic.send(Packet(
+                src=self.engine.rank,
+                dst=win.comm.group.world_rank(member),
+                kind=_REVOKE_KIND,
+                payload={"win_id": win.win_id},
+            ))
+
+    def _on_revoke_notice(self, packet: Packet) -> None:
+        win = self._wins.get(packet.payload["win_id"])
+        if win is not None and not win._revoked and not win._freed:
+            win._revoked = True
+            win._revoke_cause = ("remote", packet.src)
+            # Propagate further in case the original notice missed
+            # someone (packets to dead ranks are dropped; re-fan-out is
+            # idempotent thanks to the _revoked guard).
+            self._broadcast_revoke(win)
 
 
 def build_mpi2(world: "World") -> None:
     """Attach an :class:`Mpi2Interface` to every rank context."""
     for rank, ctx in world.contexts.items():
         lock_mgr = WindowLockManager(world.sim, rank, world.nics[rank])
-        ctx.mpi2 = Mpi2Interface(ctx.rma.engine, ctx.comm, lock_mgr)
+        ctx.mpi2 = Mpi2Interface(ctx.rma.engine, ctx.comm, lock_mgr,
+                                 world=world)
+        world.nics[rank].register_handler(
+            _REVOKE_KIND, ctx.mpi2._on_revoke_notice
+        )

@@ -63,6 +63,9 @@ class Packet:
     #: mangles it, never the payload itself); ``attempts`` counts
     #: transmissions including retransmits.
     flow_seq: Optional[int] = None
+    #: Flow incarnation at preparation time; a restart bumps the pair's
+    #: epoch so stale in-flight packets are recognizably from the past.
+    flow_epoch: int = 0
     checksum: Optional[int] = None
     wire_checksum: Optional[int] = None
     attempts: int = 0

@@ -66,7 +66,14 @@ def payload_checksum(packet: Packet) -> int:
 
 @dataclass(frozen=True, slots=True)
 class TransportFailure:
-    """Terminal delivery failure of one flow, reported to upper layers."""
+    """Terminal delivery failure of one flow, reported to upper layers.
+
+    ``kind`` carries the structured classification the RMA error
+    taxonomy uses (see :data:`repro.rma.target_mem.ERROR_KINDS`):
+    ``rank_failed`` when the target is known dead, ``link_partition``
+    when a routed fabric has lost every route to it, and
+    ``retry_exhausted`` for a live-but-unreachable path.
+    """
 
     src: int
     dst: int
@@ -75,6 +82,7 @@ class TransportFailure:
     reason: str  # "retry-budget-exhausted" | "target-dead" | "restart-reset"
     packet_kind: str
     packet_id: int
+    kind: str = "retry_exhausted"
 
     def __str__(self) -> str:
         return (f"flow {self.src}->{self.dst} failed at t={self.sim_time:.3f}: "
@@ -117,6 +125,13 @@ class ReliableTransport:
         # receiver side
         self._rx_upto: Dict[int, int] = {}
         self._rx_extra: Dict[int, Set[int]] = {}
+        # Per-peer flow incarnation.  Both ends of a pair bump it in
+        # lockstep when a rank restarts (World._restart_rank resets the
+        # restarted rank and every peer at the same instant), so a
+        # sequenced packet or selective ack stamped with an older epoch
+        # is provably stale — from before the restart — and is dropped
+        # instead of being mis-deduped against the fresh sequence space.
+        self._flow_epoch: Dict[int, int] = {}
         self.stats: Dict[str, int] = {
             "sent": 0,
             "retransmits": 0,
@@ -125,6 +140,8 @@ class ReliableTransport:
             "dup_rx": 0,
             "csum_drops": 0,
             "failures": 0,
+            "stale_drops": 0,
+            "stale_acks": 0,
         }
         nic.register_handler(ACK_KIND, self._on_ack_packet)
 
@@ -145,6 +162,7 @@ class ReliableTransport:
         seq = self._tx_seq.get(dst, 0) + 1
         self._tx_seq[dst] = seq
         packet.flow_seq = seq
+        packet.flow_epoch = self._flow_epoch.get(dst, 0)
         packet.checksum = payload_checksum(packet)
         packet.wire_checksum = packet.checksum
         self._outstanding[(dst, seq)] = _TxEntry(packet, dst, seq)
@@ -200,6 +218,12 @@ class ReliableTransport:
             tracer.record(self.sim.now, "xport", "ack_rx",
                           rank=self.rank, src=packet.src,
                           seq=packet.payload["seq"])
+        if (packet.payload.get("epoch", 0)
+                != self._flow_epoch.get(packet.src, 0)):
+            # A delayed pre-restart ack must not confirm a packet of the
+            # fresh sequence space that happens to reuse its number.
+            self.stats["stale_acks"] += 1
+            return
         entry = self._outstanding.pop((packet.src, packet.payload["seq"]), None)
         if entry is None:
             return  # duplicate ack, or the flow already failed
@@ -211,12 +235,22 @@ class ReliableTransport:
         if acked.want_ack and ev is not None and not ev.triggered:
             ev.succeed(self.sim.now)
 
+    def _classify_failure(self, dst: int, reason: str) -> str:
+        """Structured kind of a flow failure (RMA error taxonomy)."""
+        if reason == "target-dead" or self.fabric.is_dead(dst):
+            return "rank_failed"
+        topo = getattr(self.fabric, "_topo", None)
+        if topo is not None and topo.path_for(self.rank, dst) is None:
+            return "link_partition"
+        return "retry_exhausted"
+
     def _fail_flow(self, entry: _TxEntry, reason: str) -> None:
         dst = entry.dst
         failure = TransportFailure(
             src=self.rank, dst=dst, attempts=entry.attempts,
             sim_time=self.sim.now, reason=reason,
             packet_kind=entry.packet.kind, packet_id=entry.packet.packet_id,
+            kind=self._classify_failure(dst, reason),
         )
         self._broken.add(dst)
         dead = [key for key in self._outstanding if key[0] == dst]
@@ -250,10 +284,34 @@ class ReliableTransport:
             return False  # no ack: the sender will retransmit
         src = packet.src
         seq = packet.flow_seq
+        epoch = packet.flow_epoch or 0
+        cur_epoch = self._flow_epoch.get(src, 0)
+        if epoch != cur_epoch:
+            if epoch < cur_epoch:
+                # Stale pre-restart packet that survived in flight: its
+                # sequence number belongs to a dead numbering.  Dropping
+                # it silently (no ack, no dedup-state update) is the
+                # only safe move — acking would confirm a fresh-epoch
+                # sequence number, stashing would corrupt the new flow.
+                self.stats["stale_drops"] += 1
+                tracer = self.fabric.tracer
+                tracer.bump("xport.stale_drop", rank=self.rank, src=src)
+                if tracer.enabled:
+                    tracer.record(self.sim.now, "xport", "stale_drop",
+                                  rank=self.rank, src=src, seq=seq,
+                                  epoch=epoch)
+                return False
+            # Sender is ahead (we missed the coordinated reset — can only
+            # happen if an upper layer reset one side): adopt its epoch
+            # with a fresh receive window.
+            self._flow_epoch[src] = epoch
+            self._rx_upto.pop(src, None)
+            self._rx_extra.pop(src, None)
+            cur_epoch = epoch
         upto = self._rx_upto.get(src, 0)
         extra = self._rx_extra.get(src)
         duplicate = seq <= upto or (extra is not None and seq in extra)
-        self._send_ack(src, seq)
+        self._send_ack(src, seq, cur_epoch)
         if duplicate:
             self.stats["dup_rx"] += 1
             return False
@@ -270,10 +328,10 @@ class ReliableTransport:
             extra.add(seq)
         return True
 
-    def _send_ack(self, dst: int, seq: int) -> None:
+    def _send_ack(self, dst: int, seq: int, epoch: int) -> None:
         self.stats["acks_tx"] += 1
         self.nic.send(Packet(src=self.rank, dst=dst, kind=ACK_KIND,
-                             payload={"seq": seq}))
+                             payload={"seq": seq, "epoch": epoch}))
 
     # ------------------------------------------------------------------
     # Introspection / reset
@@ -286,9 +344,15 @@ class ReliableTransport:
         """Whether the flow to ``dst`` has been declared failed."""
         return dst in self._broken
 
+    def flow_epoch(self, other: int) -> int:
+        """Current flow incarnation shared with ``other``."""
+        return self._flow_epoch.get(other, 0)
+
     def reset_flow(self, other: int) -> None:
         """Forget all state shared with ``other`` (rank restart): both
-        directions restart from sequence 1 with an empty window."""
+        directions restart from sequence 1 with an empty window, under
+        a bumped flow epoch that fences off stale in-flight traffic."""
+        self._flow_epoch[other] = self._flow_epoch.get(other, 0) + 1
         self._tx_seq.pop(other, None)
         for key in [k for k in self._outstanding if k[0] == other]:
             self._outstanding.pop(key).timer_gen += 1
@@ -301,6 +365,14 @@ class ReliableTransport:
         """Forget every flow (this NIC's own rank restarted)."""
         for entry in self._outstanding.values():
             entry.timer_gen += 1
+        peers = set(self._flow_epoch)
+        peers.update(self._tx_seq, self._rx_upto, self._rx_extra,
+                     self._retx_by_dst, self._broken)
+        if self.fabric.n_ranks is not None:
+            peers.update(r for r in range(self.fabric.n_ranks)
+                         if r != self.rank)
+        for other in peers:
+            self._flow_epoch[other] = self._flow_epoch.get(other, 0) + 1
         self._tx_seq.clear()
         self._outstanding.clear()
         self._rx_upto.clear()

@@ -123,6 +123,40 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (exact: the fixed bucket
+        boundaries make cross-run merging lossless)."""
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        self.zero_count += other.zero_count
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile, resolved to its bucket's upper bound (clamped
+        to the observed ``max``, so ``quantile(1.0) == max`` exactly).
+
+        Within-bucket position is unknown, so the estimate errs high by
+        at most one power of two — fine for the latency tails the
+        reports quote."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for le, n in self.buckets():
+            seen += n
+            if seen >= target:
+                return min(le, self.max)
+        return self.max  # pragma: no cover - float-edge fallback
+
     def buckets(self) -> List[Tuple[float, int]]:
         """Non-empty buckets as ``(upper_bound, count)`` sorted by bound
         (the zero bucket, when occupied, leads with bound ``0.0``)."""

@@ -16,6 +16,16 @@ Options write the same data as machine-readable artifacts:
 for a Chrome trace-event file of one point (``--trace-point``),
 loadable in https://ui.perfetto.dev.
 
+``--resil`` switches to the failure-recovery report: it runs the
+``durable_kv`` failover scenario (one seeded rank kill per seed, the
+survivors detect, agree, shrink and re-replicate — see
+:mod:`repro.check.durability`) and prints a per-seed table of failure
+detection latency, MTTR, re-replicated bytes and suspicion counts,
+plus aggregate detect/MTTR distributions (p50/p99 from the exact
+merged histograms).  Every run is re-checked by the durability oracle,
+so the report doubles as a smoke check — a lost acknowledged write
+makes it exit non-zero.
+
 ``--topo {torus,fattree,crossbar}`` switches to the routed-fabric
 report: it runs the hotspot-incast workload on that topology and prints
 the per-link traffic table (packets, bytes, busy/queue time,
@@ -38,7 +48,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import PHASES, attribute_phases, build_spans, observe_spans
 
 __all__ = ["run_sweep_report", "format_attribution_table",
-           "run_topo_report", "format_link_table", "main"]
+           "run_topo_report", "format_link_table",
+           "run_resil_report", "format_resil_table", "main"]
 
 
 def run_sweep_report(
@@ -228,6 +239,108 @@ def format_link_table(doc: Dict[str, Any], top: int = 20) -> str:
     return "\n".join(lines)
 
 
+def run_resil_report(
+    seeds=(0, 7, 77),
+    rf: int = 2,
+    chaos: float = 0.0,
+) -> Dict[str, Any]:
+    """Run the failover scenario per seed; return the resilience document.
+
+    Each seed runs one ``durable_kv`` case (kill + detect + recover,
+    :func:`repro.check.durability.run_kv`) and contributes one table
+    row read straight off the world's metrics registry; the per-run
+    detect-latency and MTTR histograms are merged exactly (fixed log2
+    buckets) into the aggregate distributions.  Every run is re-checked
+    by the durability oracle and the row records the verdict.
+    """
+    from repro.check.durability import check_kv, generate_case, run_kv
+    from repro.obs.metrics import Histogram
+
+    detect_agg = Histogram("resil.detect_latency")
+    mttr_agg = Histogram("resil.mttr")
+    totals: Dict[str, int] = {
+        "rereplicated_bytes": 0, "recoveries": 0, "rollbacks": 0,
+        "suspects": 0, "false_suspects": 0, "heartbeats": 0,
+    }
+    rows: List[Dict[str, Any]] = []
+    for seed in seeds:
+        case, ops = generate_case(seed, rf=rf, chaos=chaos)
+        sink: List[Any] = []
+        result = run_kv(case, ops, world_out=sink)
+        world = sink[0]
+        violations = check_kv(result)
+        metrics = world.metrics
+        detect = metrics.histogram("resil.detect_latency")
+        mttr = metrics.histogram("resil.mttr")
+        detect_agg.merge(detect)
+        mttr_agg.merge(mttr)
+        counters = metrics.counter_totals()
+        for key in ("rereplicated_bytes", "recoveries", "rollbacks",
+                    "suspects", "false_suspects"):
+            totals[key] += counters.get(f"resil.{key}", 0)
+        totals["heartbeats"] += world.resil.stats["heartbeats"]
+        rows.append({
+            "seed": seed,
+            "victim": case.victim,
+            "kill_at": case.kill_at,
+            "restart_at": case.restart_at,
+            "detect_us": detect.max or 0.0,
+            "mttr_us": mttr.max or 0.0,
+            "rereplicated_bytes": counters.get("resil.rereplicated_bytes", 0),
+            "suspects": counters.get("resil.suspects", 0),
+            "false_suspects": counters.get("resil.false_suspects", 0),
+            "heartbeats": world.resil.stats["heartbeats"],
+            "writes": sum(len(v) for v in result.key_log.values()),
+            "durable": not violations,
+            "violations": violations,
+        })
+
+    def _dist(h) -> Dict[str, Any]:
+        return {
+            "count": h.count,
+            "mean": h.mean,
+            "p50": h.quantile(0.50),
+            "p99": h.quantile(0.99),
+            "max": h.max or 0.0,
+        }
+
+    return {
+        "schema": 1,
+        "workload": "durable_kv",
+        "rf": rf,
+        "chaos": chaos,
+        "seeds": list(seeds),
+        "rows": rows,
+        "detect_latency_us": _dist(detect_agg),
+        "mttr_us": _dist(mttr_agg),
+        "totals": totals,
+    }
+
+
+def format_resil_table(doc: Dict[str, Any]) -> str:
+    """The per-seed failover table as aligned text."""
+    header = ["seed", "victim", "kill@", "restart@", "detect_us",
+              "mttr_us", "rerepl_B", "suspects", "hb", "writes", "durable"]
+    rows = [header]
+    for r in doc["rows"]:
+        restart = f"{r['restart_at']:.0f}" if r["restart_at"] else "-"
+        rows.append([
+            str(r["seed"]), str(r["victim"]), f"{r['kill_at']:.0f}", restart,
+            f"{r['detect_us']:.1f}", f"{r['mttr_us']:.1f}",
+            str(r["rereplicated_bytes"]), str(r["suspects"]),
+            str(r["heartbeats"]), str(r["writes"]),
+            "yes" if r["durable"] else "VIOLATION",
+        ])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.rjust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def _format_metrics(metrics: Dict[str, Any]) -> str:
     lines = []
     if metrics["counters"]:
@@ -275,7 +388,54 @@ def main(argv: Optional[list] = None) -> int:
                              "on this topology instead of the fig2 sweep")
     parser.add_argument("--fanin", type=int, default=7,
                         help="incast fan-in for --topo (default: %(default)s)")
+    parser.add_argument("--resil", action="store_true",
+                        help="report failure detection latency, MTTR and "
+                             "re-replication traffic of the durable_kv "
+                             "failover scenario instead of the fig2 sweep")
+    parser.add_argument("--resil-seeds", default="0,7,77",
+                        help="comma-separated seeds for --resil "
+                             "(default: %(default)s)")
+    parser.add_argument("--rf", type=int, default=2,
+                        help="replication factor for --resil "
+                             "(default: %(default)s)")
+    parser.add_argument("--chaos", type=float, default=0.0,
+                        help="per-packet drop/dup/delay probability for "
+                             "--resil (default: off)")
     args = parser.parse_args(argv)
+
+    if args.resil:
+        seeds = (0,) if args.quick else tuple(
+            int(s) for s in args.resil_seeds.split(","))
+        doc = run_resil_report(seeds=seeds, rf=args.rf, chaos=args.chaos)
+        print(f"== rank-failure recovery (durable_kv, rf={doc['rf']}"
+              + (f", chaos={doc['chaos']}" if doc["chaos"] else "")
+              + ") ==")
+        print(format_resil_table(doc))
+        print()
+        det, mttr = doc["detect_latency_us"], doc["mttr_us"]
+        tot = doc["totals"]
+        print(f"detect latency (simulated µs, {det['count']} observer "
+              f"verdicts): mean={det['mean']:.1f} p50={det['p50']:.1f} "
+              f"p99={det['p99']:.1f} max={det['max']:.1f}")
+        print(f"mttr (kill -> recovered, {mttr['count']} recoveries): "
+              f"mean={mttr['mean']:.1f} p50={mttr['p50']:.1f} "
+              f"p99={mttr['p99']:.1f} max={mttr['max']:.1f}")
+        print(f"re-replicated {tot['rereplicated_bytes']} bytes over "
+              f"{tot['recoveries']} recoveries "
+              f"({tot['rollbacks']} checkpoint rollbacks); "
+              f"{tot['suspects']} suspicions "
+              f"({tot['false_suspects']} false) from "
+              f"{tot['heartbeats']} heartbeats")
+        bad = [r for r in doc["rows"] if not r["durable"]]
+        for r in bad:
+            for v in r["violations"]:
+                print(f"seed {r['seed']}: {v}")
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[obs] wrote report {args.json_out}")
+        return 1 if bad else 0
 
     if args.topo:
         fanin = 3 if args.quick else args.fanin

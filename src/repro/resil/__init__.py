@@ -1,0 +1,17 @@
+"""Process-failure tolerance: ULFM-style detection and recovery.
+
+See DESIGN.md §13.  The layer is opt-in (``World(resilience=...)``);
+worlds built without it construct nothing here and keep the fault-free
+fast path bit-identical.
+"""
+
+from repro.resil.detector import HB_KIND, ResilienceConfig, ResilienceRuntime
+from repro.resil.errors import RankFailed, WindowRevoked
+
+__all__ = [
+    "HB_KIND",
+    "RankFailed",
+    "ResilienceConfig",
+    "ResilienceRuntime",
+    "WindowRevoked",
+]

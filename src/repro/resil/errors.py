@@ -1,0 +1,63 @@
+"""Structured failure notifications and errors of the resilience layer.
+
+:class:`RankFailed` is the *notification* the failure detector hands to
+subscribers — plain data, one per (observer, failed rank) pair.
+:class:`WindowRevoked` is the structured error (an
+:class:`~repro.rma.target_mem.RmaError` with ``kind="window_revoked"``)
+that pending and new operations on a revoked MPI-2 window fail with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rma.target_mem import RmaError
+
+__all__ = ["RankFailed", "WindowRevoked"]
+
+
+@dataclass(frozen=True)
+class RankFailed:
+    """One observer's verdict that a rank has failed.
+
+    Attributes
+    ----------
+    rank:
+        The world rank declared failed.
+    observer:
+        The world rank that reached the verdict (suspicion is local —
+        different observers detect at different times).
+    detected_at:
+        Simulated time of the verdict.
+    via:
+        What produced the evidence: ``"heartbeat"`` (suspicion timeout
+        on the heartbeat counter), ``"transport"`` (the reliable
+        transport declared the flow dead) or ``"manual"``
+        (application-asserted).
+    """
+
+    rank: int
+    observer: int
+    detected_at: float
+    via: str = "heartbeat"
+
+    def __str__(self) -> str:
+        return (f"rank {self.rank} failed (observed by {self.observer} "
+                f"at t={self.detected_at:.3f} via {self.via})")
+
+
+class WindowRevoked(RmaError):
+    """Operation on a revoked MPI-2 window (ULFM ``MPI_ERR_REVOKED``).
+
+    Raised (or delivered as a completion value) for pending and new
+    operations once :meth:`repro.mpi2rma.window.Win.revoke` ran —
+    locally or through the failure detector's auto-revocation.
+    """
+
+    def __init__(self, message: str, *, win_id: object = None,
+                 failed_rank: Optional[int] = None, **kw) -> None:
+        kw.setdefault("kind", "window_revoked")
+        super().__init__(message, **kw)
+        self.win_id = win_id
+        self.failed_rank = failed_rank

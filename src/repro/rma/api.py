@@ -425,20 +425,48 @@ class RmaInterface:
             if ev is not None:
                 state, val = yield ev
                 if state == "ok":
+                    # Analytic collective complete: no packet ever
+                    # lands here to trigger lazy train application, so
+                    # apply the arrived inbound prefix before the
+                    # caller reads its own memory.
+                    self.engine.materialize_inbound()
                     return []
                 # rescued: replay the complete_all charge at its exact
                 # end, then run the real flush + barrier protocol
                 errs = yield from self.engine.complete_all(
                     resume_at=val + self.engine.timings.call_overhead
                 )
+                if self._barrier_doomed(errs):
+                    return self._handle_completion_errors(errs)
                 yield from comm.barrier(_ctx=bctx)
+                self.engine.materialize_inbound()
                 return self._handle_completion_errors(errs)
             errs = yield from self.engine.complete_all()
+            if self._barrier_doomed(errs):
+                return self._handle_completion_errors(errs)
             yield from comm.barrier(_ctx=bctx)
+            self.engine.materialize_inbound()
             return self._handle_completion_errors(errs)
         errs = yield from self.engine.complete_all()
+        if self._barrier_doomed(errs):
+            return self._handle_completion_errors(errs)
         yield from comm.barrier()
+        self.engine.materialize_inbound()
         return self._handle_completion_errors(errs)
+
+    @staticmethod
+    def _barrier_doomed(errs) -> bool:
+        """Whether entering the closing barrier can never finish.
+
+        A dead member or a fabric partition makes the barrier
+        unreachable for everyone — fail fast with the structured errors
+        instead of hanging in it.  Retry exhaustion on a live path does
+        *not* doom the barrier (peers without errors still enter it),
+        so the pre-failure behavior is kept there.
+        """
+        return any(getattr(e, "kind", None) in ("rank_failed",
+                                                "link_partition")
+                   for e in errs)
 
     def _handle_completion_errors(self, errs):
         if not errs:

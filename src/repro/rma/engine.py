@@ -415,18 +415,31 @@ class RmaEngine:
             return True
         return self.nic.fabric.is_dead(dst)
 
+    def _failure_kind(self, dst: int, failure) -> str:
+        """Structured taxonomy kind for a delivery failure to ``dst``."""
+        if failure is not None:
+            kind = getattr(failure, "kind", None)
+            if kind is not None:
+                return kind
+        return ("rank_failed" if self.nic.fabric.is_dead(dst)
+                else "retry_exhausted")
+
     def _op_error(self, rec: OpRecord, failure=None) -> RmaError:
         failure = failure if failure is not None \
             else self._path_failures.get(rec.dst)
         if failure is not None:
             return RmaError(
                 f"rma {rec.kind} to rank {rec.dst} failed: {failure}",
-                op=rec.kind, target=rec.dst, attrs=rec.attrs,
+                kind=self._failure_kind(rec.dst, failure),
+                op=rec.kind, src=self.rank, target=rec.dst,
+                path=(self.rank, rec.dst), attrs=rec.attrs,
                 retries=failure.attempts, sim_time=failure.sim_time,
             )
         return RmaError(
             f"rma {rec.kind} to rank {rec.dst} failed: path broken",
-            op=rec.kind, target=rec.dst, attrs=rec.attrs,
+            kind=self._failure_kind(rec.dst, None),
+            op=rec.kind, src=self.rank, target=rec.dst,
+            path=(self.rank, rec.dst), attrs=rec.attrs,
             sim_time=self.sim.now,
         )
 
@@ -438,12 +451,16 @@ class RmaEngine:
         if failure is not None:
             return RmaError(
                 f"rma {op} to rank {dst} failed: {failure}",
-                op=op, target=dst, attrs=attrs,
+                kind=self._failure_kind(dst, failure),
+                op=op, src=self.rank, target=dst, path=(self.rank, dst),
+                attrs=attrs,
                 retries=failure.attempts, sim_time=failure.sim_time,
             )
         return RmaError(
             f"rma {op} to rank {dst} failed: path broken or target dead",
-            op=op, target=dst, attrs=attrs, sim_time=self.sim.now,
+            kind=self._failure_kind(dst, None),
+            op=op, src=self.rank, target=dst, path=(self.rank, dst),
+            attrs=attrs, sim_time=self.sim.now,
         )
 
     def _on_path_failure(self, dst: int, failure) -> None:
@@ -501,6 +518,22 @@ class RmaEngine:
         self._origin_peers.clear()
         self._target_peers.clear()
         self._path_failures.clear()
+
+    def acknowledge_path_failure(self, dst: int) -> None:
+        """Consume a broken path's errored records (ULFM acknowledgment).
+
+        A failed blocking op surfaces its error twice by design: once
+        out of its own wait, and again at the next completion call —
+        the MPI-style "sync reports everything since the last sync"
+        contract.  A recovery layer that has already handled the
+        failure calls this to drop the errored records so the *next*
+        completion describes only post-recovery traffic.  The path
+        itself stays broken: new ops to ``dst`` keep failing fast.
+        """
+        peer = self._origin_peers.get(dst)
+        if peer is not None and peer.broken:
+            peer.outstanding = []
+            peer.completing = []
 
     # ------------------------------------------------------------------
     # Issue path helpers
@@ -852,10 +885,19 @@ class RmaEngine:
         )
         if self._path_broken(dst):
             # Fail fast — before any lock acquisition (a dead target
-            # would never grant it) and before burning wire time.
+            # would never grant it) and before burning wire time.  The
+            # errored record is still retained on the peer: a put may be
+            # fire-and-forget, and the sync-reports-everything contract
+            # means the next completion call must surface this failure
+            # (otherwise survivors would enter a doomed closing barrier
+            # believing the epoch was clean).
             ev = Event(self.sim).succeed(self._path_error(dst, kind, attrs))
-            return OpRecord((self.rank, 0), dst, 0, kind, "hw", ev, ev, 0,
-                            attrs)
+            rec = OpRecord((self.rank, 0), dst, 0, kind, "hw", ev, ev, 0,
+                           attrs)
+            peer = self._origin_peer(dst)
+            peer.broken = True
+            peer.outstanding.append(rec)
+            return rec
         pack_cost = (
             0.0
             if origin_dtype.is_contiguous
@@ -1323,6 +1365,11 @@ class RmaEngine:
                                                   inject_from=inject_from))
         if events:
             yield AllOf(self.sim, events)
+        # Completion is an observation point for this rank's own memory
+        # (the caller will read local buffers next): apply any arrived
+        # inbound train elements — notably self-directed puts, which on
+        # an all-analytic run have no packet delivery to trigger them.
+        self.materialize_inbound()
         self.stats["completes"] += 1
         return _collect_errors(events)
 
@@ -1332,6 +1379,7 @@ class RmaEngine:
             yield events[0]
         elif events:
             yield AllOf(self.sim, events)
+        self.materialize_inbound()
         return _collect_errors(events)
 
     def _completion_events(self, dst: int,

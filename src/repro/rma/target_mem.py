@@ -17,27 +17,54 @@ big-endian one, with the engine converting representations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
-__all__ = ["TargetMem", "RmaError"]
+__all__ = ["TargetMem", "RmaError", "ERROR_KINDS"]
+
+#: Structured failure taxonomy.  ``usage`` covers plain API misuse
+#: (no transport involvement); the rest classify delivery failures:
+#: ``retry_exhausted`` (the reliable transport gave up on a live path),
+#: ``rank_failed`` (the target rank is dead), ``window_revoked`` (an
+#: MPI-2 window was revoked after a failure — see
+#: :class:`repro.resil.errors.WindowRevoked`) and ``link_partition``
+#: (a routed fabric lost every route between the endpoints).
+ERROR_KINDS = (
+    "usage",
+    "retry_exhausted",
+    "rank_failed",
+    "window_revoked",
+    "link_partition",
+)
 
 
 class RmaError(RuntimeError):
     """Protocol/usage or delivery error in the RMA layer.
 
-    Plain usage errors carry only a message.  Delivery failures raised
-    by the failure-aware completion path (reliable transport gave up on
-    a path, or the target rank died) additionally populate the
-    structured fields so applications and tests can react
-    programmatically.
+    Plain usage errors carry only a message (``kind="usage"``).
+    Delivery failures raised by the failure-aware completion path
+    (reliable transport gave up on a path, or the target rank died)
+    additionally populate the structured fields so applications and
+    tests can react programmatically, and classify themselves with
+    ``kind`` (one of :data:`ERROR_KINDS`).
+
+    Instances pickle faithfully (all structured fields survive a
+    round trip) so ``repro.check`` reproducer artifacts can carry
+    failures.
 
     Attributes
     ----------
+    kind:
+        Failure class from :data:`ERROR_KINDS`.
     op:
         Operation kind that failed (``"put"``, ``"get"``, ...), or
         ``None`` for usage errors.
+    src:
+        Origin rank of the failed operation, when known.
     target:
         Target rank of the failed operation.
+    path:
+        ``(src, dst)`` of the broken flow, when a transport failure is
+        behind the error.
     attrs:
         The :class:`~repro.rma.attrs.RmaAttrs` the operation was issued
         with, when known.
@@ -52,18 +79,60 @@ class RmaError(RuntimeError):
         self,
         message: str,
         *,
+        kind: str = "usage",
         op: Optional[str] = None,
+        src: Optional[int] = None,
         target: Optional[int] = None,
+        path: Optional[Tuple[int, int]] = None,
         attrs: object = None,
         retries: Optional[int] = None,
         sim_time: Optional[float] = None,
     ) -> None:
         super().__init__(message)
+        if kind not in ERROR_KINDS:
+            raise ValueError(f"unknown error kind {kind!r}; "
+                             f"choose from {ERROR_KINDS}")
+        self.kind = kind
         self.op = op
+        self.src = src
         self.target = target
+        self.path = path
         self.attrs = attrs
         self.retries = retries
         self.sim_time = sim_time
+
+    def __str__(self) -> str:
+        msg = super().__str__()
+        if self.kind == "usage":
+            return msg
+        bits = [f"kind={self.kind}"]
+        if self.op is not None:
+            bits.append(f"op={self.op}")
+        if self.path is not None:
+            bits.append(f"path={self.path[0]}->{self.path[1]}")
+        elif self.target is not None:
+            bits.append(f"target={self.target}")
+        if self.retries is not None:
+            bits.append(f"retries={self.retries}")
+        if self.sim_time is not None:
+            bits.append(f"t={self.sim_time:.3f}")
+        return f"{msg} [{' '.join(bits)}]"
+
+    def __reduce__(self):
+        # BaseException's default reduce calls ``cls(*args)`` which
+        # works here (message is the only positional), but subclasses
+        # with required keyword fields need the state dict applied too
+        # — return it explicitly so every subclass round-trips.
+        return (_rebuild_rma_error, (type(self), self.args, self.__dict__))
+
+
+def _rebuild_rma_error(cls, args, state):
+    """Unpickle an :class:`RmaError` (or subclass) without re-running
+    ``__init__`` keyword validation against a bare message."""
+    err = cls.__new__(cls)
+    RuntimeError.__init__(err, *args)
+    err.__dict__.update(state)
+    return err
 
 
 @dataclass(frozen=True)

@@ -129,6 +129,12 @@ class World:
         ``ERRORS_RAISE`` (default: failed RMA ops raise their
         :class:`~repro.rma.target_mem.RmaError` out of wait/complete) or
         ``ERRORS_RETURN`` (errors are returned/left on the request).
+    resilience:
+        Opt into the ULFM-style failure-detection layer: ``True`` for
+        defaults or a :class:`~repro.resil.detector.ResilienceConfig`.
+        When ``None`` (default) nothing is built — no heartbeat
+        processes, no extra packets, fault-free runs stay bit-identical.
+        The runtime is available as ``world.resil``.
     """
 
     def __init__(
@@ -143,6 +149,7 @@ class World:
         intra_node_network: Optional[NetworkConfig] = None,
         fault_plan: Optional["FaultPlan"] = None,
         rma_errhandler: str = ERRORS_RAISE,
+        resilience: Any = None,
     ) -> None:
         if machine is None:
             machine = generic_cluster(n_nodes=n_ranks if n_ranks else 8)
@@ -243,7 +250,21 @@ class World:
                 nic.enable_reliability(fault_plan.transport)
             injector.arm(self)
             self.injector = injector
+        #: Simulated time each rank was fault-killed (detection-latency
+        #: and MTTR baselines; populated by :meth:`_kill_rank`).
+        self._kill_times: Dict[int, float] = {}
         self._attach_subsystems()
+        #: The resilience runtime (``None`` unless opted in).  Built
+        #: after the subsystems attach: the detector exposes memory via
+        #: the RMA engines and stacks its transport callbacks behind
+        #: theirs.
+        self.resil = None
+        if resilience:
+            from repro.resil.detector import ResilienceConfig, ResilienceRuntime
+
+            config = resilience if isinstance(resilience, ResilienceConfig) \
+                else None
+            self.resil = ResilienceRuntime(self, config)
 
     # ------------------------------------------------------------------
     def _attach_subsystems(self) -> None:
@@ -338,12 +359,16 @@ class World:
         if self.injector is not None:
             for key, value in self.injector.stats.items():
                 metrics.gauge(f"fault.{key}").set(value)
+        if self.resil is not None:
+            for key, value in self.resil.stats.items():
+                metrics.gauge(f"resil.{key}").set(value)
         return metrics
 
     def _kill_rank(self, rank: int, kill_program: bool = True) -> None:
         """Fault injection: rank dies at the current simulated time.
         The fabric drops all its traffic; optionally its program process
         is killed too (it fails with ProcessKilled, reported as None)."""
+        self._kill_times.setdefault(rank, self.sim.now)
         self.fabric.kill_rank(rank)
         if kill_program:
             proc = self._rank_procs.get(rank)

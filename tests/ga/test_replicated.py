@@ -1,0 +1,311 @@
+"""ReplicatedGlobalArray: replication, failover, and chaos.
+
+The S3 contract under test: an owner killed mid-stream surfaces as a
+structured error (or transparent failover) and **never** a hang;
+``sync`` against a partially-failed communicator returns
+deterministically; ``recover`` restores the replication factor; rf=1
+falls back to checkpoint/rollback with documented data loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.ga import GaError
+from repro.ga.replicated import ReplicatedGlobalArray
+from repro.rma.target_mem import RmaError
+from repro.runtime import World
+
+
+class TestCreateAndLayout:
+    def test_rf_bounds(self):
+        def make(rf):
+            def program(ctx):
+                yield from ReplicatedGlobalArray.create(ctx, (8,), rf=rf)
+            return program
+
+        with pytest.raises(GaError, match="replication factor"):
+            World(n_ranks=4, seed=0).run(make(0))
+        with pytest.raises(GaError, match="replication factor"):
+            World(n_ranks=4, seed=0).run(make(5))
+
+    def test_holders_walk_the_ring(self):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (16,), rf=2)
+            return {b: ga.holders_of(b) for b in range(4)}
+
+        out = World(n_ranks=4, seed=0).run(program)
+        assert out[0] == {0: [0, 1], 1: [1, 2], 2: [2, 3], 3: [3, 0]}
+
+    def test_acked_put_is_mirrored_on_every_holder(self):
+        """The ack point: when put returns, primary *and* backup hold
+        the bytes at the same mirror displacement."""
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (8,), rf=2)
+            if ctx.rank == 0:
+                yield from ga.put(slice(0, 8), np.arange(8.0))
+            yield from ga.sync()
+            view = ga.local_view().copy()
+            yield from ga.sync()
+            return view.tolist()
+
+        out = World(n_ranks=4, seed=0).run(program)
+        # rank r holds blocks r (primary) and (r-1) % 4 (backup);
+        # blocks are rows [2r, 2r+2)
+        for r in range(4):
+            rows = list(range(2 * r, 2 * r + 2)) + \
+                list(range(2 * ((r - 1) % 4), 2 * ((r - 1) % 4) + 2))
+            for g in rows:
+                assert out[r][g] == float(g), (r, g, out[r])
+
+    def test_get_acc_is_refused(self):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (8,), rf=2)
+            with pytest.raises(GaError, match="read_inc"):
+                yield from ga.get_acc(slice(0, 1), [1.0])
+            return True
+
+        assert World(n_ranks=2, seed=0).run(program) == [True, True]
+
+
+class TestFailoverRead:
+    def test_get_falls_over_to_the_backup(self):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (16,), rf=2)
+            if ctx.rank == 3:
+                yield from ga.put(slice(0, 16), np.arange(16.0))
+            yield from ga.sync()
+            if ctx.rank == 0:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            yield ctx.sim.timeout(2000.0)  # the kill has happened
+            got = yield from ga.get(slice(0, 4))  # block 0: primary dead
+            assert got.tolist() == [0.0, 1.0, 2.0, 3.0]
+            assert ga.holders_of(0) == [1], "primary must be suspect now"
+            return "read"
+
+        plan = FaultPlan().kill(rank=0, at=1000.0)
+        w = World(n_ranks=4, seed=0, fault_plan=plan)
+        assert w.run(program) == [None, "read", "read", "read"]
+
+
+class TestOwnerKilledMidStream:
+    """The archetype scenario: the primary dies while a client is
+    streaming writes at it.  Every call must return — transparently
+    (rf>=2, backup applies) or with a structured error (rf=1) — and the
+    run must terminate."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 77])
+    def test_puts_survive_primary_death(self, seed):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (16,), rf=2)
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            if ctx.rank != 3:
+                yield ctx.sim.timeout(20_000.0)
+                return "bystander"
+            done = 0
+            for i in range(30):  # rows 4..8 are block 1 (primary = 1)
+                yield from ga.put(slice(4, 8), np.full(4, float(i)))
+                done += 1
+                yield ctx.sim.timeout(100.0)
+            got = yield from ga.get(slice(4, 8))
+            assert got.tolist() == [float(done - 1)] * 4
+            assert 1 not in ga.holders_of(1)
+            return done
+
+        plan = FaultPlan().kill(rank=1, at=900.0)
+        w = World(n_ranks=4, seed=seed, fault_plan=plan)
+        out = w.run(program)
+        assert out[3] == 30, "every put must return despite the kill"
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_accs_apply_exactly_once_per_ack(self, seed):
+        """Acked accumulates all land on the surviving replica — the
+        backup's value counts exactly the completed calls."""
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (16,), rf=2)
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            if ctx.rank != 0:
+                yield ctx.sim.timeout(20_000.0)
+                return "bystander"
+            done = 0
+            for _ in range(20):
+                yield from ga.acc(4, [1.0])  # row 4: block 1
+                done += 1
+                yield ctx.sim.timeout(120.0)
+            got = yield from ga.get(4)
+            assert got.tolist() == [float(done)]
+            return done
+
+        plan = FaultPlan().kill(rank=1, at=1100.0)
+        w = World(n_ranks=4, seed=seed, fault_plan=plan)
+        assert w.run(program)[0] == 20
+
+    def test_rf1_sole_holder_death_is_a_structured_error(self):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (9,), rf=1)
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            yield ctx.sim.timeout(1000.0)  # rank 1 (block 1) is dead
+            if ctx.rank != 0:
+                return "bystander"
+            try:
+                yield from ga.put(slice(3, 6), np.ones(3))
+            except GaError as err:
+                assert "no live replica" in str(err)
+                return "refused"
+            return "accepted"
+
+        plan = FaultPlan().kill(rank=1, at=500.0)
+        w = World(n_ranks=3, seed=0, fault_plan=plan)
+        assert w.run(program)[0] == "refused"
+
+
+class TestSyncPartialFailure:
+    @pytest.mark.parametrize("seed", [0, 7, 77])
+    def test_sync_with_a_dead_member_raises_deterministically(self, seed):
+        """GA_Sync on a communicator with a dead member reports the
+        failure (sync-reports-everything) instead of hanging in the
+        barrier — at the same simulated time on every run."""
+        def run_once():
+            record = {}
+
+            def program(ctx):
+                ga = yield from ReplicatedGlobalArray.create(
+                    ctx, (16,), rf=2)
+                if ctx.rank == 2:
+                    yield ctx.sim.timeout(50_000.0)
+                    return None
+                yield ctx.sim.timeout(1500.0)  # past the kill
+                # touch the dead primary so the epoch has a failure
+                yield from ga.put(slice(8, 12), np.ones(4))
+                try:
+                    yield from ga.sync()
+                except RmaError as err:
+                    record[ctx.rank] = (err.kind, ctx.sim.now)
+                    return "reported"
+                record[ctx.rank] = (None, ctx.sim.now)
+                return "clean"
+
+            plan = FaultPlan().kill(rank=2, at=1000.0)
+            w = World(n_ranks=4, seed=seed, fault_plan=plan)
+            out = w.run(program)
+            return out, record
+
+        out, record = run_once()
+        assert out[0] == out[1] == out[3] == "reported"
+        assert all(kind == "rank_failed" for kind, _ in record.values())
+        out2, record2 = run_once()
+        assert (out, record) == (out2, record2), \
+            "partial-failure sync must be bit-deterministic"
+
+
+class TestRecover:
+    def test_recover_restores_the_replication_factor(self):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (16,), rf=2)
+            if ctx.rank == 0:
+                yield from ga.put(slice(0, 16), np.arange(16.0))
+            yield from ga.sync()
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            resil = ctx.world.resil
+            while not resil.suspected(ctx.rank):
+                yield ctx.sim.timeout(100.0)
+            yield ctx.sim.timeout(1500.0)  # detector settle
+            scomm = yield from ga.recover()
+            assert ga.epoch == 1
+            assert scomm.size == 3
+            for b in range(4):
+                assert len(ga.holders_of(b)) == 2, (b, ga.holders_of(b))
+                assert 1 not in ga.holders_of(b)
+            got = yield from ga.get(slice(0, 16))
+            assert got.tolist() == [float(g) for g in range(16)]
+            return "recovered"
+
+        plan = FaultPlan().kill(rank=1, at=800.0)
+        w = World(n_ranks=4, seed=0, fault_plan=plan, resilience=True)
+        assert w.run(program) == ["recovered", None, "recovered",
+                                  "recovered"]
+        assert w.metrics.counter("resil.recoveries").value == 1
+        assert w.metrics.counter("resil.rereplicated_bytes").value > 0
+        assert w.metrics.histogram("resil.mttr").count == 1
+
+    def test_recover_without_failures_is_a_sync(self):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (8,), rf=2)
+            comm = yield from ga.recover()
+            assert comm is ga.comm
+            assert ga.epoch == 0
+            return "ok"
+
+        w = World(n_ranks=4, seed=0)
+        assert w.run(program) == ["ok"] * 4
+        assert w.metrics.counter("resil.recoveries").value == 0
+
+
+class TestCheckpointRollback:
+    def test_rf1_rolls_back_to_the_checkpoint(self):
+        """With no live redundancy, recovery loses the writes after the
+        last checkpoint — and exactly those."""
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (16,), rf=1)
+            if ctx.rank == 0:
+                yield from ga.put(slice(0, 16), np.arange(16.0))
+            yield from ga.sync()
+            yield from ga.checkpoint()
+            if ctx.rank == 0:
+                # post-checkpoint write into block 1 (sole holder: 1)
+                yield from ga.put(slice(4, 8), np.full(4, 99.0))
+            yield from ga.sync()
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            yield ctx.sim.timeout(3000.0)  # past the kill
+            yield from ga.recover(dead={1})
+            got = yield from ga.get(slice(0, 16))
+            expect = [float(g) for g in range(16)]  # 99s rolled back
+            assert got.tolist() == expect, got.tolist()
+            assert ga.holders_of(1) == [2], "shadow holder takes over"
+            return "rolled-back"
+
+        plan = FaultPlan().kill(rank=1, at=2000.0)
+        w = World(n_ranks=4, seed=0, fault_plan=plan)
+        assert w.run(program) == ["rolled-back", None, "rolled-back",
+                                  "rolled-back"]
+        assert w.metrics.counter("resil.rollbacks").value == 1
+
+    def test_checkpoint_requires_rf1(self):
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (8,), rf=2)
+            with pytest.raises(GaError, match="rf=1"):
+                yield from ga.checkpoint()
+            return True
+
+        assert World(n_ranks=2, seed=0).run(program) == [True, True]
+
+    def test_unreachable_checkpoint_is_an_explicit_loss(self):
+        """No checkpoint ever taken: losing every replica of a block is
+        reported as unrecoverable, not silently zero-filled."""
+        def program(ctx):
+            ga = yield from ReplicatedGlobalArray.create(ctx, (9,), rf=1)
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            yield ctx.sim.timeout(1000.0)
+            try:
+                yield from ga.recover(dead={1})
+            except GaError as err:
+                assert "no reachable" in str(err)
+                return "reported"
+            return "recovered"
+
+        plan = FaultPlan().kill(rank=1, at=500.0)
+        w = World(n_ranks=3, seed=0, fault_plan=plan)
+        assert w.run(program) == ["reported", None, "reported"]

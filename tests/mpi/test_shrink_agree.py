@@ -1,0 +1,163 @@
+"""ULFM-style recovery collectives: ``Comm.shrink``, ``Comm.agree``,
+and the failure-aware ``complete_collective`` fail-fast.
+
+``shrink`` is deliberately *not* collective — every survivor derives
+the identical communicator purely locally from the agreed dead set, so
+no message transits a failed process.  ``agree`` is the fault-tolerant
+agreement that produces that set.  ``complete_collective`` must not
+enter its closing barrier when a member is dead (the barrier could
+never finish); it fails fast with the structured errors instead.
+"""
+
+import pytest
+
+from repro.datatypes import BYTE
+from repro.faults import FaultPlan
+from repro.mpi.constants import ERRORS_RETURN
+from repro.network.config import generic_rdma
+from repro.rma.target_mem import RmaError
+from repro.runtime import World
+
+
+class TestShrink:
+    def test_survivors_build_identical_comms_locally(self):
+        contexts = {}
+
+        def program(ctx):
+            scomm = ctx.comm.shrink({2})
+            if ctx.rank == 2:
+                assert scomm is None, "a dead rank gets no survivor comm"
+                return None
+            contexts[ctx.rank] = scomm.context
+            assert scomm.size == 3
+            assert tuple(scomm.group.world_ranks) == (0, 1, 3)
+            # ranks renumber densely over the survivors
+            assert scomm.rank == {0: 0, 1: 1, 3: 2}[ctx.rank]
+            return scomm.rank
+            yield  # pragma: no cover - keeps this a generator
+
+        w = World(n_ranks=4, seed=0)
+        w.run(program)
+        assert len(set(contexts.values())) == 1, \
+            "every survivor must derive the same context without talking"
+
+    def test_shrink_ignores_foreign_ranks(self):
+        def program(ctx):
+            scomm = ctx.comm.shrink({99})
+            assert scomm.size == ctx.size
+            return True
+            yield  # pragma: no cover
+
+        w = World(n_ranks=3, seed=0)
+        assert w.run(program) == [True] * 3
+
+    def test_first_collective_on_shrunk_comm_works(self):
+        """The survivors' first barrier/allgather synchronizes them even
+        though the dead rank never participates."""
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(10_000.0)
+                return None
+            scomm = ctx.comm.shrink({1})
+            vals = yield from scomm.allgather(ctx.rank * 10)
+            assert vals == [0, 20]
+            return True
+
+        w = World(n_ranks=3, seed=0)
+        assert w.run(program) == [True, None, True]
+
+
+class TestAgree:
+    def test_agree_unions_dead_sets_and_ands_flags(self):
+        def program(ctx):
+            if ctx.rank == 3:
+                yield ctx.sim.timeout(10_000.0)
+                return None
+            # each survivor suspects 3; rank 2 additionally suspects... no
+            # one else, but flags differ
+            flag = ctx.rank != 2
+            verdict, agreed = yield from ctx.comm.agree({3}, flag=flag)
+            assert agreed == frozenset({3})
+            assert verdict is False  # rank 2 voted False
+            return True
+
+        w = World(n_ranks=4, seed=0)
+        assert w.run(program) == [True, True, True, None]
+
+    def test_agree_with_a_genuinely_killed_rank(self):
+        """The agreement runs on the shrunk group, so a really-dead
+        member cannot block it."""
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            yield ctx.sim.timeout(500.0)  # past the kill
+            verdict, agreed = yield from ctx.comm.agree({1})
+            assert verdict is True
+            assert agreed == frozenset({1})
+            return True
+
+        plan = FaultPlan().kill(rank=1, at=100.0)
+        w = World(n_ranks=3, seed=0, fault_plan=plan,
+                  rma_errhandler=ERRORS_RETURN)
+        assert w.run(program) == [True, None, True]
+
+    def test_agree_raises_for_a_caller_in_the_dead_set(self):
+        def program(ctx):
+            with pytest.raises(ValueError):
+                yield from ctx.comm.agree({ctx.rank})
+            return True
+
+        w = World(n_ranks=2, seed=0)
+        assert w.run(program) == [True, True]
+
+
+class TestCompleteCollectiveFailFast:
+    def test_dead_member_skips_the_doomed_barrier(self):
+        """Survivors with a rank_failed completion error must return the
+        structured errors instead of hanging in the closing barrier
+        (which the dead rank can never enter)."""
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(256)
+            src = ctx.mem.space.alloc(256)
+            if ctx.rank == 2:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            yield ctx.sim.timeout(300.0)  # the kill has happened
+            # both survivors target the dead rank, then complete
+            yield from ctx.rma.put(src, 0, 256, BYTE, tmems[2], 0,
+                                   256, BYTE)
+            errs = yield from ctx.rma.complete_collective()
+            assert errs, "completion against a dead rank must report"
+            assert all(isinstance(e, RmaError) for e in errs)
+            assert any(e.kind == "rank_failed" for e in errs)
+            return "survived"
+
+        plan = FaultPlan().kill(rank=2, at=100.0).with_transport(
+            retry_budget=3)
+        w = World(n_ranks=3, network=generic_rdma(), fault_plan=plan,
+                  seed=7, rma_errhandler=ERRORS_RETURN)
+        # the decisive assertion: this returns rather than deadlocking
+        assert w.run(program) == ["survived", "survived", None]
+
+    def test_clean_completion_still_runs_the_barrier(self):
+        """No failure -> the collective keeps its global-visibility
+        barrier (survivor pairs stay synchronized)."""
+        times = {}
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(256)
+            src = ctx.mem.space.alloc(256)
+            if ctx.rank == 0:
+                yield from ctx.rma.put(src, 0, 256, BYTE, tmems[1], 0,
+                                       256, BYTE)
+            else:
+                yield ctx.sim.timeout(400.0)  # skew the arrival
+            errs = yield from ctx.rma.complete_collective()
+            assert errs == []
+            times[ctx.rank] = ctx.sim.now
+            return True
+
+        w = World(n_ranks=2, seed=0)
+        assert w.run(program) == [True, True]
+        assert times[0] >= 400.0, "the barrier must have held rank 0"

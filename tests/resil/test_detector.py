@@ -1,0 +1,195 @@
+"""The RMA-heartbeat failure detector.
+
+Verdicts are local and sticky; evidence comes from two sources
+(heartbeat silence and transport flow death); the whole subsystem is
+opt-in so the fault-free fast path stays bit-identical.
+"""
+
+import pytest
+
+from repro.datatypes import BYTE
+from repro.faults import FaultPlan
+from repro.mpi.constants import ERRORS_RETURN
+from repro.network.config import generic_rdma
+from repro.resil.detector import ResilienceConfig, ResilienceRuntime
+from repro.runtime import World
+
+
+def sleeper(until):
+    def program(ctx):
+        yield ctx.sim.timeout(until)
+        return ctx.rank
+    return program
+
+
+class TestOptIn:
+    def test_default_world_builds_no_detector(self):
+        w = World(n_ranks=2, seed=0)
+        assert w.resil is None
+
+    def test_resilience_true_builds_default_runtime(self):
+        w = World(n_ranks=2, seed=0, resilience=True)
+        assert isinstance(w.resil, ResilienceRuntime)
+        assert w.resil.config == ResilienceConfig()
+
+    def test_explicit_config_is_honored(self):
+        cfg = ResilienceConfig(heartbeat_interval=50.0,
+                               suspicion_timeout=400.0)
+        w = World(n_ranks=2, seed=0, resilience=cfg)
+        assert w.resil.config.heartbeat_interval == 50.0
+
+    def test_fault_free_run_reaches_no_verdict(self):
+        w = World(n_ranks=3, seed=0, resilience=True)
+        w.run(sleeper(3000.0))
+        assert w.resil.stats["heartbeats"] > 0
+        assert w.resil.stats["suspects"] == 0
+        assert w.resil.stats["false_suspects"] == 0
+        for r in range(3):
+            assert w.resil.suspected(r) == frozenset()
+
+
+class TestConfigValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            ResilienceConfig(heartbeat_interval=0.0)
+
+    def test_timeout_must_exceed_interval(self):
+        with pytest.raises(ValueError, match="suspicion_timeout"):
+            ResilienceConfig(heartbeat_interval=200.0,
+                             suspicion_timeout=100.0)
+
+    def test_jitter_range(self):
+        with pytest.raises(ValueError, match="jitter"):
+            ResilienceConfig(jitter=1.0)
+
+
+class TestHeartbeatDetection:
+    def _killed_world(self, seed=0):
+        plan = FaultPlan().kill(rank=1, at=500.0)
+        w = World(n_ranks=4, seed=seed, fault_plan=plan,
+                  resilience=True)
+        w.run(sleeper(5000.0))
+        return w
+
+    def test_every_survivor_suspects_the_victim(self):
+        w = self._killed_world()
+        for observer in (0, 2, 3):
+            assert 1 in w.resil.suspected(observer)
+
+    def test_verdicts_come_after_the_kill_within_the_timeout(self):
+        w = self._killed_world()
+        cfg = w.resil.config
+        for notice in w.resil.notices:
+            assert notice.rank == 1
+            assert notice.detected_at > 500.0
+            # silence-based detection: kill + timeout + a couple of
+            # monitor polling periods of slack
+            assert notice.detected_at < (
+                500.0 + cfg.suspicion_timeout
+                + 4 * cfg.heartbeat_interval
+            )
+
+    def test_detect_latency_histogram_is_fed(self):
+        w = self._killed_world()
+        hist = w.metrics.histogram("resil.detect_latency")
+        assert hist.count == len(w.resil.notices) >= 3
+        assert hist.max <= 5000.0 - 500.0
+
+    def test_no_false_suspects_on_live_ranks(self):
+        w = self._killed_world()
+        assert w.resil.stats["false_suspects"] == 0
+        for observer in (0, 2, 3):
+            assert w.resil.suspected(observer) == frozenset({1})
+
+    def test_detection_is_seed_deterministic(self):
+        a = self._killed_world(seed=7)
+        b = self._killed_world(seed=7)
+        assert [(n.observer, n.rank, n.detected_at, n.via)
+                for n in a.resil.notices] == \
+               [(n.observer, n.rank, n.detected_at, n.via)
+                for n in b.resil.notices]
+
+
+class TestTransportEvidence:
+    def test_active_traffic_detects_faster_than_silence(self):
+        """A flow declared dead (retry budget against a dead rank) is an
+        immediate verdict — no need to wait out the heartbeat timeout."""
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(256)
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(10_000.0)
+                return None
+            src = ctx.mem.space.alloc(256)
+            while ctx.sim.now < 2500.0:
+                req = yield from ctx.rma.put(
+                    src, 0, 256, BYTE, tmems[1], 0, 256, BYTE,
+                    remote_completion=True)
+                yield from req.wait()
+                yield ctx.sim.timeout(50.0)
+            return "done"
+
+        plan = FaultPlan().kill(rank=1, at=300.0).with_transport(
+            retry_budget=3)
+        w = World(n_ranks=2, network=generic_rdma(), fault_plan=plan,
+                  seed=7, rma_errhandler=ERRORS_RETURN, resilience=True)
+        w.run(program)
+        transport_verdicts = [n for n in w.resil.notices
+                              if n.via == "transport"]
+        assert transport_verdicts, "flow death produced no verdict"
+        first = min(n.detected_at for n in transport_verdicts)
+        assert first < 300.0 + w.resil.config.suspicion_timeout, \
+            "transport evidence should beat the heartbeat timeout"
+
+
+class TestStickiness:
+    def test_a_restarted_rank_is_not_readmitted(self):
+        plan = FaultPlan().kill(rank=2, at=400.0, restart_at=1200.0)
+        w = World(n_ranks=3, seed=0, fault_plan=plan, resilience=True)
+        w.run(sleeper(6000.0))
+        for observer in (0, 1):
+            assert 2 in w.resil.suspected(observer), \
+                "ULFM suspicion must be sticky across restart"
+
+    def test_restarted_rank_is_shunned_but_not_confused(self):
+        plan = FaultPlan().kill(rank=2, at=400.0, restart_at=1200.0)
+        w = World(n_ranks=3, seed=0, fault_plan=plan, resilience=True)
+        w.run(sleeper(6000.0))
+        cfg = w.resil.config
+        # Its observation clocks were frozen while dead, so coming back
+        # it must not *instantly* declare everyone silent; but the
+        # survivors have shunned it (sticky suspicion stops their
+        # heartbeats toward it), so it eventually reaches the mutual
+        # verdict — after a full timeout of genuine silence.
+        own = [n for n in w.resil.notices if n.observer == 2]
+        for notice in own:
+            assert notice.detected_at >= 1200.0 + cfg.suspicion_timeout
+        # and the exclusion is mutual by the end of the run
+        assert w.resil.suspected(2) == frozenset({0, 1})
+
+
+class TestSubscription:
+    def test_subscribe_replays_past_verdicts(self):
+        plan = FaultPlan().kill(rank=1, at=500.0)
+        w = World(n_ranks=3, seed=0, fault_plan=plan, resilience=True)
+        w.run(sleeper(4000.0))
+        seen = []
+        w.resil.subscribe(0, seen.append)
+        assert [n.rank for n in seen] == [1]
+        assert seen[0].observer == 0
+
+    def test_assert_failed_notifies_subscribers(self):
+        w = World(n_ranks=3, seed=0, resilience=True)
+        seen = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.world.resil.subscribe(0, seen.append)
+                ctx.world.resil.assert_failed(0, 2)
+            yield ctx.sim.timeout(10.0)
+            return None
+
+        w.run(program)
+        assert [(n.rank, n.via) for n in seen] == [(2, "manual")]
+        assert 2 in w.resil.suspected(0)
+        # manual verdicts are local: other observers are unaffected
+        assert w.resil.suspected(1) == frozenset()

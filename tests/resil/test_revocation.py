@@ -1,0 +1,131 @@
+"""ULFM window revocation on MPI-2 windows.
+
+``Win.revoke`` poisons a window everywhere: the local handle fails
+fast, a fire-and-forget notice fans out to the other members, and the
+failure detector revokes automatically when a member of the window's
+communicator dies — so no rank ever blocks inside a collective that a
+dead member can never enter.
+"""
+
+import pytest
+
+from repro.datatypes import BYTE
+from repro.faults import FaultPlan
+from repro.resil.errors import WindowRevoked
+from repro.runtime import World
+
+
+class TestManualRevoke:
+    def test_local_operations_fail_fast_after_revoke(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            win.revoke()
+            assert win.revoked
+            src = ctx.mem.space.alloc(8)
+            try:
+                yield from win.put(src, 0, 8, BYTE, 1 - ctx.rank, 0)
+            except WindowRevoked as err:
+                assert err.kind == "window_revoked"
+                assert err.win_id == win.win_id
+                return "refused"
+            return "accepted"
+
+        assert World(n_ranks=2, seed=0).run(program) == ["refused"] * 2
+
+    def test_revoke_is_idempotent(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            win.revoke()
+            win.revoke()  # second call is a no-op, not an error
+            return win.revoked
+
+        assert World(n_ranks=2, seed=0).run(program) == [True, True]
+
+    def test_revoke_fans_out_to_every_member(self):
+        """One rank revokes; the others observe it without calling any
+        window function — the notice rides the fabric."""
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            if ctx.rank == 0:
+                yield ctx.sim.timeout(100.0)
+                win.revoke()
+            yield ctx.sim.timeout(1000.0)
+            return win.revoked
+
+        assert World(n_ranks=3, seed=0).run(program) == [True] * 3
+
+    def test_sync_on_a_revoked_window_raises_instead_of_blocking(self):
+        """The decisive liveness property: fence after revocation must
+        raise, never enter the doomed barrier."""
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            if ctx.rank == 0:
+                win.revoke()
+            yield ctx.sim.timeout(500.0)  # notice has arrived
+            try:
+                yield from win.fence()
+            except WindowRevoked:
+                return "raised"
+            return "entered"
+
+        assert World(n_ranks=3, seed=0).run(program) == ["raised"] * 3
+
+    def test_free_on_a_revoked_window_is_local(self):
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            win.revoke()
+            before = ctx.sim.now
+            yield from win.free()  # must not wait for a barrier
+            assert ctx.sim.now == before
+            return "freed"
+
+        assert World(n_ranks=2, seed=0).run(program) == ["freed"] * 2
+
+
+class TestAutoRevoke:
+    def test_member_death_revokes_the_window(self):
+        """With the detector armed, a member's death poisons every
+        surviving handle; the next fence raises with the failed rank
+        attached instead of hanging."""
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            if ctx.rank == 2:
+                yield ctx.sim.timeout(50_000.0)
+                return None
+            while not win.revoked and ctx.sim.now < 8000.0:
+                yield ctx.sim.timeout(100.0)
+            assert win.revoked, "detector verdict never revoked the window"
+            try:
+                yield from win.fence()
+            except WindowRevoked as err:
+                assert err.kind == "window_revoked"
+                # the rank whose own detector fired carries the culprit;
+                # a rank beaten to it by the fan-out notice sees None
+                assert err.failed_rank in (2, None)
+                return "raised"
+            return "entered"
+
+        plan = FaultPlan().kill(rank=2, at=300.0)
+        w = World(n_ranks=3, seed=0, fault_plan=plan, resilience=True)
+        assert w.run(program) == ["raised", "raised", None]
+
+    def test_windows_unaffected_without_resilience_member_alive(self):
+        """No detector, no failure: windows behave exactly as before
+        (the revocation machinery is pure opt-in)."""
+        def program(ctx):
+            alloc = ctx.mem.space.alloc(64)
+            win = yield from ctx.mpi2.win_create(alloc)
+            yield from win.fence()
+            yield from win.fence()
+            assert not win.revoked
+            yield from win.free()
+            return "clean"
+
+        assert World(n_ranks=3, seed=0).run(program) == ["clean"] * 3
