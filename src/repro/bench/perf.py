@@ -293,6 +293,7 @@ def _metadata() -> Dict[str, Any]:
         "train_enabled": RmaEngine.train_enabled,
         "burst_enabled": Nic.burst_enabled,
         "nexus_enabled": CollectiveNexus.enabled,
+        "shared_default": RmaEngine.shared_default,
         "numpy": numpy_version,
     }
 
@@ -325,11 +326,19 @@ def main(argv: Optional[list] = None) -> int:
                              "declines too); CI runs --compare both ways to "
                              "pin that the fast paths never move simulated "
                              "time")
+    parser.add_argument("--shared-windows", action="store_true",
+                        help="treat every RMA exposure as a shared-memory "
+                             "window; the bench machines place one rank per "
+                             "node, so the flavor must be inert there — CI "
+                             "runs --compare with it on to pin that")
     args = parser.parse_args(argv)
 
     if args.no_train:
         from repro.rma.engine import RmaEngine
         RmaEngine.train_enabled = False
+    if args.shared_windows:
+        from repro.rma.engine import RmaEngine
+        RmaEngine.shared_default = True
 
     if args.compare:
         try:
@@ -342,7 +351,8 @@ def main(argv: Optional[list] = None) -> int:
               f"(tolerance {args.tolerance:g}; train="
               f"{'on' if meta['train_enabled'] else 'off'} burst="
               f"{'on' if meta['burst_enabled'] else 'off'} nexus="
-              f"{'on' if meta['nexus_enabled'] else 'off'}) ...", flush=True)
+              f"{'on' if meta['nexus_enabled'] else 'off'} shm="
+              f"{'on' if meta['shared_default'] else 'off'}) ...", flush=True)
         walls: Dict[str, tuple] = {}
         failures = compare_to_baseline(base_doc, tolerance=args.tolerance,
                                        walls=walls)

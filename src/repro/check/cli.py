@@ -113,6 +113,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--artifact-dir", default=".",
         help="where failing-program JSON artifacts are written.")
     parser.add_argument(
+        "--shared", action="store_true",
+        help="run every program on a paired machine (two ranks per "
+             "node) with the shared-memory window flavor forced on, so "
+             "co-located ops take the load/store fast path under the "
+             "consistency oracle.")
+    parser.add_argument(
         "--mutate", action="append", default=[],
         metavar="NAME",
         help="apply a test-only engine mutation (e.g. drop_order_barrier) "
@@ -185,7 +191,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if time.monotonic() - started >= budget:
                 break
             result = run_program(program, fabric, seed, chaos=args.chaos,
-                                 mutations=mutations)
+                                 mutations=mutations, shared=args.shared)
             report = check_program(result)
             programs.inc()
             ops_counter.inc(len(program.ops))
@@ -208,7 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  {v}")
             if args.shrink:
                 res = shrink(program, fabric, seed, chaos=args.chaos,
-                             mutations=mutations)
+                             mutations=mutations, shared=args.shared)
                 program_out, report_out = res.program, res.report
                 print(f"  shrunk {res.original_ops} -> {res.shrunk_ops} "
                       f"ops in {res.executions} executions")
@@ -217,7 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = os.path.join(
                 args.artifact_dir, f"check-fail-{fabric}-s{seed}.json")
             save_artifact(path, program_out, report_out,
-                          chaos=args.chaos, mutations=mutations)
+                          chaos=args.chaos, mutations=mutations,
+                          shared=args.shared)
             artifacts.append(path)
             print(f"  artifact: {path}")
             if failures >= args.max_failures:

@@ -19,7 +19,11 @@ without false positives*:
   ops — the one case the zero-latency reference executor predicts
   exactly, on any fabric;
 - noise puts live in the scratch half of the region, overlap each
-  other, and are large enough to stay out of the consistency trace.
+  other, and are large enough to stay out of the consistency trace;
+- the shared-window clause bursts scratch puts at the rank's node
+  partner (``rank ^ 1`` under the runner's paired placement) and closes
+  with a checksummed scratch "peek", so shared-mode runs exercise the
+  load/store fast path and observe its flush protocol.
 
 Roughly one program in six is *strict*: every op runs with
 ``RmaAttrs.strict()`` (the paper's debugging mode), which upgrades the
@@ -141,6 +145,12 @@ def generate_program(
                 # generating them drives the fuzzer across its
                 # eligibility boundary.
                 actions.append(("train", None))
+                # Shared-window clause: scratch traffic aimed at the
+                # rank's node partner under the runner's paired
+                # placement (rank r and r ^ 1 share a node in colocate
+                # mode), so shared-mode runs cross the load/store fast
+                # path's eligibility boundary.
+                actions.append(("shared", None))
 
             for _ in range(rng.randint(1, ops_per_rank)):
                 action, v = rng.choice(actions)
@@ -222,6 +232,35 @@ def generate_program(
                         nbytes=nbytes, disp=disp,
                         value=rng.randint(1, 255),
                         attrs=_random_attrs(rng, strict),
+                    ))
+                elif action == "shared":
+                    # A short scratch burst at the node partner, closed
+                    # by a "peek" — a blocking get over the whole
+                    # scratch span whose byte checksum becomes an op
+                    # return.  The peek is the observable that catches
+                    # a shared-window access skipping the in-flight
+                    # op-train flush (the ``shm_skip_fence`` mutation):
+                    # remote ranks train into the same scratch area, so
+                    # an un-fenced direct load reads the past.
+                    partner = rank ^ 1
+                    if partner >= n_ranks:
+                        partner = rank - 1
+                    attrs = _random_attrs(rng, strict)
+                    nbytes = rng.choice(_NOISE_SIZES)
+                    scratch = 512
+                    value = rng.randint(1, 255)
+                    for _k in range(rng.randint(2, 4)):
+                        disp = scratch + rng.randrange(
+                            0, 512 - nbytes + 1, 16)
+                        per_rank[rank].append(ProgOp(
+                            rank=rank, kind="noise", target=partner,
+                            nbytes=nbytes, disp=disp, value=value,
+                            attrs=attrs,
+                        ))
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind="peek", target=partner,
+                        nbytes=512, disp=scratch,
+                        attrs=_random_attrs(rng, strict, read=True),
                     ))
                 elif action == "train":
                     # One attribute set, one target, one size for the

@@ -13,7 +13,10 @@ Region layout (one ``region_size``-byte exposure per rank):
   region (so slots never collide, whoever owns them);
 - scratch: ``[region_size // 2, region_size)`` — the playground for
   "noise" puts, which deliberately overlap each other and are large
-  enough (> 16 bytes) to stay out of the consistency trace.
+  enough (> 16 bytes) to stay out of the consistency trace, and for
+  "peek" reads, blocking gets over a scratch range whose byte checksum
+  becomes an op return (the observable that catches a shared-window
+  access racing un-flushed in-flight traffic).
 
 Variable types:
 
@@ -54,6 +57,7 @@ OP_KINDS = (
     "complete",   # MPI_RMA_complete to one target (or all)
     "sync",       # collective complete_collective — an epoch boundary
     "noise",      # large overlapping put into the target's scratch area
+    "peek",       # blocking get of a scratch range (returns a checksum)
     "compute",    # local compute phase (perturbs schedules)
 )
 
@@ -192,13 +196,14 @@ class RmaProgram:
         for op in self.ops:
             if op.kind != "sync" and not 0 <= op.rank < self.n_ranks:
                 raise ValueError(f"bad rank in {op}")
-            if op.kind == "noise":
+            if op.kind in ("noise", "peek"):
                 if not 0 <= op.target < self.n_ranks or op.target == op.rank:
-                    raise ValueError(f"bad noise target in {op}")
+                    raise ValueError(f"bad {op.kind} target in {op}")
                 if op.disp < scratch or op.disp + op.nbytes > self.region_size:
-                    raise ValueError(f"noise outside scratch in {op}")
+                    raise ValueError(f"{op.kind} outside scratch in {op}")
                 if op.nbytes <= 16:
-                    raise ValueError("noise puts must stay untraced (> 16 B)")
+                    raise ValueError(
+                        f"{op.kind} ops must stay untraced (> 16 B)")
             if op.var >= 0 and op.var >= len(self.vars):
                 raise ValueError(f"unknown var in {op}")
 

@@ -15,6 +15,7 @@ local accesses in per-rank program order.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -87,13 +88,21 @@ class RunResult:
 
 
 def build_world(fabric: str, n_ranks: int, seed: int,
-                chaos: float = 0.0, trace: bool = True) -> World:
+                chaos: float = 0.0, trace: bool = True,
+                colocate: bool = False) -> World:
     """A world on the named fabric with ``n_ranks`` ranks.
 
     ``trace=False`` builds it untraced — the consistency oracle loses
     its history, but the op-train fast path (which self-disables under
     tracing) becomes reachable, so differential train-on/off runs can
-    fuzz the batch timing against the per-op path."""
+    fuzz the batch timing against the per-op path.
+
+    ``colocate=True`` packs the ranks two per node instead of one, so
+    partner ranks ``(0,1), (2,3), ...`` share a cache-coherent node and
+    the shared-memory window fast path becomes reachable.  Machines are
+    regular (``n_nodes * ranks_per_node`` ranks always), so an odd rank
+    count gets one padding rank that runs an empty program; it takes
+    part in collectives only."""
     try:
         net = FABRICS[fabric]()
     except KeyError:
@@ -101,8 +110,13 @@ def build_world(fabric: str, n_ranks: int, seed: int,
             f"unknown fabric {fabric!r}; choose from {sorted(FABRICS)}"
         ) from None
     plan = chaos_plan(chaos) if chaos > 0.0 else None
+    if colocate:
+        machine = generic_cluster(n_nodes=(n_ranks + 1) // 2,
+                                  ranks_per_node=2)
+    else:
+        machine = generic_cluster(n_nodes=n_ranks)
     return World(
-        machine=generic_cluster(n_nodes=n_ranks),
+        machine=machine,
         network=net,
         seed=seed,
         trace=trace,
@@ -127,6 +141,8 @@ def run_program(
     mutations: Tuple[str, ...] = (),
     limit: Optional[float] = 10_000_000.0,
     trace: bool = True,
+    colocate: bool = False,
+    shared: bool = False,
 ) -> RunResult:
     """Run ``program`` and collect a :class:`RunResult`.
 
@@ -136,9 +152,22 @@ def run_program(
     history) so the op-train fast path may engage; the differential
     oracle then compares final state, returns and simulated time
     against a train-disabled run of the same program.
+
+    ``shared=True`` turns on the shared-memory window flavor for every
+    exposure (per-engine ``shared_default``) on a co-located machine
+    (``colocate`` is implied): partner ranks then reach each other's
+    regions by load/store.  ``colocate=True`` alone builds the paired
+    machine with the flavor off — the control arm of a differential
+    shared-on/off run, holding placement and topology fixed.
     """
     program.validate()
-    world = build_world(fabric, program.n_ranks, seed, chaos, trace=trace)
+    world = build_world(fabric, program.n_ranks, seed, chaos, trace=trace,
+                        colocate=colocate or shared)
+    if shared:
+        for ctx in world.contexts.values():
+            # Instance attribute: descriptors stay wire-identical, only
+            # this world's engines treat every window as shared.
+            ctx.rma.engine.shared_default = True
     if mutations:
         for ctx in world.contexts.values():
             ctx.rma.engine.conformance_mutations = frozenset(mutations)
@@ -272,6 +301,15 @@ def run_program(
                     src, 0, op.nbytes, BYTE, tmems[op.target], op.disp,
                     op.nbytes, BYTE, attrs=attrs_of(op))
                 continue
+            if kind == "peek":
+                dst = space.alloc(op.nbytes)
+                a = attrs_of(op).with_(blocking=True)
+                yield from ctx.rma.get(
+                    dst, 0, op.nbytes, BYTE, tmems[op.target], op.disp,
+                    op.nbytes, BYTE, attrs=a)
+                returns[idx] = zlib.crc32(
+                    bytes(space.buffer(dst)[:op.nbytes]))
+                continue
             raise AssertionError(f"unhandled op kind {kind!r}")
 
         # Closing sync: every op applied everywhere before the final
@@ -311,5 +349,7 @@ def run_program(
             "history_ops": len(history),
             "train_ops": sum(ctx.rma.engine.stats["train_ops"]
                              for ctx in world.contexts.values()),
+            "shm_ops": sum(ctx.rma.engine.stats["shm_ops"]
+                           for ctx in world.contexts.values()),
         },
     )

@@ -87,7 +87,8 @@ class ShrinkResult:
 
 
 def _fails(program: RmaProgram, fabric: str, seed: int, chaos: float,
-           mutations: Tuple[str, ...]) -> Optional[CheckReport]:
+           mutations: Tuple[str, ...],
+           shared: bool = False) -> Optional[CheckReport]:
     """Run + check; the report when it still violates, else ``None``.
 
     A candidate subset that deadlocks or crashes the stack is treated
@@ -95,7 +96,7 @@ def _fails(program: RmaProgram, fabric: str, seed: int, chaos: float,
     violation, not whatever new problem an odd subset tickles)."""
     try:
         result = run_program(program, fabric, seed, chaos=chaos,
-                             mutations=mutations)
+                             mutations=mutations, shared=shared)
     except Exception:
         return None
     report = check_program(result)
@@ -108,6 +109,7 @@ def shrink(
     seed: int,
     chaos: float = 0.0,
     mutations: Tuple[str, ...] = (),
+    shared: bool = False,
     max_executions: int = 400,
 ) -> ShrinkResult:
     """ddmin-minimize a failing program.
@@ -118,7 +120,7 @@ def shrink(
 
     def fails(candidate_ops: List) -> Optional[CheckReport]:
         return _fails(program.with_ops(candidate_ops), fabric, seed, chaos,
-                      mutations)
+                      mutations, shared)
 
     try:
         ops, best_report, executions = ddmin_list(
@@ -144,6 +146,7 @@ def save_artifact(
     *,
     chaos: float = 0.0,
     mutations: Tuple[str, ...] = (),
+    shared: bool = False,
     extra: Optional[Dict] = None,
 ) -> None:
     """Write a self-contained failing-program JSON artifact."""
@@ -153,6 +156,7 @@ def save_artifact(
         "seed": report.seed,
         "chaos": chaos,
         "mutations": list(mutations),
+        "shared": shared,
         "program": program.to_dict(),
         "violations": [
             {"check": v.check, "vid": v.vid, "message": v.message}
@@ -185,5 +189,6 @@ def replay_artifact(path: str) -> CheckReport:
     result = run_program(
         program, doc["fabric"], doc["seed"], chaos=doc.get("chaos", 0.0),
         mutations=tuple(doc.get("mutations", ())),
+        shared=doc.get("shared", False),
     )
     return check_program(result)

@@ -10,5 +10,7 @@ arbitrary global regions, plus an atomic read-and-increment.
 
 from repro.ga.global_array import GaError, GlobalArray
 from repro.ga.replicated import ReplicatedGlobalArray
+from repro.ga.sharded import PLACEMENTS, ShardedStore
 
-__all__ = ["GaError", "GlobalArray", "ReplicatedGlobalArray"]
+__all__ = ["GaError", "GlobalArray", "PLACEMENTS", "ReplicatedGlobalArray",
+           "ShardedStore"]

@@ -1,0 +1,209 @@
+"""A sharded key-value store over the PGAS team layer.
+
+The "million-client" serving scenario: a fixed keyspace of fixed-width
+values is sharded over the units of a :class:`~repro.pgas.team.Team`
+with a pluggable placement policy, and any unit may ``get``/``put``/
+``add`` any key one-sidedly — owners never participate.  The backing
+memory is one team-collective :class:`~repro.pgas.team.TeamSegment`
+allocated as *shared-memory windows*, so a request whose key lives on
+a co-located unit moves by load/store through the node's cache model
+(zero NIC packets) while cross-node requests ride the RMA engine's
+normal path (op-trains included).
+
+Placement policies map a key to its owning unit:
+
+* ``"block"`` — contiguous key ranges per unit (locality-friendly:
+  a client that scans neighbouring keys stays on one shard);
+* ``"cyclic"`` — round-robin (spreads hot *ranges*, not hot keys);
+* ``"hashed"`` — Knuth multiplicative hash (spreads hot keys; the
+  default for serving workloads);
+* any callable ``(key, n_units) -> unit`` for custom schemes
+  (e.g. pin hot keys onto the client's own node).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+import numpy as np
+
+from repro.ga.global_array import GaError
+from repro.pgas.gptr import GlobalPtr
+from repro.pgas.team import Team, TeamSegment
+
+__all__ = ["ShardedStore", "PLACEMENTS"]
+
+#: Built-in placement policy names.
+PLACEMENTS = ("block", "cyclic", "hashed")
+
+
+def _block(key: int, n_keys: int, n_units: int) -> int:
+    base, rem = divmod(n_keys, n_units)
+    # earlier units hold the remainder keys, like GlobalArray rows
+    boundary = (base + 1) * rem
+    if key < boundary:
+        return key // (base + 1)
+    return rem + (key - boundary) // base if base else n_units - 1
+
+
+def _cyclic(key: int, n_keys: int, n_units: int) -> int:
+    return key % n_units
+
+def _hashed(key: int, n_keys: int, n_units: int) -> int:
+    return (key * 2654435761 % (1 << 32)) % n_units
+
+
+_POLICIES = {"block": _block, "cyclic": _cyclic, "hashed": _hashed}
+
+Placement = Union[str, Callable[[int, int], int]]
+
+
+class ShardedStore:
+    """Fixed-keyspace KV store sharded over a team (see module doc).
+
+    Create collectively with :meth:`create`; every unit must pass the
+    same keyspace/placement/dtype.  Values are single elements of
+    ``dtype`` (the serving benches use ``int64`` counters/records).
+    """
+
+    def __init__(self, team: Team, segment: TeamSegment, n_keys: int,
+                 np_dtype, owners: List[int], slots: List[int],
+                 placement_name: str) -> None:
+        self.team = team
+        self.segment = segment
+        self.n_keys = n_keys
+        self.dtype = np_dtype
+        self._owners = owners
+        self._slots = slots
+        self.placement = placement_name
+        self._destroyed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, team: Team, n_keys: int, placement: Placement = "hashed",
+               dtype: str = "int64"):
+        """Collectively create a zeroed store (``yield from``)."""
+        if n_keys <= 0:
+            raise GaError(f"store needs a positive keyspace, got {n_keys}")
+        np_dtype = np.dtype(dtype)
+        if isinstance(placement, str):
+            if placement not in _POLICIES:
+                raise GaError(f"unknown placement {placement!r}; choose "
+                              f"from {PLACEMENTS} or pass a callable")
+            fn = _POLICIES[placement]
+            name = placement
+            owners = [fn(k, n_keys, team.size) for k in range(n_keys)]
+        else:
+            name = getattr(placement, "__name__", "custom")
+            owners = [int(placement(k, team.size)) for k in range(n_keys)]
+            if any(u < 0 or u >= team.size for u in owners):
+                raise GaError(f"placement {name!r} mapped a key outside "
+                              f"units 0..{team.size - 1}")
+        counts = [0] * team.size
+        slots = [0] * n_keys
+        for key in range(n_keys):
+            unit = owners[key]
+            slots[key] = counts[unit]
+            counts[unit] += 1
+        capacity = max(max(counts), 1)
+        segment = yield from team.memalloc(capacity * np_dtype.itemsize,
+                                           shared=True)
+        return cls(team, segment, n_keys, np_dtype, owners, slots, name)
+
+    # ------------------------------------------------------------------
+    def _check_key(self, key: int) -> None:
+        if self._destroyed:
+            raise GaError("operation on a destroyed ShardedStore")
+        if key < 0 or key >= self.n_keys:
+            raise GaError(f"key {key} outside keyspace of {self.n_keys}")
+
+    def owner_of(self, key: int) -> int:
+        """The unit owning ``key``."""
+        self._check_key(key)
+        return self._owners[key]
+
+    def ptr_of(self, key: int) -> GlobalPtr:
+        """The global pointer at ``key``'s value slot."""
+        self._check_key(key)
+        return self.segment.gptr(self._owners[key],
+                                 self._slots[key] * self.dtype.itemsize)
+
+    def is_local(self, key: int) -> bool:
+        """Whether ``key``'s owner shares this unit's node (the access
+        will move by load/store, not NIC packets)."""
+        return self.team.is_local(self.owner_of(key))
+
+    # -- blocking ops ---------------------------------------------------
+    def put(self, key: int, value):
+        """Write ``key``'s value; remotely complete on return
+        (``yield from``)."""
+        yield from self.segment.put(
+            self.ptr_of(key), np.asarray([value], dtype=self.dtype))
+
+    def get(self, key: int):
+        """Read ``key``'s value (``yield from``)."""
+        out = yield from self.segment.get(self.ptr_of(key), 1,
+                                          dtype=self.dtype)
+        return out[0].item()
+
+    def add(self, key: int, delta):
+        """Atomically ``store[key] += delta`` (``yield from``);
+        concurrent adds from any unit never lose increments."""
+        yield from self.segment.accumulate(
+            self.ptr_of(key), np.asarray([delta], dtype=self.dtype))
+
+    def fetch_add(self, key: int, delta):
+        """Atomic fetch-and-add; returns the pre-update value
+        (``yield from``)."""
+        if not np.issubdtype(self.dtype, np.integer):
+            raise GaError("fetch_add requires an integer-valued store")
+        old = yield from self.segment.fetch_add(self.ptr_of(key), delta,
+                                                dtype=self.dtype)
+        return int(old)
+
+    # -- open-loop ops (the serving benches) ----------------------------
+    def put_nb(self, key: int, value):
+        """Issue a put and return its request without waiting
+        (``yield from``)."""
+        req = yield from self.segment.put(
+            self.ptr_of(key), np.asarray([value], dtype=self.dtype),
+            blocking=False)
+        return req
+
+    def get_nb(self, key: int):
+        """Issue a get and return its request without waiting; the
+        fetched value is discarded (``yield from``)."""
+        req = yield from self.segment.get_nb(self.ptr_of(key), 1,
+                                             dtype=self.dtype)
+        return req
+
+    def add_nb(self, key: int, delta):
+        """Issue an atomic add and return its request without waiting
+        (``yield from``)."""
+        req = yield from self.segment.accumulate(
+            self.ptr_of(key), np.asarray([delta], dtype=self.dtype),
+            blocking=False)
+        return req
+
+    # ------------------------------------------------------------------
+    def local_values(self) -> np.ndarray:
+        """This unit's shard as a NumPy view (slot order)."""
+        if self._destroyed:
+            raise GaError("operation on a destroyed ShardedStore")
+        n_mine = sum(1 for u in self._owners if u == self.team.myid)
+        return self.segment.local_view(dtype=self.dtype,
+                                       count=max(n_mine, 1))[:n_mine]
+
+    def sync(self):
+        """Collective phase boundary (``yield from``): all prior ops
+        are globally visible afterwards."""
+        yield from self.segment.sync()
+
+    def destroy(self):
+        """Collectively free the store (``yield from``)."""
+        yield from self.segment.free()
+        self._destroyed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ShardedStore {self.n_keys} keys ({self.placement}) "
+                f"over {self.team.size} units>")

@@ -139,15 +139,34 @@ class MachineConfig:
             raise ValueError("ranks_per_node must be >= 1")
         if not self.nodes:
             raise ValueError("at least one NodeConfig is required")
+        if len(self.nodes) > self.n_nodes:
+            # A short list replicates its last entry, but a *longer* one
+            # means the caller described nodes that do not exist — almost
+            # certainly a mismatched n_nodes, so refuse instead of
+            # silently ignoring the tail.
+            raise ValueError(
+                f"{len(self.nodes)} NodeConfig entries for a machine with "
+                f"only {self.n_nodes} node(s); drop the extras or raise "
+                "n_nodes")
         if self.placement not in PLACEMENTS:
             raise ValueError(
                 f"unknown placement {self.placement!r}: "
                 f"expected one of {PLACEMENTS}")
         # Cache the rank->node map (frozen dataclass: set via object).
-        object.__setattr__(
-            self, "_rank_node",
-            placement_map(self.placement, self.n_nodes,
-                          self.ranks_per_node, self.placement_seed))
+        rank_node = placement_map(self.placement, self.n_nodes,
+                                  self.ranks_per_node, self.placement_seed)
+        if len(rank_node) != self.n_nodes * self.ranks_per_node:
+            raise ValueError(
+                f"placement map covers {len(rank_node)} rank(s) but the "
+                f"machine hosts {self.n_nodes} node(s) x "
+                f"{self.ranks_per_node} rank(s)/node = "
+                f"{self.n_nodes * self.ranks_per_node}")
+        bad = [n for n in rank_node if not 0 <= n < self.n_nodes]
+        if bad:
+            raise ValueError(
+                f"placement map names node(s) {sorted(set(bad))} outside "
+                f"0..{self.n_nodes - 1}")
+        object.__setattr__(self, "_rank_node", rank_node)
 
     @property
     def n_ranks(self) -> int:

@@ -304,12 +304,16 @@ class Mpi2Interface:
         self._wins: Dict[object, Win] = {}
         self._pending_gets: List[Any] = []
 
-    def win_create(self, alloc: Allocation, comm: Optional[Comm] = None):
+    def win_create(self, alloc: Allocation, comm: Optional[Comm] = None,
+                   shared: bool = False):
         """Collective window creation (``yield from``) — the MPI-2
-        requirement the strawman API removes (§IV req. 1)."""
+        requirement the strawman API removes (§IV req. 1).
+        ``shared=True`` exposes the window as a shared-memory window:
+        co-located ranks then access it by direct load/store (the
+        ``MPI_Win_allocate_shared`` flavor MPI-3 standardized)."""
         comm = comm if comm is not None else self.comm_world
         yield self.engine.sim.timeout(self.engine.registration_cost(alloc.size))
-        tmem = self.engine.expose(alloc)
+        tmem = self.engine.expose(alloc, shared=shared)
         tmems = yield from comm.allgather(tmem)
         win_comm = yield from comm.dup()
         win_id = ("win",) + comm.context + (next(self._win_seq),)
@@ -329,6 +333,14 @@ class Mpi2Interface:
 
             resil.subscribe(me, on_rank_failed)
         return win
+
+    def win_allocate_shared(self, nbytes: int, comm: Optional[Comm] = None):
+        """``MPI_Win_allocate_shared`` convenience: collectively allocate
+        ``nbytes`` on every rank and create a shared-memory window over
+        the allocations.  Returns ``(alloc, win)`` (``yield from``)."""
+        alloc = self.engine.mem.space.alloc(nbytes)
+        win = yield from self.win_create(alloc, comm=comm, shared=True)
+        return alloc, win
 
     def _win_comm(self, win: Win) -> Comm:
         return self._win_comms[win.win_id]

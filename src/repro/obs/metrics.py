@@ -66,10 +66,14 @@ class Gauge:
         self.value: float = 0
 
     def set(self, value) -> None:
-        self.value = value
+        # Normalize to float: callers pass ints (packet counts) and
+        # floats (timestamps) interchangeably, and a snapshot that
+        # renders `3` on one code path and `3.0` on another breaks
+        # byte-identical snapshot comparison across runs.
+        self.value = float(value)
 
     def add(self, delta) -> None:
-        self.value += delta
+        self.value = float(self.value + delta)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Gauge {self.name}[{_label_str(self.labels)}]={self.value}>"
@@ -77,8 +81,19 @@ class Gauge:
 
 def bucket_index(value: float) -> int:
     """The fixed log2 bucket of ``value``: the smallest integer ``i``
-    with ``value <= 2**i`` (values ``<= 0`` land in a dedicated
-    underflow bucket, index ``None`` handled by the caller)."""
+    with ``value <= 2**i``.
+
+    Only defined for positive values: ``math.frexp(0.0)`` is ``(0.0, 0)``,
+    so without the guard a zero would silently land in bucket 0 (the
+    ``(0.5, 1]`` bucket) instead of the dedicated zero bucket.  Callers
+    must route non-positive observations themselves (as
+    :meth:`Histogram.observe` does)."""
+    if value <= 0.0:
+        raise ValueError(
+            f"bucket_index({value!r}): non-positive values have no log2 "
+            "bucket; route them to the zero bucket (Histogram.observe "
+            "does this automatically)"
+        )
     m, e = math.frexp(value)  # value = m * 2**e, m in [0.5, 1)
     return e - 1 if m == 0.5 else e
 
@@ -107,6 +122,13 @@ class Histogram:
         self._buckets: Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
+        # Float-normalize up front (int observations would otherwise make
+        # min/max int on some code paths and float on others, breaking
+        # byte-identical snapshots); non-positive observations go to the
+        # dedicated zero bucket — zero-length durations are routine
+        # (intra-node shared-window ops, analytic-train completions) and
+        # must never reach bucket_index.
+        value = float(value)
         self.count += 1
         self.sum += value
         if self.min is None or value < self.min:

@@ -26,6 +26,15 @@ merged histograms).  Every run is re-checked by the durability oracle,
 so the report doubles as a smoke check — a lost acknowledged write
 makes it exit non-zero.
 
+``--store`` switches to the serving report: it runs the open-loop
+sharded-store scenario (Zipf keyspace, 60/30/10 get/put/add mix,
+shared-memory windows for co-located shards — see
+:mod:`repro.bench.store`) on each requested fabric and prints the
+per-op-class latency percentile table plus the local/remote split.
+Each run self-checks that every key-local request moved by load/store
+(zero NIC packets for co-located pairs) and that every issued request
+completed, so the report fails loudly if either identity breaks.
+
 ``--topo {torus,fattree,crossbar}`` switches to the routed-fabric
 report: it runs the hotspot-incast workload on that topology and prints
 the per-link traffic table (packets, bytes, busy/queue time,
@@ -43,13 +52,15 @@ import math
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.bench.store import format_store_table, run_store_report
 from repro.obs.export import write_chrome_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import PHASES, attribute_phases, build_spans, observe_spans
 
 __all__ = ["run_sweep_report", "format_attribution_table",
            "run_topo_report", "format_link_table",
-           "run_resil_report", "format_resil_table", "main"]
+           "run_resil_report", "format_resil_table",
+           "run_store_report", "format_store_table", "main"]
 
 
 def run_sweep_report(
@@ -382,6 +393,19 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--trace-point", default=None,
                         help="which <mode>/<size> point --trace-out exports "
                              "(default: the last point of the sweep)")
+    parser.add_argument("--store", action="store_true",
+                        help="report per-op-class latency percentiles of "
+                             "the open-loop sharded-store serving scenario "
+                             "instead of the fig2 sweep")
+    parser.add_argument("--store-fabrics", default="flat,torus,fattree",
+                        help="comma-separated fabrics for --store "
+                             "(default: %(default)s)")
+    parser.add_argument("--store-seeds", default="0,7",
+                        help="comma-separated seeds for --store "
+                             "(default: %(default)s)")
+    parser.add_argument("--store-ops", type=int, default=150,
+                        help="requests per rank for --store "
+                             "(default: %(default)s)")
     parser.add_argument("--topo", default=None,
                         choices=("torus", "fattree", "crossbar"),
                         help="report per-link traffic of a hotspot incast "
@@ -436,6 +460,34 @@ def main(argv: Optional[list] = None) -> int:
                 fh.write("\n")
             print(f"[obs] wrote report {args.json_out}")
         return 1 if bad else 0
+
+    if args.store:
+        if args.quick:
+            fabrics, seeds, ops = ("flat",), (0,), 40
+        else:
+            fabrics = tuple(f for f in args.store_fabrics.split(",") if f)
+            seeds = tuple(int(s) for s in args.store_seeds.split(","))
+            ops = args.store_ops
+        doc = run_store_report(fabrics=fabrics, seeds=seeds,
+                               ops_per_rank=ops)
+        first = doc["rows"][0]
+        print(f"== sharded store, open-loop Zipf clients "
+              f"({first['n_ranks']} ranks on {first['n_nodes']} nodes, "
+              f"{first['n_keys']} keys, {doc['placement']} placement) ==")
+        print(format_store_table(doc))
+        print()
+        for r in doc["rows"]:
+            print(f"{r['fabric']}/seed {r['seed']}: {r['ops']} requests "
+                  f"({r['local_ops']} key-local by load/store, "
+                  f"{r['remote_ops']} cross-node), "
+                  f"makespan {r['makespan_us']:.1f} us, "
+                  f"{r['nic_packets']} NIC packets")
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[obs] wrote report {args.json_out}")
+        return 0
 
     if args.topo:
         fanin = 3 if args.quick else args.fanin

@@ -1,0 +1,19 @@
+"""A DART-style PGAS layer over the strawman RMA interface.
+
+The paper argues the strawman API is the right substrate for
+"library-based RMA approaches" (§II); PGAS runtimes like DASH/DART are
+the modern shape of that consumer.  This package provides their core
+vocabulary — :class:`~repro.pgas.team.Team` (hierarchical process
+groups with collectives and locality queries),
+:class:`~repro.pgas.gptr.GlobalPtr` (``(segment, unit, offset)``
+global addresses with pointer arithmetic), and
+:class:`~repro.pgas.team.TeamSegment` (team-collective symmetric
+memory, exposed as shared-memory windows so co-located units
+communicate by load/store).  :class:`repro.ga.ShardedStore` builds a
+key-value store on top of it.
+"""
+
+from repro.pgas.gptr import GlobalPtr
+from repro.pgas.team import PgasError, Team, TeamSegment
+
+__all__ = ["GlobalPtr", "PgasError", "Team", "TeamSegment"]

@@ -1,0 +1,53 @@
+"""Global pointers (DART-style).
+
+A :class:`GlobalPtr` names one byte in a team-allocated segment as the
+triple ``(segid, unit, offset)`` — the segment it belongs to, the team
+unit whose block it points into, and the byte offset within that
+block.  It is plain immutable data (safe to ship in messages, usable as
+a dict key) and supports the pointer arithmetic PGAS code leans on:
+``ptr + n`` advances the offset, and offsets past the end of a unit's
+block are *normalized* by the owning :class:`~repro.pgas.team.TeamSegment`
+into the next unit, so a segment reads as one linear global address
+space of ``team.size * nbytes`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GlobalPtr"]
+
+
+@dataclass(frozen=True, order=True)
+class GlobalPtr:
+    """One byte of a team segment: ``(segid, unit, offset)``.
+
+    ``unit`` is a *team-local* unit id; translation to a world rank (and
+    bounds/spill normalization of ``offset``) is the segment's job —
+    the pointer itself never talks to the simulation.
+    """
+
+    segid: int
+    unit: int
+    offset: int
+
+    def __add__(self, nbytes: int) -> "GlobalPtr":
+        return replace(self, offset=self.offset + int(nbytes))
+
+    def __sub__(self, other):
+        if isinstance(other, GlobalPtr):
+            if other.segid != self.segid:
+                raise ValueError(
+                    f"pointers into different segments "
+                    f"({self.segid} vs {other.segid}) have no distance"
+                )
+            if other.unit != self.unit:
+                raise ValueError(
+                    "distance across units needs the segment's block "
+                    "size; use TeamSegment.linear() on both pointers"
+                )
+            return self.offset - other.offset
+        return replace(self, offset=self.offset - int(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"gptr(seg={self.segid}, unit={self.unit}, off={self.offset})"

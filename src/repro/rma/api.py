@@ -98,23 +98,28 @@ class RmaInterface:
     # ------------------------------------------------------------------
     # Memory exposure
     # ------------------------------------------------------------------
-    def expose(self, alloc: Allocation) -> TargetMem:
-        """Non-collectively register local memory for remote access."""
-        return self.engine.expose(alloc)
+    def expose(self, alloc: Allocation, shared: bool = False) -> TargetMem:
+        """Non-collectively register local memory for remote access.
+        ``shared=True`` requests the shared-memory window flavor:
+        co-located origins bypass the NIC with direct load/store (the
+        request degrades to a plain exposure on non-coherent nodes)."""
+        return self.engine.expose(alloc, shared=shared)
 
     def withdraw(self, tmem: TargetMem) -> None:
         """Deregister previously exposed memory."""
         self.engine.withdraw(tmem)
 
-    def expose_collective(self, nbytes: int, comm: Optional[Comm] = None):
+    def expose_collective(self, nbytes: int, comm: Optional[Comm] = None,
+                          shared: bool = False):
         """Allocate + expose ``nbytes`` on every rank and allgather the
         descriptors (the collective-allocation convenience §V says is
         "currently being discussed").  Returns ``(alloc, [TargetMem])``
-        indexed by communicator rank (``yield from``)."""
+        indexed by communicator rank (``yield from``).  ``shared=True``
+        makes every exposure a shared-memory window."""
         comm = comm if comm is not None else self.comm_world
         alloc = self.engine.mem.space.alloc(nbytes)
         yield self.engine.sim.timeout(self.engine.registration_cost(nbytes))
-        tmem = self.expose(alloc)
+        tmem = self.expose(alloc, shared=shared)
         tmems = yield from comm.allgather(tmem)
         return alloc, tmems
 

@@ -80,10 +80,14 @@ ACC_OPS = ("sum", "prod", "min", "max", "replace", "daxpy")
 #: Read-modify-write operations (paper §V: conditional and unconditional).
 RMW_OPS = ("cas", "fetch_add", "swap")
 
-#: Conformance mutations under which the op-train path may stay active
-#: (its own planted bug only); any other mutation alters per-packet
-#: behaviour the closed form does not model, so the path stands down.
-_TRAIN_MUTATIONS = frozenset({"train_mistime"})
+#: Conformance mutations under which the op-train path may stay active:
+#: its own planted bug, plus ``shm_skip_fence`` — that one only alters
+#: the shared-window path (and in fact *needs* live trains: the bug it
+#: plants is skipping the train flush before a shared access); per-packet
+#: and closed-form behaviour are untouched.  Any other mutation alters
+#: per-packet behaviour the closed form does not model, so the path
+#: stands down.
+_TRAIN_MUTATIONS = frozenset({"train_mistime", "shm_skip_fence"})
 
 
 @dataclass(slots=True)
@@ -228,6 +232,19 @@ class RmaEngine:
     #: and event-loop paths produce identical simulated timestamps.
     train_enabled: bool = True
 
+    #: Master switch for the shared-memory window fast path (see
+    #: :meth:`_shared_target`): co-located ranks access a shared window
+    #: by direct load/store through the node's cache model — no NIC, no
+    #: transport, no serializer.
+    shared_enabled: bool = True
+
+    #: Treat *every* exposure as a shared window (subject to the same
+    #: eligibility rules).  The ``--shared-windows`` perf toggle and the
+    #: conformance runner's shared mode set this; it must leave every
+    #: off-node timestamp bit-identical, since eligibility requires
+    #: co-location.
+    shared_default: bool = False
+
     def __init__(
         self,
         sim: "Simulator",
@@ -327,13 +344,23 @@ class RmaEngine:
             "bytes_got": 0,
             "gated_frags": 0,
             "train_ops": 0,
+            "shm_ops": 0,
+            "shm_bytes": 0,
         }
 
     # ------------------------------------------------------------------
     # Memory exposure
     # ------------------------------------------------------------------
-    def expose(self, alloc: Allocation) -> TargetMem:
-        """Register local memory for remote access (non-collective)."""
+    def expose(self, alloc: Allocation, shared: bool = False) -> TargetMem:
+        """Register local memory for remote access (non-collective).
+
+        ``shared=True`` requests the shared-memory window flavor:
+        co-located origins then bypass the NIC (:meth:`_shared_target`).
+        A non-coherent owner cannot offer load/store sharing — peers'
+        stores would sit invisible behind stale cache lines without the
+        owner's involvement — so the request degrades to a plain
+        exposure there.
+        """
         if alloc.rank != self.rank:
             raise RmaError(
                 f"rank {self.rank} cannot expose memory owned by rank "
@@ -350,6 +377,7 @@ class RmaEngine:
             pointer_bits=self.mem.space.pointer_bits,
             endianness=self.mem.space.endianness,
             coherent=self.mem.coherent,
+            shared=bool(shared) and self.mem.coherent,
         )
 
     def registration_cost(self, nbytes: int) -> float:
@@ -872,6 +900,238 @@ class RmaEngine:
         self.stats["train_ops"] += 1
         return rec
 
+    # ------------------------------------------------------------------
+    # Shared-memory windows (intra-node load/store fast path)
+    # ------------------------------------------------------------------
+    def _shared_target(self, tmem: TargetMem, dst: int,
+                       attrs: Optional[RmaAttrs]) -> Optional["RmaEngine"]:
+        """The co-located target engine when this op may bypass the NIC,
+        or ``None`` to take the normal remote path.
+
+        Ranks on one node of a cache-coherent machine access a shared
+        window by direct load/store: the op applies through the target's
+        cache model with no packets, no transport and no serializer.
+        Each condition is load-bearing:
+
+        - the window was exposed shared (or :attr:`shared_default`
+          force-enables the flavor for every exposure);
+        - both nodes keep CPU caches coherent with remote writes — a
+          non-coherent personality (NEC SX style) cannot observe a
+          peer core's stores without the fence protocol the remote
+          path already models, so the flavor self-disables;
+        - the ranks are co-located per the machine's placement;
+        - the op does not demand ordering behind previously *sequenced*
+          remote traffic: a shared op applies instantly and owns no
+          sequence number, so when the ordering attribute (or a
+          standing ``rma_order`` barrier) covers earlier remote ops,
+          fall back to the remote path whose barrier machinery provides
+          the guarantee.
+        """
+        if not self.shared_enabled:
+            return None
+        if not (tmem.shared or self.shared_default):
+            return None
+        if not (tmem.coherent and self.mem.coherent):
+            return None
+        world = self.sim.context.get("world")
+        if world is None:
+            return None
+        machine = self.machine
+        if machine.node_of_rank(self.rank) != machine.node_of_rank(dst):
+            return None
+        if "shm_skip_fence" not in self.conformance_mutations:
+            peer = self._origin_peers.get(dst)
+            if peer is not None and peer.last_seq > 0:
+                ordered = attrs.ordering if attrs is not None else False
+                if ordered or peer.order_barrier:
+                    return None
+        return world.contexts[dst].rma.engine
+
+    def _shared_fence(self, tgt: "RmaEngine") -> None:
+        """Apply analytically-arrived op-train traffic at the co-located
+        target before touching its memory directly.  A train element
+        whose closed-form arrival has passed *is* already in the
+        target's memory on the per-packet timeline; loading/storing
+        around it would read the past.  The ``shm_skip_fence``
+        conformance mutation plants exactly that bug."""
+        if "shm_skip_fence" not in self.conformance_mutations:
+            tgt.materialize_inbound()
+
+    def _shared_write(self, kind, origin_alloc, origin_offset, origin_count,
+                      origin_dtype, tmem, target_disp, target_count,
+                      target_dtype, attrs, extra, nbytes, tgt):
+        """Apply a put/accumulate to a co-located shared window.
+
+        Pure CPU work: one packing/copy charge (plus the accumulate
+        ALU charge), then the bytes land through the target's cache
+        model via the same fragment-application helpers the remote
+        path uses.  Returns an already-completed :class:`OpRecord`
+        that is *not* appended to ``peer.outstanding`` — the op never
+        owns a sequence number, so completion calls have nothing to
+        wait for and flush watermarks are untouched.
+        """
+        from repro.datatypes.pack import pack
+
+        cost = (self.timings.call_overhead
+                + nbytes * self.timings.mem_copy_per_byte)
+        if not origin_dtype.is_contiguous:
+            cost += nbytes * self.timings.mem_copy_per_byte
+        if kind == "acc":
+            cost += nbytes * self.timings.accumulate_per_byte
+        yield self.sim.timeout(cost)
+        ev = Event(self.sim).succeed()
+        rec = OpRecord((self.rank, 0), tmem.rank, 0, kind, "hw", ev, ev,
+                       nbytes, attrs)
+        if nbytes == 0:
+            return rec
+        wire = pack(
+            self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
+            origin_count, copy=False,
+        )
+        self._shared_fence(tgt)
+        alloc = tgt._resolve(tmem.mem_id)
+        swap = self.mem.space.endianness != tmem.endianness
+        if kind == "put" and not swap and target_dtype.is_contiguous:
+            tgt.mem.nic_write(alloc, target_disp, wire)
+        else:
+            for frag in fragment_layout(target_dtype, target_count, wire,
+                                        nbytes):
+                if kind == "put":
+                    apply_put_fragment(tgt.mem, alloc, target_disp, frag,
+                                       swap)
+                else:
+                    apply_accumulate(
+                        tgt.mem, alloc, target_disp, frag, swap,
+                        extra["np_elem"], extra["acc_op"],
+                        extra["acc_scale"], tgt.mem.space.np_byteorder,
+                    )
+        self.stats["shm_ops"] += 1
+        self.stats["shm_bytes"] += nbytes
+        if self.tracer is not None and self.tracer.enabled:
+            if nbytes <= 16:
+                self.tracer.record(
+                    self.sim.now, "consistency", "write", rank=self.rank,
+                    location=(tmem.rank, tmem.mem_id, target_disp),
+                    value=tuple(wire.tolist()),
+                )
+            self.tracer.record(self.sim.now, "rma", f"{kind}_shm",
+                               rank=self.rank, dst=tmem.rank, bytes=nbytes)
+        return rec
+
+    def _shared_get(self, origin_alloc, origin_offset, origin_count,
+                    origin_dtype, tmem, target_disp, target_count,
+                    target_dtype, nbytes, tgt):
+        """Read a co-located shared window by direct load."""
+        from repro.datatypes.pack import unpack, unpack_swapped
+
+        yield self.sim.timeout(
+            self.timings.call_overhead
+            + nbytes * self.timings.mem_copy_per_byte
+        )
+        ev = Event(self.sim).succeed()
+        if nbytes == 0:
+            return ev
+        self._shared_fence(tgt)
+        alloc = tgt._resolve(tmem.mem_id)
+        data = read_layout(tgt.mem, alloc, target_disp, target_dtype,
+                           target_count)
+        buf = self.mem.space.buffer(origin_alloc)
+        if self.mem.space.endianness != tmem.endianness:
+            unpack_swapped(data, buf, origin_offset, origin_dtype,
+                           origin_count, scratch=self._scratch(data.size))
+        else:
+            unpack(data, buf, origin_offset, origin_dtype, origin_count)
+        self.stats["shm_ops"] += 1
+        self.stats["shm_bytes"] += nbytes
+        if self.tracer is not None and self.tracer.enabled:
+            if nbytes <= 16:
+                self.tracer.record(
+                    self.sim.now, "consistency", "read", rank=self.rank,
+                    location=(tmem.rank, tmem.mem_id, target_disp),
+                    value=tuple(data.tolist()),
+                )
+            self.tracer.record(self.sim.now, "rma", "get_shm",
+                               rank=self.rank, dst=tmem.rank, bytes=nbytes)
+        return ev
+
+    def _shared_getacc(self, origin_alloc, origin_offset, origin_count,
+                       origin_dtype, tmem, target_disp, target_count,
+                       target_dtype, op, scale, nbytes, tgt):
+        """Fetch-and-op on a co-located shared window.  Application at
+        a single simulated instant is trivially atomic — no serializer
+        round trip, exactly the shared-memory-window win the MPI-3
+        discussions promised for on-node neighbors."""
+        from repro.datatypes.pack import pack, unpack, unpack_swapped
+
+        yield self.sim.timeout(
+            self.timings.call_overhead
+            + nbytes * (self.timings.mem_copy_per_byte
+                        + self.timings.accumulate_per_byte)
+        )
+        ev = Event(self.sim).succeed()
+        if nbytes == 0:
+            return ev
+        wire = pack(
+            self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
+            origin_count, copy=False,
+        )
+        self._shared_fence(tgt)
+        alloc = tgt._resolve(tmem.mem_id)
+        old = read_layout(tgt.mem, alloc, target_disp, target_dtype,
+                          target_count)
+        swap = self.mem.space.endianness != tmem.endianness
+        for frag in fragment_layout(target_dtype, target_count, wire, nbytes):
+            apply_accumulate(tgt.mem, alloc, target_disp, frag, swap,
+                             target_dtype.elem_np, op, scale,
+                             tgt.mem.space.np_byteorder)
+        buf = self.mem.space.buffer(origin_alloc)
+        if swap:
+            unpack_swapped(old, buf, origin_offset, origin_dtype,
+                           origin_count, scratch=self._scratch(old.size))
+        else:
+            unpack(old, buf, origin_offset, origin_dtype, origin_count)
+        self.stats["shm_ops"] += 1
+        self.stats["shm_bytes"] += nbytes
+        if self.tracer is not None and self.tracer.enabled:
+            if nbytes <= 16:
+                self.tracer.record(
+                    self.sim.now, "consistency", "read", rank=self.rank,
+                    location=(tmem.rank, tmem.mem_id, target_disp),
+                    value=tuple(old.tolist()),
+                )
+            self.tracer.record(self.sim.now, "rma", "getacc_shm",
+                               rank=self.rank, dst=tmem.rank, bytes=nbytes)
+        return ev
+
+    def _shared_rmw(self, tmem, target_disp, np_elem, op, operand, compare,
+                    tgt):
+        """CAS / fetch-add / swap on a co-located shared window: a CPU
+        atomic instruction on shared memory, one lock-op charge."""
+        yield self.sim.timeout(
+            self.timings.call_overhead + self.timings.lock_op
+        )
+        self._shared_fence(tgt)
+        alloc = tgt._resolve(tmem.mem_id)
+        np_dt = np.dtype(np_elem).newbyteorder(tgt.mem.space.np_byteorder)
+        disp = target_disp
+        raw = tgt.mem.nic_read(alloc, disp, np_dt.itemsize)
+        old = raw.view(np_dt)[0]
+        if op == "fetch_add":
+            new = old + np_dt.type(operand)
+        elif op == "swap":
+            new = np_dt.type(operand)
+        else:  # cas — op validated at issue
+            new = (np_dt.type(operand)
+                   if old == np_dt.type(compare) else old)
+        tgt.mem.nic_write(alloc, disp,
+                          np.array([new], dtype=np_dt).view(np.uint8))
+        self.stats["shm_ops"] += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(self.sim.now, "rma", "rmw_shm",
+                               rank=self.rank, dst=tmem.rank,
+                               bytes=np_dt.itemsize)
+        return Event(self.sim).succeed(old.item())
+
     def _issue_write(
         self, kind, origin_alloc, origin_offset, origin_count, origin_dtype,
         tmem, target_disp, target_count, target_dtype, attrs, extra,
@@ -898,6 +1158,13 @@ class RmaEngine:
             peer.broken = True
             peer.outstanding.append(rec)
             return rec
+        tgt = self._shared_target(tmem, dst, attrs)
+        if tgt is not None:
+            return (yield from self._shared_write(
+                kind, origin_alloc, origin_offset, origin_count,
+                origin_dtype, tmem, target_disp, target_count, target_dtype,
+                attrs, extra, nbytes, tgt,
+            ))
         pack_cost = (
             0.0
             if origin_dtype.is_contiguous
@@ -1044,6 +1311,15 @@ class RmaEngine:
             return Event(self.sim).succeed(
                 self._path_error(dst, "get", attrs)
             )
+        tgt = self._shared_target(tmem, dst, attrs)
+        if tgt is not None:
+            ev_done = yield from self._shared_get(
+                origin_alloc, origin_offset, origin_count, origin_dtype,
+                tmem, target_disp, target_count, target_dtype, nbytes, tgt,
+            )
+            self.stats["gets"] += 1
+            self.stats["bytes_got"] += nbytes
+            return ev_done
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send
         )
@@ -1147,6 +1423,16 @@ class RmaEngine:
             return Event(self.sim).succeed(
                 self._path_error(dst, "getacc")
             )
+        tgt = self._shared_target(tmem, dst, None)
+        if tgt is not None:
+            ev_done = yield from self._shared_getacc(
+                origin_alloc, origin_offset, origin_count, origin_dtype,
+                tmem, target_disp, target_count, target_dtype, op, scale,
+                nbytes, tgt,
+            )
+            self.stats["accumulates"] += 1
+            self.stats["gets"] += 1
+            return ev_done
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send
         )
@@ -1249,6 +1535,13 @@ class RmaEngine:
             return Event(self.sim).succeed(
                 self._path_error(dst, "rmw", attrs)
             )
+        tgt = self._shared_target(tmem, dst, attrs)
+        if tgt is not None:
+            ev = yield from self._shared_rmw(
+                tmem, target_disp, np_elem, op, operand, compare, tgt,
+            )
+            self.stats["rmws"] += 1
+            return ev
         yield self.sim.timeout(
             self.timings.call_overhead + self.network.overhead_send
         )

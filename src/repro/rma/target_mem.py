@@ -157,6 +157,15 @@ class TargetMem:
         non-coherent target (NEC SX style) must be involved in making
         deposited data visible, so completion is application-time, not
         delivery-time (paper §III-B2).
+    shared:
+        The exposure was created as a *shared-memory window*
+        (``MPI_Win_allocate_shared`` flavor): origins co-located on the
+        owner's node may access it by direct load/store through the
+        node's cache model instead of the NIC.  Only ever True on a
+        coherent owner — a non-coherent node cannot offer load/store
+        sharing, so the request degrades to a plain exposure at
+        :meth:`~repro.rma.engine.RmaEngine.expose`.  Off-node origins
+        ignore the flag entirely.
     """
 
     rank: int
@@ -165,6 +174,24 @@ class TargetMem:
     pointer_bits: int
     endianness: str
     coherent: bool = True
+    shared: bool = False
+
+    def __getstate__(self):
+        # Wire compatibility: descriptors travel in messages whose
+        # simulated size is their pickle size, and the perf baselines
+        # were recorded before the shared flavor existed.  A plain
+        # (shared=False) descriptor must therefore pickle to the exact
+        # same bytes as it always did — drop the field and let
+        # __setstate__ default it.
+        state = dict(self.__dict__)
+        if not state.get("shared"):
+            state.pop("shared", None)
+        return state
+
+    def __setstate__(self, state):
+        state.setdefault("shared", False)
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
     def check_access(self, disp: int, nbytes_lo: int, nbytes_hi: int) -> None:
         """Validate a byte range ``[disp+lo, disp+hi)`` against the

@@ -105,6 +105,14 @@ class OpTrain:
     def done(self) -> bool:
         return self._next >= len(self._elements)
 
+    @property
+    def next_time(self) -> Optional[float]:
+        """Analytic arrival of the earliest unapplied element, or
+        ``None`` when the train is drained."""
+        if self._next >= len(self._elements):
+            return None
+        return self._elements[self._next].apply_time
+
     def append(self, elem: TrainElement) -> None:
         self._elements.append(elem)
 
@@ -149,9 +157,17 @@ class OpTrain:
         batch = elements[self._next:end]
         self._next = end
         nbatch = len(batch)
+        # A train riding a same-node path carries the same packets the
+        # per-packet path would have: keep the intra-node stat honest —
+        # one count per fragment, exactly like Fabric.transmit[_burst].
+        intra = (fabric.intra_config is not None
+                 and fabric.config_for(self.src, self.dst)
+                 is fabric.intra_config)
         for i, elem in enumerate(batch):
             fabric.packets_delivered += elem.nfrags
             fabric.bytes_delivered += elem.total_wire
+            if intra:
+                fabric.intra_node_packets += elem.nfrags
             alloc = eng._resolve(elem.mem_id)
             if elem.kind == "put":
                 if (i + 1 < nbatch

@@ -1,0 +1,94 @@
+"""The open-loop sharded-store serving scenario."""
+
+import pytest
+
+from repro.bench.store import (
+    OP_CLASSES,
+    STORE_FABRICS,
+    fabric_network,
+    format_store_table,
+    run_store_report,
+    sharded_store_run,
+)
+
+
+def small_run(**kw):
+    kw.setdefault("n_nodes", 2)
+    kw.setdefault("ranks_per_node", 2)
+    kw.setdefault("ops_per_rank", 25)
+    kw.setdefault("n_keys", 64)
+    return sharded_store_run(**kw)
+
+
+class TestShardedStoreRun:
+    def test_counts_and_identities(self):
+        doc = small_run(seed=3)
+        assert doc["ops"] == 100
+        assert sum(doc["per_class"].values()) == doc["ops"]
+        assert doc["local_ops"] + doc["remote_ops"] == doc["ops"]
+        # every key-local request moved by load/store
+        assert doc["shm_ops"] == doc["local_ops"]
+        assert doc["local_ops"] > 0
+        assert sum(c["count"] for c in doc["classes"].values()) == doc["ops"]
+        for cls in OP_CLASSES:
+            c = doc["classes"][cls]
+            assert c["count"] == doc["per_class"][cls]
+            if c["count"]:
+                assert 0.0 < c["p50"] <= c["p99"] <= c["max"] or c["max"] == 0.0
+
+    def test_full_scale_meets_op_floor(self):
+        """The acceptance floor: at least 10x hotspot_incast's 210 ops."""
+        doc = sharded_store_run(fabric="flat", seed=0)
+        assert doc["ops"] == 2400
+        assert doc["ops"] >= 2100
+        assert doc["n_ranks"] == 16
+
+    def test_deterministic_across_reruns(self):
+        a = small_run(seed=11)
+        b = small_run(seed=11)
+        assert a == b
+
+    def test_seed_changes_traffic(self):
+        a = small_run(seed=1)
+        b = small_run(seed=2)
+        assert a["per_class"] != b["per_class"] or a["classes"] != b["classes"]
+
+    def test_fabrics_resolve(self):
+        for fabric in STORE_FABRICS:
+            assert fabric_network(fabric).name
+        with pytest.raises(ValueError):
+            fabric_network("warp-drive")
+
+    def test_routed_fabric_runs(self):
+        doc = small_run(fabric="torus", seed=0)
+        assert doc["ops"] == 100
+        assert doc["shm_ops"] == doc["local_ops"]
+
+    def test_zipf_skews_toward_hot_keys(self):
+        """With s=1.2 over 64 keys, the head of the keyspace must absorb
+        visibly more traffic than a uniform draw would give it."""
+        from repro.bench.store import _zipf_cdf
+
+        cdf = _zipf_cdf(64, 1.2)
+        head_mass = cdf[7] / cdf[-1]     # first 8 of 64 keys
+        assert head_mass > 0.5
+
+
+class TestStoreReport:
+    def test_report_rows_and_table(self):
+        doc = run_store_report(fabrics=("flat",), seeds=(0, 1),
+                               ops_per_rank=10, n_keys=32)
+        assert len(doc["rows"]) == 2
+        table = format_store_table(doc)
+        lines = table.splitlines()
+        assert "fabric" in lines[0] and "p99_us" in lines[0]
+        # one row per (run, op class)
+        assert len(lines) == 2 + 2 * len(OP_CLASSES)
+
+    def test_report_cli_quick(self, capsys):
+        from repro.obs.report import main
+
+        assert main(["--store", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded store" in out
+        assert "key-local by load/store" in out

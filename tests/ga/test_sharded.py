@@ -1,0 +1,213 @@
+"""The team-sharded key-value store."""
+
+import numpy as np
+import pytest
+
+from repro.ga import GaError, PLACEMENTS, ShardedStore
+from repro.ga.sharded import _block, _cyclic, _hashed
+from repro.machine import MachineConfig, generic_cluster
+from repro.pgas import Team
+from repro.runtime import World
+
+
+def two_by_two():
+    return MachineConfig(n_nodes=2, ranks_per_node=2)
+
+
+class TestPlacement:
+    def test_block_covers_keyspace_contiguously(self):
+        owners = [_block(k, 10, 4) for k in range(10)]
+        assert owners == [0, 0, 0, 1, 1, 1, 2, 2, 3, 3]
+
+    def test_cyclic_round_robins(self):
+        assert [_cyclic(k, 8, 3) for k in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_hashed_is_deterministic_and_spreads(self):
+        owners = [_hashed(k, 64, 4) for k in range(64)]
+        assert owners == [_hashed(k, 64, 4) for k in range(64)]
+        assert len(set(owners)) == 4
+
+    def test_every_builtin_covers_all_keys(self):
+        for name in PLACEMENTS:
+            w = World(machine=generic_cluster(n_nodes=4))
+
+            def program(ctx, name=name):
+                team = Team.world(ctx)
+                store = yield from ShardedStore.create(
+                    team, 32, placement=name)
+                owners = [store.owner_of(k) for k in range(32)]
+                yield from store.destroy()
+                return owners
+
+            out = w.run(program)
+            assert out[0] == out[3]
+            assert all(0 <= u < 4 for u in out[0])
+
+    def test_custom_callable_placement(self):
+        w = World(machine=generic_cluster(n_nodes=2))
+
+        def everything_on_unit_1(key, n_units):
+            return 1
+
+        def program(ctx):
+            team = Team.world(ctx)
+            store = yield from ShardedStore.create(
+                team, 8, placement=everything_on_unit_1)
+            owners = {store.owner_of(k) for k in range(8)}
+            name = store.placement
+            yield from store.destroy()
+            return owners, name
+
+        out = w.run(program)
+        assert out[0] == ({1}, "everything_on_unit_1")
+
+    def test_bad_placement_rejected(self):
+        w = World(machine=generic_cluster(n_nodes=2))
+
+        def program(ctx):
+            team = Team.world(ctx)
+            errs = []
+            try:
+                yield from ShardedStore.create(team, 8, placement="nope")
+            except GaError:
+                errs.append("name")
+            try:
+                yield from ShardedStore.create(
+                    team, 8, placement=lambda k, n: n + 1)
+            except GaError:
+                errs.append("range")
+            return errs
+
+        assert w.run(program) == [["name", "range"], ["name", "range"]]
+
+
+class TestStoreOps:
+    def test_put_get_add_fetch_add(self):
+        w = World(machine=generic_cluster(n_nodes=4))
+
+        def program(ctx):
+            team = Team.world(ctx)
+            store = yield from ShardedStore.create(team, 16,
+                                                   placement="block")
+            results = {}
+            if team.myid == 0:
+                yield from store.put(9, 100)
+                results["get"] = yield from store.get(9)
+                yield from store.add(9, 5)
+                results["old"] = yield from store.fetch_add(9, 2)
+            yield from store.sync()
+            owner = store.owner_of(9)
+            if team.myid == owner:
+                results["shard"] = store.local_values().tolist()
+            yield from store.destroy()
+            return results
+
+        out = w.run(program)
+        assert out[0]["get"] == 100
+        assert out[0]["old"] == 105
+        owner = 2  # block placement: keys 8..11 on unit 2
+        assert 107 in out[owner]["shard"]
+
+    def test_concurrent_adds_never_lose_increments(self):
+        w = World(machine=generic_cluster(n_nodes=4))
+
+        def program(ctx):
+            team = Team.world(ctx)
+            store = yield from ShardedStore.create(team, 4,
+                                                   placement="cyclic")
+            for _ in range(5):
+                yield from store.add(2, 1)
+            yield from store.sync()
+            val = None
+            if team.myid == store.owner_of(2):
+                val = int(store.local_values()[store._slots[2]])
+            yield from store.destroy()
+            return val
+
+        out = w.run(program)
+        assert out[2] == 20  # 4 units x 5 adds
+
+    def test_key_bounds_checked(self):
+        w = World(machine=generic_cluster(n_nodes=2))
+
+        def program(ctx):
+            team = Team.world(ctx)
+            store = yield from ShardedStore.create(team, 8)
+            try:
+                yield from store.get(8)
+            except GaError:
+                return True
+            finally:
+                yield from store.destroy()
+            return False
+
+        assert w.run(program) == [True, True]
+
+    def test_float_store_rejects_fetch_add(self):
+        w = World(machine=generic_cluster(n_nodes=2))
+
+        def program(ctx):
+            team = Team.world(ctx)
+            store = yield from ShardedStore.create(team, 4, dtype="float64")
+            yield from store.put(1, 2.5)
+            got = yield from store.get(1)
+            try:
+                yield from store.fetch_add(1, 1)
+            except GaError:
+                got = (got, "rejected")
+            yield from store.destroy()
+            return got
+
+        out = w.run(program)
+        assert out[0] == (2.5, "rejected")
+        assert out[1] == (2.5, "rejected")
+
+
+class TestStoreLocality:
+    def test_colocated_requests_move_no_packets(self):
+        """Requests for keys owned by the node partner go by load/store:
+        zero NIC packets from issue to completion."""
+        w = World(machine=two_by_two())
+
+        def program(ctx):
+            team = Team.world(ctx)
+            store = yield from ShardedStore.create(team, 16,
+                                                   placement="block")
+            yield from ctx.comm.barrier()
+            partner = ctx.rank ^ 1
+            local_keys = [k for k in range(16)
+                          if store.owner_of(k) == partner]
+            delta = None
+            if ctx.rank == 0:
+                before = ctx.rma.engine.nic.packets_sent
+                for k in local_keys:
+                    assert store.is_local(k)
+                    yield from store.put(k, k * 2)
+                    got = yield from store.get(k)
+                    assert got == k * 2
+                delta = ctx.rma.engine.nic.packets_sent - before
+            yield from store.destroy()
+            return delta, len(local_keys)
+
+        out = w.run(program)
+        assert out[0] == (0, 4)
+        assert w.contexts[0].rma.engine.stats["shm_ops"] == 8
+
+    def test_cross_node_requests_use_nic(self):
+        w = World(machine=two_by_two())
+
+        def program(ctx):
+            team = Team.world(ctx)
+            store = yield from ShardedStore.create(team, 16,
+                                                   placement="block")
+            yield from ctx.comm.barrier()
+            if ctx.rank == 0:
+                remote_key = next(k for k in range(16)
+                                  if not store.is_local(k))
+                before = ctx.rma.engine.nic.packets_sent
+                yield from store.put(remote_key, 1)
+                assert ctx.rma.engine.nic.packets_sent > before
+            yield from store.destroy()
+
+        w.run(program)
+        assert w.contexts[0].rma.engine.stats["shm_ops"] == 0

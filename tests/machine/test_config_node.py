@@ -48,6 +48,37 @@ class TestMachineConfig:
         with pytest.raises(ValueError):
             MachineConfig(nodes=[])
 
+    def test_rejects_more_node_configs_than_nodes(self):
+        # A short list replicates, but a longer one describes nodes that
+        # do not exist — silently dropping the tail hid real mismatches.
+        with pytest.raises(ValueError, match="NodeConfig entries"):
+            MachineConfig(n_nodes=2, nodes=[NodeConfig()] * 3)
+        # The boundary case (exactly n_nodes entries) stays legal.
+        MachineConfig(n_nodes=3, nodes=[NodeConfig()] * 3)
+
+    def test_rejects_placement_map_size_mismatch(self, monkeypatch):
+        import repro.machine.config as config_mod
+
+        monkeypatch.setattr(config_mod, "placement_map",
+                            lambda *a, **k: (0, 0, 0))
+        with pytest.raises(ValueError, match="placement map covers"):
+            MachineConfig(n_nodes=2, ranks_per_node=2)
+
+    def test_rejects_placement_map_bad_node(self, monkeypatch):
+        import repro.machine.config as config_mod
+
+        monkeypatch.setattr(config_mod, "placement_map",
+                            lambda *a, **k: (0, 5))
+        with pytest.raises(ValueError, match="outside"):
+            MachineConfig(n_nodes=2, ranks_per_node=1)
+
+    def test_every_placement_covers_all_ranks(self):
+        for strategy in ("block", "round_robin", "random"):
+            cfg = MachineConfig(n_nodes=3, ranks_per_node=2,
+                                placement=strategy, placement_seed=7)
+            nodes = [cfg.node_of_rank(r) for r in range(cfg.n_ranks)]
+            assert sorted(nodes) == [0, 0, 1, 1, 2, 2]
+
     def test_with_nodes(self):
         cfg = generic_cluster(4).with_nodes(16)
         assert cfg.n_nodes == 16

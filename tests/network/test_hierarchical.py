@@ -63,6 +63,60 @@ class TestIntraNodePath:
         w = World(machine=machine, intra_node_network=custom)
         assert w.fabric.intra_config.latency == 0.01
 
+    def test_intra_count_invariant_across_modes(self, monkeypatch):
+        """One same-node transfer is counted once whether it rides the
+        per-packet path, a NIC burst, or an analytic op-train."""
+        from repro.machine import MachineConfig
+        from repro.network.nic import Nic
+        from repro.rma.engine import RmaEngine
+
+        def traffic(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(512)
+            if ctx.rank == 0:
+                src = ctx.mem.space.alloc(256)
+                for _ in range(4):
+                    yield from ctx.rma.put(src, 0, 256, BYTE, tmems[1],
+                                           0, 256, BYTE)
+                yield from ctx.rma.complete(1)
+            yield from ctx.comm.barrier()
+
+        def count(train, burst):
+            monkeypatch.setattr(RmaEngine, "train_enabled", train)
+            monkeypatch.setattr(Nic, "burst_enabled", burst)
+            w = World(machine=MachineConfig(n_nodes=2, ranks_per_node=2))
+            w.run(traffic)
+            return w.fabric.intra_node_packets
+
+        with_train = count(train=True, burst=True)
+        with_burst = count(train=False, burst=True)
+        per_packet = count(train=False, burst=False)
+        assert with_train == with_burst == per_packet
+        assert per_packet > 0
+
+    def test_injector_dropped_intra_packet_not_counted(self):
+        """The faulty path must not count a same-node packet the
+        injector drops (it was counted before the drop decision)."""
+        from types import SimpleNamespace
+
+        from repro.machine import MachineConfig
+        from repro.network.packet import Packet
+
+        w = World(machine=MachineConfig(n_nodes=1, ranks_per_node=2))
+        fate = SimpleNamespace(drop=True, corrupt=False, extra_delay=0.0,
+                               duplicate=False)
+        w.fabric._injector = SimpleNamespace(fate=lambda p, now: fate)
+        w.fabric._faulty = True
+
+        def pkt():
+            return Packet(src=0, dst=1, kind="test", payload={},
+                          data_bytes=8)
+
+        w.fabric.transmit(pkt())
+        assert w.fabric.intra_node_packets == 0
+        fate.drop = False
+        w.fabric.transmit(pkt())
+        assert w.fabric.intra_node_packets == 1
+
     def test_correctness_unchanged_across_the_boundary(self):
         """Data lands intact whether or not it crossed a node."""
         machine = nec_sx9(n_nodes=2, ranks_per_node=2)

@@ -33,6 +33,26 @@ class TestGauge:
         g.add(-2)
         assert g.value == 5
 
+    def test_values_normalized_to_float(self):
+        # set()/add() accept ints on some call sites and floats on
+        # others; without normalization two runs of different code paths
+        # snapshot `3` vs `3.0` and byte-identical comparison breaks.
+        g = Gauge("depth")
+        g.set(3)
+        assert isinstance(g.value, float)
+        g.add(2)
+        assert isinstance(g.value, float)
+        assert g.value == 5.0
+
+    def test_snapshot_determinism_across_int_float_paths(self):
+        def build(via_int):
+            reg = MetricsRegistry()
+            reg.gauge("nic.packets").set(3 if via_int else 3.0)
+            reg.gauge("depth").add(2 if via_int else 2.0)
+            return json.dumps(reg.snapshot(), sort_keys=True)
+
+        assert build(True) == build(False)
+
 
 class TestBucketIndex:
     @pytest.mark.parametrize("value, idx", [
@@ -51,6 +71,14 @@ class TestBucketIndex:
         assert value <= 2.0 ** idx
         assert value > 2.0 ** (idx - 1)
 
+    @pytest.mark.parametrize("value", [0.0, 0, -1.0, -0.0])
+    def test_non_positive_raises(self, value):
+        # Regression: math.frexp(0.0) == (0.0, 0), so bucket_index(0)
+        # used to silently return 0 — the (0.5, 1] bucket — instead of
+        # signalling underflow.
+        with pytest.raises(ValueError):
+            bucket_index(value)
+
 
 class TestHistogram:
     def test_stats_and_buckets(self):
@@ -66,6 +94,26 @@ class TestHistogram:
 
     def test_mean_of_empty_is_zero(self):
         assert Histogram("x").mean == 0.0
+
+    def test_zero_and_negative_observations_stay_out_of_log_buckets(self):
+        # Regression: zero-length durations (intra-node shared-window
+        # ops, analytic-train completions) must land in the dedicated
+        # zero bucket, never in bucket 0 = (0.5, 1].
+        h = Histogram("lat")
+        h.observe(0.0)
+        h.observe(-2.5)
+        h.observe(0)
+        assert h.zero_count == 3
+        assert h.count == 3
+        assert h.buckets() == [(0.0, 3)]
+        # And the percentile of an all-zero histogram is zero, not 1.0.
+        assert h.quantile(0.99) == 0.0
+
+    def test_int_observations_snapshot_like_floats(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        a.observe(3)
+        b.observe(3.0)
+        assert json.dumps(a.snapshot()) == json.dumps(b.snapshot())
 
     def test_snapshot_is_json_able(self):
         h = Histogram("lat")

@@ -1,0 +1,260 @@
+"""Shared-memory windows: co-located load/store bypasses the NIC."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import BYTE
+from repro.machine import MachineConfig, generic_cluster, nec_sx9
+from repro.rma.engine import RmaEngine
+from repro.runtime import World
+
+
+def two_by_two():
+    return MachineConfig(n_nodes=2, ranks_per_node=2)
+
+
+class TestSharedEligibility:
+    def test_expose_marks_shared_on_coherent_node(self):
+        w = World(machine=generic_cluster(1))
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(
+                64, shared=True)
+            return tmems[0].shared
+
+        assert w.run(program) == [True]
+
+    def test_noncoherent_owner_degrades_to_plain_exposure(self):
+        w = World(machine=nec_sx9(n_nodes=1, ranks_per_node=2))
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(
+                64, shared=True)
+            return tmems[ctx.rank].shared
+
+        assert w.run(program) == [False, False]
+
+    def test_plain_exposure_not_shared(self):
+        w = World(machine=generic_cluster(1))
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(64)
+            return tmems[0].shared
+
+        assert w.run(program) == [False]
+
+
+class TestSharedDataMovement:
+    def _put_get_program(self, ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(64, shared=True)
+        nic = ctx.rma.engine.nic
+        delta = None
+        if ctx.rank == 0:
+            before = nic.packets_sent
+            src = ctx.mem.space.alloc(16)
+            ctx.mem.store(src, 0, np.arange(16, dtype=np.uint8))
+            yield from ctx.rma.put(src, 0, 16, BYTE, tmems[1], 0, 16, BYTE,
+                                   blocking=True, remote_completion=True)
+            back = ctx.mem.space.alloc(16)
+            yield from ctx.rma.get(back, 0, 16, BYTE, tmems[1], 0, 16, BYTE,
+                                   blocking=True)
+            got = ctx.mem.load(back, 0, 16).tolist()
+            delta = nic.packets_sent - before
+        else:
+            got = None
+        yield from ctx.comm.barrier()
+        mine = ctx.mem.load(alloc, 0, 16).tolist()
+        return got, mine, delta
+
+    def test_colocated_put_get_moves_no_packets(self):
+        w = World(machine=two_by_two())
+        out = w.run(self._put_get_program)
+        assert out[0][0] == list(range(16))
+        assert out[1][1] == list(range(16))
+        # The whole exchange stayed on-node as load/store: rank 0's NIC
+        # injected nothing between issue and blocking completion.
+        assert out[0][2] == 0
+        eng = w.contexts[0].rma.engine
+        assert eng.stats["shm_ops"] == 2
+        assert eng.stats["shm_bytes"] == 32
+        assert eng.stats["puts"] == 1 and eng.stats["gets"] == 1
+
+    def test_off_node_traffic_keeps_remote_path(self):
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(
+                64, shared=True)
+            if ctx.rank == 0:
+                src = ctx.mem.space.alloc(16)
+                ctx.mem.store(src, 0, np.full(16, 7, dtype=np.uint8))
+                yield from ctx.rma.put(src, 0, 16, BYTE, tmems[2], 0, 16,
+                                       BYTE, blocking=True,
+                                       remote_completion=True)
+            yield from ctx.comm.barrier()
+            return ctx.mem.load(alloc, 0, 16).tolist()
+
+        w = World(machine=two_by_two())
+        out = w.run(program)
+        assert out[2] == [7] * 16
+        eng = w.contexts[0].rma.engine
+        assert eng.stats["shm_ops"] == 0
+        assert w.nics[0].packets_sent > 0
+
+    def test_accumulate_getacc_rmw_on_shared_window(self):
+        def program(ctx):
+            from repro.datatypes import INT64
+
+            alloc, tmems = yield from ctx.rma.expose_collective(
+                64, shared=True)
+            ctx.mem.store(alloc, 0,
+                          np.array([10], dtype=np.int64).view(np.uint8))
+            yield from ctx.comm.barrier()
+            nic = ctx.rma.engine.nic
+            results = {}
+            if ctx.rank == 0:
+                before = nic.packets_sent
+                src = ctx.mem.space.alloc(8)
+                ctx.mem.store(src, 0,
+                              np.array([5], dtype=np.int64).view(np.uint8))
+                yield from ctx.rma.accumulate(
+                    src, 0, 1, INT64, tmems[1], 0, 1, INT64, op="sum",
+                    blocking=True, remote_completion=True)
+                old = yield from ctx.rma.fetch_and_add(
+                    tmems[1], 0, "int64", 3)
+                results["fadd_old"] = int(old)
+                fetch = ctx.mem.space.alloc(8)
+                ctx.mem.store(fetch, 0,
+                              np.array([0], dtype=np.int64).view(np.uint8))
+                yield from ctx.rma.get_accumulate(
+                    fetch, 0, 1, INT64, tmems[1], 0, 1, INT64, op="sum")
+                results["getacc_old"] = int(
+                    ctx.mem.load(fetch, 0, 8).view(np.int64)[0])
+                results["pkt_delta"] = nic.packets_sent - before
+            yield from ctx.comm.barrier()
+            ctx.mem.fence()
+            results["final"] = int(ctx.mem.load(alloc, 0, 8).view(np.int64)[0])
+            return results
+
+        w = World(machine=MachineConfig(n_nodes=1, ranks_per_node=2))
+        out = w.run(program)
+        assert out[0]["fadd_old"] == 15          # 10 + 5
+        assert out[0]["getacc_old"] == 18        # after fetch_add(3)
+        assert out[1]["final"] == 18             # +0 from the getacc
+        assert out[0]["pkt_delta"] == 0
+
+    def test_ordering_after_remote_traffic_falls_back(self):
+        """A shared op that must order behind sequenced remote traffic
+        takes the remote path (it owns no sequence number)."""
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(
+                64, shared=False)   # plain window: remote path first
+            shared_alloc, shared_tmems = yield from ctx.rma.expose_collective(
+                64, shared=True)
+            if ctx.rank == 0:
+                src = ctx.mem.space.alloc(8)
+                yield from ctx.rma.put(src, 0, 8, BYTE, tmems[1], 0, 8, BYTE)
+                yield from ctx.rma.put(src, 0, 8, BYTE, shared_tmems[1],
+                                       8, 8, BYTE, ordering=True)
+                yield from ctx.rma.complete(1)
+            yield from ctx.comm.barrier()
+
+        w = World(machine=MachineConfig(n_nodes=1, ranks_per_node=2))
+        w.run(program)
+        eng = w.contexts[0].rma.engine
+        # the ordered shared put fell back: both ops went remote
+        assert eng.stats["shm_ops"] == 0
+
+    def test_shared_default_forces_flavor_for_plain_windows(self, monkeypatch):
+        monkeypatch.setattr(RmaEngine, "shared_default", True)
+        w = World(machine=two_by_two())
+        out = w.run(self._put_get_program)
+        assert out[0][0] == list(range(16))
+        assert w.contexts[0].rma.engine.stats["shm_ops"] == 2
+
+
+class TestRemotePathBitIdentity:
+    def _remote_program(self, ctx):
+        alloc, tmems = yield from ctx.rma.expose_collective(256)
+        t0 = ctx.sim.now
+        if ctx.rank == 0:
+            src = ctx.mem.space.alloc(128)
+            for i in range(4):
+                yield from ctx.rma.put(src, 0, 128, BYTE, tmems[1], 0, 128,
+                                       BYTE)
+            yield from ctx.rma.complete(1)
+        yield from ctx.comm.barrier()
+        return ctx.sim.now - t0
+
+    def test_one_rank_per_node_timestamps_unchanged(self, monkeypatch):
+        """``shared_default`` on a machine with no co-located pairs must
+        leave every simulated timestamp bit-identical — the eligibility
+        gate fires before any state is touched."""
+        base = World(n_ranks=2).run(self._remote_program)
+        monkeypatch.setattr(RmaEngine, "shared_default", True)
+        on = World(n_ranks=2).run(self._remote_program)
+        assert base == on
+
+    def test_off_node_timestamps_unchanged_with_colocated_pairs(self,
+                                                                monkeypatch):
+        """On a machine *with* co-located pairs, flipping the global
+        shared flavor on must leave purely off-node traffic on exactly
+        the per-packet/train timeline (descriptors are unchanged — only
+        the engine-side toggle differs, like ``perf --shared-windows``)."""
+
+        def body(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(256)
+            if ctx.rank == 0:
+                src = ctx.mem.space.alloc(128)
+                for _ in range(4):
+                    yield from ctx.rma.put(src, 0, 128, BYTE, tmems[2],
+                                           0, 128, BYTE)
+                yield from ctx.rma.complete(2)
+            yield from ctx.comm.barrier()
+            return ctx.sim.now
+
+        a = World(machine=two_by_two()).run(body)
+        monkeypatch.setattr(RmaEngine, "shared_default", True)
+        b = World(machine=two_by_two()).run(body)
+        assert a == b
+
+
+class TestSkipFenceMutation:
+    def test_skipped_train_flush_reads_the_past(self):
+        """Directed reproducer for the planted ``shm_skip_fence`` bug:
+        an off-node op-train put has analytically arrived at rank 1;
+        a co-located shared get must flush it first.  The mutation
+        skips the flush and reads stale zeros."""
+
+        def program(ctx):
+            alloc, tmems = yield from ctx.rma.expose_collective(
+                64, shared=True)
+            if ctx.rank == 2:
+                src = ctx.mem.space.alloc(16)
+                ctx.mem.store(src, 0, np.full(16, 9, dtype=np.uint8))
+                yield from ctx.rma.put(src, 0, 16, BYTE, tmems[1], 0, 16,
+                                       BYTE)
+            got = None
+            if ctx.rank == 0:
+                # long after the train's analytic arrival at rank 1
+                yield ctx.sim.timeout(50.0)
+                back = ctx.mem.space.alloc(16)
+                yield from ctx.rma.get(back, 0, 16, BYTE, tmems[1], 0, 16,
+                                       BYTE, blocking=True)
+                got = ctx.mem.load(back, 0, 16).tolist()
+            else:
+                # keep the fabric quiet: a barrier packet delivered to
+                # rank 1 would materialize the train for free
+                yield ctx.sim.timeout(100.0)
+            yield from ctx.comm.barrier()
+            return got
+
+        def run(mutations):
+            w = World(machine=two_by_two())
+            for ctx in w.contexts.values():
+                ctx.rma.engine.conformance_mutations = mutations
+            return w.run(program)[0]
+
+        clean = run(frozenset())
+        assert clean == [9] * 16
+        mutated = run(frozenset({"shm_skip_fence"}))
+        assert mutated == [0] * 16
