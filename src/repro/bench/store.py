@@ -230,6 +230,8 @@ def run_store_report(
 
 def format_store_table(doc: Dict[str, Any]) -> str:
     """Per-run, per-class latency table as aligned text."""
+    from repro.obs.report import format_rows
+
     header = ["fabric", "seed", "op", "count", "p50_us", "p99_us",
               "mean_us", "max_us", "local", "remote", "shm_ops",
               "nic_pkts"]
@@ -244,12 +246,4 @@ def format_store_table(doc: Dict[str, Any]) -> str:
                 str(r["remote_ops"]), str(r["shm_ops"]),
                 str(r["nic_packets"]),
             ])
-    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
-    lines = []
-    for i, row in enumerate(rows):
-        lines.append("  ".join(
-            cell.ljust(widths[j]) if j in (0, 2) else cell.rjust(widths[j])
-            for j, cell in enumerate(row)))
-        if i == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
+    return format_rows(rows, left_align=(0, 2))

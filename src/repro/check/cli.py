@@ -5,6 +5,7 @@ Examples::
     python -m repro.check --seeds 0:100 --fabric all
     python -m repro.check --seeds time:60 --fabric ordered,torus --shrink
     python -m repro.check --seeds 50 --chaos 0.03
+    python -m repro.check --notify --seeds 0:25 --chaos 0.02
     python -m repro.check --replay check-fail-unordered-s7.json
 
 Exit status: 0 — every program conformed; 1 — at least one violation
@@ -97,9 +98,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "artifact.")
     parser.add_argument(
         "--replay", metavar="FILE.json",
-        help="re-execute a failing-program artifact and re-check it "
-             "(ignores --seeds/--fabric; durability artifacts replay "
-             "through the durability oracle).")
+        help="re-execute a failing-program artifact and re-check it. "
+             "The artifact's recorded configuration (fabric, seed, "
+             "chaos, mutations, shared machine shape) is restored "
+             "automatically — --seeds/--fabric/--chaos/--shared/"
+             "--mutate are ignored; durability artifacts replay "
+             "through the durability oracle.")
     parser.add_argument(
         "--durability", action="store_true",
         help="run the durable_kv workload instead of conformance "
@@ -119,6 +123,12 @@ def main(argv: Optional[List[str]] = None) -> int:
              "co-located ops take the load/store fast path under the "
              "consistency oracle.")
     parser.add_argument(
+        "--notify", action="store_true",
+        help="generate programs with the notified-RMA clause: puts "
+             "carrying notification matches, owner-side wait_notify + "
+             "load pairs, checked for payload-before-notify and "
+             "exactly-once board delivery.")
+    parser.add_argument(
         "--mutate", action="append", default=[],
         metavar="NAME",
         help="apply a test-only engine mutation (e.g. drop_order_barrier) "
@@ -133,8 +143,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         import json as _json
 
         with open(args.replay) as fh:
-            kind = _json.load(fh).get("kind")
-        if kind == "durable_kv":
+            doc = _json.load(fh)
+        if doc.get("kind") == "durable_kv":
             from repro.check.durability import replay_kv_artifact
 
             violations = replay_kv_artifact(args.replay)
@@ -146,6 +156,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"replay of {args.replay}: {len(violations)} "
                   f"violation(s) reproduced")
             return 1
+        if args.shared or args.chaos or args.mutate:
+            print("note: --shared/--chaos/--mutate are ignored during "
+                  "replay; the artifact's recorded configuration is "
+                  "restored instead")
+        restored = (f"fabric={doc.get('fabric')} seed={doc.get('seed')} "
+                    f"chaos={doc.get('chaos', 0.0)}")
+        if doc.get("shared"):
+            restored += " shared (paired machine, load/store windows)"
+        if doc.get("mutations"):
+            restored += f" mutations={doc['mutations']}"
+        print(f"replaying {args.replay} [{restored}]")
         report = replay_artifact(args.replay)
         for v in report.violations:
             print(f"  {v}")
@@ -186,7 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for seed in seeds:
         if time.monotonic() - started >= budget:
             break
-        program = generate_program(seed)
+        program = generate_program(seed, notify=args.notify)
         for fabric in fabrics:
             if time.monotonic() - started >= budget:
                 break
@@ -224,7 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.artifact_dir, f"check-fail-{fabric}-s{seed}.json")
             save_artifact(path, program_out, report_out,
                           chaos=args.chaos, mutations=mutations,
-                          shared=args.shared)
+                          shared=args.shared,
+                          extra={"notify": True} if args.notify else None)
             artifacts.append(path)
             print(f"  artifact: {path}")
             if failures >= args.max_failures:

@@ -69,10 +69,22 @@ def generate_program(
     strict: Optional[bool] = None,
     max_epochs: int = 3,
     ops_per_rank: int = 4,
+    notify: bool = False,
 ) -> RmaProgram:
     """Generate one random-but-valid program, deterministically from
     ``seed``.  ``n_ranks``/``strict`` override the random draws (used by
-    tests and the shrinker's re-runs)."""
+    tests and the shrinker's re-runs).
+
+    ``notify=True`` adds the notified-RMA clause: the epoch writer of a
+    data variable issues a put carrying a program-unique ``notify``
+    match, and the variable's *owner* parks in ``wait_notify`` for it,
+    then loads the slot — the litmus for "no notification before the
+    payload is visible".  Per epoch, the set of waiting ranks and the
+    set of notifying ranks are kept disjoint, so a wait chain always
+    has length one and the clause can never deadlock.  The flag is off
+    by default so existing seeds keep generating byte-identical
+    programs.
+    """
     rng = random.Random(seed * 2654435761 % (2**31))
     if n_ranks is None:
         n_ranks = rng.randint(2, 8)
@@ -103,6 +115,7 @@ def generate_program(
 
     n_epochs = rng.randint(1, max_epochs)
     fill = 0  # program-unique fill byte allocator (1..255)
+    match_id = 0  # program-unique notification match allocator
     ops: List[ProgOp] = []
 
     for epoch in range(n_epochs):
@@ -111,6 +124,12 @@ def generate_program(
             for v in data:
                 if not sticky[v.vid]:
                     writer[v.vid] = rng.randrange(n_ranks)
+
+        # Notified-RMA bookkeeping: ranks parked in wait_notify this
+        # epoch never notify, and vice versa — disjointness bounds every
+        # wait chain at length one (no deadlock by construction).
+        epoch_waiters: set = set()
+        epoch_notifiers: set = set()
 
         per_rank: Dict[int, List[ProgOp]] = {r: [] for r in range(n_ranks)}
         for rank in range(n_ranks):
@@ -129,6 +148,11 @@ def generate_program(
             for v in data:
                 if writer[v.vid] == rank and fill < 250:
                     actions += [("write", v)] * 3
+                    if notify and v.owner != rank:
+                        # Notified-RMA clause (see the docstring): a
+                        # notify-carrying put plus a wait/load pair at
+                        # the owner.
+                        actions += [("notify", v)] * 2
                 actions += [("read", v)] * 2
             for v in counters:
                 if v.owner != rank:
@@ -179,6 +203,45 @@ def generate_program(
                         attrs=_random_attrs(rng, strict),
                         via_xfer=kind == "put" and rng.random() < 0.25,
                     ))
+                elif action == "notify":
+                    owner = v.owner
+                    if (rank in epoch_waiters or owner in epoch_notifiers
+                            or fill >= 250):
+                        continue  # would break waiter/notifier disjointness
+                    epoch_notifiers.add(rank)
+                    epoch_waiters.add(owner)
+                    match_id += 1
+                    variant = rng.random()
+                    if variant < 0.35 and fill < 248:
+                        # Sequence-gated: an unordered lead-in put, then
+                        # the notified put with `ordering` — on a routed
+                        # fabric the notified put's application stalls
+                        # behind the straggler, the window where a
+                        # too-early notification is observable.
+                        fill += 1
+                        per_rank[rank].append(ProgOp(
+                            rank=rank, kind="put", var=v.vid, value=fill))
+                        attrs = ("ordering",)
+                    elif variant < 0.7:
+                        # Serializer-staged: atomicity detours the apply
+                        # through the target serializer, splitting
+                        # arrival from application.
+                        attrs = tuple(sorted(
+                            set(_random_attrs(rng, strict)) | {"atomicity"}))
+                    else:
+                        attrs = _random_attrs(rng, strict)
+                    fill += 1
+                    per_rank[rank].append(ProgOp(
+                        rank=rank, kind="put", var=v.vid, value=fill,
+                        attrs=attrs, notify=match_id))
+                    # The owner parks for the delivery, then reads the
+                    # slot: the notification promises this load sees the
+                    # notified value (or newer).
+                    per_rank[owner].append(ProgOp(
+                        rank=owner, kind="wait_notify", var=v.vid,
+                        notify=match_id))
+                    per_rank[owner].append(ProgOp(
+                        rank=owner, kind="load", var=v.vid))
                 elif action == "read":
                     kind = "load" if v.owner == rank else "get"
                     per_rank[rank].append(ProgOp(

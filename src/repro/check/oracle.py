@@ -24,6 +24,11 @@ strict programs        :func:`~repro.consistency.check_causal`, plus
                        :func:`~repro.consistency.check_sequential` when
                        the history fits its backtracking cap (a
                        ``Skipped`` marker is surfaced otherwise)
+notified puts          the waiter's post-``wait_notify`` loads must see
+                       the notified write or newer (an ``observe`` edge
+                       in the pomset), and every notified put lands on
+                       the target's board exactly once — dups,
+                       retransmissions and chaos included
 ====================  =================================================
 
 Soundness is the design priority: a sequencing edge is only assumed
@@ -240,12 +245,30 @@ def check_program(result: RunResult) -> CheckReport:
                     n_chains += 1
                 prev_by_rank[r] = i
             readers = [("r", r) for r in range(program.n_ranks)]
+            waits = [j for j, op in enumerate(ops)
+                     if op.kind == "wait_notify" and op.var == v.vid]
+            put_by_match = {ops[i].notify: i for i in widx
+                           if ops[i].notify}
+            wid_of: Dict[int, int] = {}
             for e in range(n_epochs):
                 for i in widx:
                     if epochs[i] == e:
-                        pom.write(chain_of[i], (ops[i].value,) * 8)
-                for j in ridx:
-                    if epochs[j] != e or j not in read_values:
+                        wid_of[i] = pom.write(chain_of[i],
+                                              (ops[i].value,) * 8)
+                for j in sorted(ridx + waits):
+                    if epochs[j] != e:
+                        continue
+                    if ops[j].kind == "wait_notify":
+                        # The wait returned, so the matching notified
+                        # put is applied at this rank's memory: bind the
+                        # waiter's frontier to that specific write (its
+                        # chain predecessors become illegal; unrelated
+                        # chains stay in the frontier).
+                        i = put_by_match.get(ops[j].notify)
+                        if i is not None and i in wid_of:
+                            pom.observe(("r", ops[j].rank), wid_of[i])
+                        continue
+                    if j not in read_values:
                         continue
                     val = read_values[j]
                     if not pom.is_legal_read(("r", ops[j].rank), val):
@@ -282,6 +305,31 @@ def check_program(result: RunResult) -> CheckReport:
                 result.history.restrict(ryw_locs)):
             report.violations.append(CheckViolation(
                 "read-your-writes", str(violation)))
+
+    # ------------------------------------------------------------------
+    # Notified puts: exactly-once board delivery, chaos included.
+    # ------------------------------------------------------------------
+    notified = [(i, op) for i, op in enumerate(ops)
+                if op.notify and op.kind in _WRITE_KINDS]
+    if notified:
+        report.checks_run.append("notify-exactly-once")
+        expected: Dict[Tuple[int, int], int] = {}
+        for i, op in notified:
+            key = (program.var(op.var).owner, op.notify)
+            expected[key] = expected.get(key, 0) + 1
+        for key, want in sorted(expected.items()):
+            got = result.notify_counts.get(key, 0)
+            if got != want:
+                report.violations.append(CheckViolation(
+                    "notify-exactly-once",
+                    f"match {key[1]} at rank {key[0]}: {got} board "
+                    f"deliveries for {want} notified put(s)"))
+        for key, got in sorted(result.notify_counts.items()):
+            if got and key not in expected:
+                report.violations.append(CheckViolation(
+                    "notify-exactly-once",
+                    f"phantom delivery: match {key[1]} at rank {key[0]} "
+                    f"delivered {got}x but no program op notifies it"))
 
     # ------------------------------------------------------------------
     # Counter variables: exact sum, distinct in-range fetch returns.

@@ -29,6 +29,12 @@ Variable types:
 - ``rmw`` — owned by one rank, *used* by exactly one other rank via
   blocking CAS/fetch-add/swap; checked exactly against the reference
   executor.
+
+Notified RMA (DESIGN §15) appears as a ``notify`` field: a ``put``
+with ``notify > 0`` carries that match value to the target's
+notification board, and a ``wait_notify`` op blocks the issuing rank
+until the matching delivery.  Matches are program-unique so the oracle
+can attribute every board delivery to exactly one op.
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ OP_KINDS = (
     "noise",      # large overlapping put into the target's scratch area
     "peek",       # blocking get of a scratch range (returns a checksum)
     "compute",    # local compute phase (perturbs schedules)
+    "wait_notify",  # block until a notified put's board delivery
 )
 
 
@@ -106,6 +113,9 @@ class ProgOp:
     nbytes: int = 0               # noise put size
     disp: int = 0                 # noise put displacement
     duration: float = 0.0         # compute phase length (µs)
+    notify: int = 0               # notification match value (0 = none);
+                                  # on a put: the op notifies; on a
+                                  # wait_notify: the match awaited
 
     def __post_init__(self) -> None:
         if self.kind not in OP_KINDS:
@@ -134,6 +144,8 @@ class ProgOp:
             d["disp"] = self.disp
         if self.duration:
             d["duration"] = self.duration
+        if self.notify:
+            d["notify"] = self.notify
         return d
 
     @classmethod
@@ -144,6 +156,7 @@ class ProgOp:
             target=d.get("target", -1), attrs=tuple(d.get("attrs", ())),
             via_xfer=d.get("via_xfer", False), nbytes=d.get("nbytes", 0),
             disp=d.get("disp", 0), duration=d.get("duration", 0.0),
+            notify=d.get("notify", 0),
         )
 
 
@@ -206,6 +219,10 @@ class RmaProgram:
                         f"{op.kind} ops must stay untraced (> 16 B)")
             if op.var >= 0 and op.var >= len(self.vars):
                 raise ValueError(f"unknown var in {op}")
+            if op.kind == "wait_notify" and op.notify <= 0:
+                raise ValueError(f"wait_notify needs a match value in {op}")
+            if op.notify and op.kind not in ("put", "wait_notify"):
+                raise ValueError(f"notify on a non-put op in {op}")
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

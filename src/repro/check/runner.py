@@ -82,6 +82,8 @@ class RunResult:
     endianness: str = "little"
     sim_time: float = 0.0
     stats: Dict[str, int] = field(default_factory=dict)
+    #: (target rank, match) -> board delivery count (notified puts).
+    notify_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def final_int(self, vid: int) -> int:
         return int.from_bytes(self.finals[vid], self.endianness, signed=True)
@@ -188,7 +190,10 @@ def run_program(
         yield from ctx.comm.barrier()
 
         def attrs_of(op):
-            return RmaAttrs(**{name: True for name in op.attrs})
+            a = RmaAttrs(**{name: True for name in op.attrs})
+            if op.notify and op.kind == "put":
+                a = a.with_(notify=op.notify)
+            return a
 
         for idx, op in program.ops_for(ctx.rank):
             kind = op.kind
@@ -226,6 +231,13 @@ def run_program(
                     location=(ctx.rank, mem_ids[ctx.rank], v.disp),
                     value=tuple(int(b) for b in data),
                 )
+                continue
+            if kind == "wait_notify":
+                # Block until the matching notified put's board delivery
+                # on this rank's own exposure (the runner only generates
+                # waits at the variable's owner).
+                yield from ctx.rma.wait_notify(
+                    tmems[ctx.rank], op.notify)
                 continue
             if kind == "put":
                 src = space.alloc(SLOT_BYTES, fill=op.value)
@@ -332,6 +344,15 @@ def run_program(
                  if v.vtype == "data"}
     history = history.restrict(data_locs)
 
+    # Board deliveries, rekeyed from (mem_id, match) to (rank, match):
+    # the exactly-once observable for notified puts.
+    notify_counts: Dict[Tuple[int, int], int] = {}
+    for rank, ctx in world.contexts.items():
+        for (mem_id, match), n in ctx.rma.engine.notify_delivered().items():
+            if mem_id == mem_ids.get(rank):
+                notify_counts[(rank, match)] = \
+                    notify_counts.get((rank, match), 0) + n
+
     return RunResult(
         program=program,
         fabric=fabric,
@@ -351,5 +372,8 @@ def run_program(
                              for ctx in world.contexts.values()),
             "shm_ops": sum(ctx.rma.engine.stats["shm_ops"]
                            for ctx in world.contexts.values()),
+            "notifies": sum(ctx.rma.engine.stats["notifies"]
+                            for ctx in world.contexts.values()),
         },
+        notify_counts=notify_counts,
     )

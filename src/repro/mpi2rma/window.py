@@ -124,15 +124,23 @@ class Win:
     def put(self, origin_alloc: Allocation, origin_offset: int, count: int,
             dtype: Datatype, target: int, target_disp: int,
             target_count: Optional[int] = None,
-            target_dtype: Optional[Datatype] = None):
-        """MPI_Put (``yield from``; completes at epoch close)."""
+            target_dtype: Optional[Datatype] = None,
+            notify: Optional[int] = None):
+        """MPI_Put (``yield from``; completes at epoch close).
+
+        ``notify=match`` makes it a *notified* put (foMPI/UNR style):
+        once the payload is applied, the target's notification board
+        slot ``match`` counts one delivery, observable there through
+        :meth:`wait_notify` / :meth:`test_notify`.
+        """
         self._check_open(target)
         t_count = count if target_count is None else target_count
         t_dtype = dtype if target_dtype is None else target_dtype
         self._record(target, target_disp, t_dtype, t_count, "put")
+        attrs = _NO_ATTRS if notify is None else _NO_ATTRS.with_(notify=notify)
         yield from self._engine.issue_put(
             origin_alloc, origin_offset, count, dtype,
-            self._tmems[target], target_disp, t_count, t_dtype, _NO_ATTRS,
+            self._tmems[target], target_disp, t_count, t_dtype, attrs,
         )
 
     def get(self, origin_alloc: Allocation, origin_offset: int, count: int,
@@ -152,16 +160,57 @@ class Win:
 
     def accumulate(self, origin_alloc: Allocation, origin_offset: int,
                    count: int, dtype: Datatype, target: int,
-                   target_disp: int, op: str = "sum"):
+                   target_disp: int, op: str = "sum",
+                   notify: Optional[int] = None):
         """MPI_Accumulate: MPI-2 allows any reduce op; same-op overlaps
-        are legal, anything else is erroneous."""
+        are legal, anything else is erroneous.  ``notify=match`` makes
+        it a notified accumulate (delivered after application)."""
         self._check_open(target)
         self._record(target, target_disp, dtype, count, ("acc", op))
         yield from self._engine.issue_accumulate(
             origin_alloc, origin_offset, count, dtype,
             self._tmems[target], target_disp, count, dtype,
-            _NO_ATTRS.with_(atomicity=True), op=op,
+            _NO_ATTRS.with_(atomicity=True, notify=notify), op=op,
         )
+
+    # -- notified-RMA board (DESIGN §15) -----------------------------------
+    def wait_notify(self, match: int, count: int = 1, watch=()):
+        """Block until ``count`` notifications with ``match`` landed on
+        this rank's slice of the window (``yield from``).  Returning
+        implies the carrying payloads are applied locally.  ``watch``
+        optionally names producer ranks whose death turns the wait into
+        a structured :class:`~repro.rma.target_mem.RmaError`."""
+        if self._freed:
+            raise Mpi2Error("wait_notify on a freed window")
+        self._check_revoked("wait_notify")
+        world_watch = [self.comm.group.world_rank(r) for r in watch]
+        err = yield from self._engine.wait_notify(
+            self._tmems[self.comm.rank], match, count=count,
+            watch=world_watch,
+        )
+        if err is not None:
+            raise err
+        return None
+
+    def test_notify(self, match: int, count: int = 1):
+        """Non-blocking probe of this rank's notification slot
+        (``yield from``); consumes and returns True when satisfied."""
+        if self._freed:
+            raise Mpi2Error("test_notify on a freed window")
+        self._check_revoked("test_notify")
+        yield self._engine.sim.timeout(self._engine.timings.call_overhead)
+        return self._engine.test_notify(
+            self._tmems[self.comm.rank], match, count=count
+        )
+
+    def notify_all(self, match: int):
+        """Release every local waiter parked on ``match`` without
+        consuming board counts (``yield from``); returns the number
+        released."""
+        if self._freed:
+            raise Mpi2Error("notify_all on a freed window")
+        yield self._engine.sim.timeout(self._engine.timings.call_overhead)
+        return self._engine.notify_all(self._tmems[self.comm.rank], match)
 
     # -- fence (Fig. 1a) ---------------------------------------------------
     def fence(self):

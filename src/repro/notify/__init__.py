@@ -1,0 +1,31 @@
+"""RMA-built synchronization (DESIGN §15, layer 2).
+
+foMPI demonstrated that with notified/remotely-visible RMA primitives,
+classic synchronization objects — locks, barriers, queues — can be
+built *entirely in user space* on the one-sided API, with no extra
+progress threads or simulator shortcuts.  This package reproduces that
+construction on the strawman interface:
+
+- :class:`~repro.notify.lock.McsLock` /
+  :class:`~repro.notify.lock.McsTreeLock` — MCS queue locks whose
+  hand-off is a single notified put into the successor's window;
+- :class:`~repro.notify.barrier.DisseminationBarrier` — the log2(P)
+  round dissemination barrier over 1-byte notified puts with counting
+  (monotone-signal) semantics;
+- :class:`~repro.notify.queue.NotifyQueue` — a single-producer /
+  single-consumer ring in the consumer's window, flow-controlled by
+  credit notifications travelling the other way.
+
+Everything here goes through the *public* ``ctx.rma`` API only
+(``put(notify=...)``, ``wait_notify``, the §V RMWs) — the board, the
+fabric and the reliable transport see ordinary traffic, so these
+objects run unchanged on flat, torus and fat-tree fabrics and under
+fault plans.  All of them report into ``ctx.world.metrics`` under the
+``notify.*`` prefix (``repro.obs.report --notify`` renders them).
+"""
+
+from repro.notify.barrier import DisseminationBarrier
+from repro.notify.lock import McsLock, McsTreeLock
+from repro.notify.queue import NotifyQueue
+
+__all__ = ["McsLock", "McsTreeLock", "DisseminationBarrier", "NotifyQueue"]

@@ -35,6 +35,16 @@ Each run self-checks that every key-local request moved by load/store
 (zero NIC packets for co-located pairs) and that every issued request
 completed, so the report fails loudly if either identity breaks.
 
+``--notify`` switches to the notified-RMA report: it runs the three
+DESIGN §15 workloads (notified vs flush-synchronized halo exchange,
+the NotifyQueue producer/consumer pipeline, and the MCS lock
+contention sweep — see :mod:`repro.bench.notify_workloads`) on each
+requested fabric and prints one aligned table of per-iteration times
+with notify-latency and lock/queue wait percentiles, plus the
+notified-vs-flush speedup per fabric.  The lock rows re-check mutual
+exclusion and the pipeline rows re-check payload integrity, so the
+report fails loudly if the synchronization objects ever misbehave.
+
 ``--topo {torus,fattree,crossbar}`` switches to the routed-fabric
 report: it runs the hotspot-incast workload on that topology and prints
 the per-link traffic table (packets, bytes, busy/queue time,
@@ -54,13 +64,66 @@ from typing import Any, Dict, List, Optional
 
 from repro.bench.store import format_store_table, run_store_report
 from repro.obs.export import write_chrome_trace
+
+
+def run_notify_report(*args, **kwargs):
+    """Re-export of :func:`repro.bench.notify_workloads.run_notify_report`
+    (imported lazily: the workloads pull in the full runtime)."""
+    from repro.bench.notify_workloads import run_notify_report as impl
+
+    return impl(*args, **kwargs)
+
+
+def format_notify_table(doc):
+    """Re-export of
+    :func:`repro.bench.notify_workloads.format_notify_table`."""
+    from repro.bench.notify_workloads import format_notify_table as impl
+
+    return impl(doc)
+
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import PHASES, attribute_phases, build_spans, observe_spans
 
-__all__ = ["run_sweep_report", "format_attribution_table",
+__all__ = ["format_rows", "run_sweep_report", "format_attribution_table",
            "run_topo_report", "format_link_table",
            "run_resil_report", "format_resil_table",
-           "run_store_report", "format_store_table", "main"]
+           "run_store_report", "format_store_table",
+           "run_notify_report", "format_notify_table", "main"]
+
+
+def format_rows(rows: List[List[str]], left_align=(0,)) -> str:
+    """Align ``rows`` (header first) into the reports' table format.
+
+    One shared implementation for every report table so alignment
+    behaves identically across ``--topo``/``--store``/``--resil``/
+    ``--notify``: column widths come from the *rendered cell strings
+    only* — a label is one opaque cell no matter what characters it
+    contains (``path=0:3``, ``link a:b``, ``atomicity+thread/65536``),
+    so punctuation that doubles as a separator elsewhere can never
+    skew a column.  ``left_align`` lists the column indices to
+    left-justify (labels); everything else right-justifies (numbers).
+    A dashed rule is inserted under the header row.
+    """
+    if not rows:
+        return ""
+    n_cols = len(rows[0])
+    for row in rows:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"ragged table: header has {n_cols} columns, "
+                f"row {row!r} has {len(row)}"
+            )
+    left = set(left_align)
+    widths = [max(len(row[i]) for row in rows) for i in range(n_cols)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(widths[j]) if j in left else cell.rjust(widths[j])
+            for j, cell in enumerate(row)
+        ).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
 
 
 def run_sweep_report(
@@ -132,16 +195,7 @@ def format_attribution_table(doc: Dict[str, Any]) -> str:
             + [f"{row['phases'].get(p, 0.0):.1f}" for p in phases]
             + [f"{row['end_to_end']:.1f}", f"{row['sim_us']:.1f}"]
         )
-    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
-    lines = []
-    for i, row in enumerate(rows):
-        lines.append("  ".join(
-            cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j])
-            for j, cell in enumerate(row)
-        ))
-        if i == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
+    return format_rows(rows)
 
 
 def run_topo_report(
@@ -238,16 +292,7 @@ def format_link_table(doc: Dict[str, Any], top: int = 20) -> str:
             r["link"], str(r["packets"]), str(r["bytes"]),
             f"{r['busy_us']:.2f}", f"{r['queue_us']:.2f}", f"{r['util']:.3f}",
         ])
-    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
-    lines = []
-    for i, row in enumerate(rows):
-        lines.append("  ".join(
-            cell.ljust(widths[j]) if j == 0 else cell.rjust(widths[j])
-            for j, cell in enumerate(row)
-        ))
-        if i == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
+    return format_rows(rows)
 
 
 def run_resil_report(
@@ -342,14 +387,7 @@ def format_resil_table(doc: Dict[str, Any]) -> str:
             str(r["heartbeats"]), str(r["writes"]),
             "yes" if r["durable"] else "VIOLATION",
         ])
-    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
-    lines = []
-    for i, row in enumerate(rows):
-        lines.append("  ".join(
-            cell.rjust(widths[j]) for j, cell in enumerate(row)))
-        if i == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
+    return format_rows(rows, left_align=())
 
 
 def _format_metrics(metrics: Dict[str, Any]) -> str:
@@ -412,6 +450,16 @@ def main(argv: Optional[list] = None) -> int:
                              "on this topology instead of the fig2 sweep")
     parser.add_argument("--fanin", type=int, default=7,
                         help="incast fan-in for --topo (default: %(default)s)")
+    parser.add_argument("--notify", action="store_true",
+                        help="report the notified-RMA workloads (halo A/B, "
+                             "queue pipeline, MCS lock sweep) across fabrics "
+                             "instead of the fig2 sweep")
+    parser.add_argument("--notify-fabrics", default="flat,torus,fattree",
+                        help="comma-separated fabrics for --notify "
+                             "(default: %(default)s)")
+    parser.add_argument("--notify-seeds", default="0",
+                        help="comma-separated seeds for --notify "
+                             "(default: %(default)s)")
     parser.add_argument("--resil", action="store_true",
                         help="report failure detection latency, MTTR and "
                              "re-replication traffic of the durable_kv "
@@ -426,6 +474,36 @@ def main(argv: Optional[list] = None) -> int:
                         help="per-packet drop/dup/delay probability for "
                              "--resil (default: off)")
     args = parser.parse_args(argv)
+
+    if args.notify:
+        if args.quick:
+            fabrics, seeds = ("flat",), (0,)
+        else:
+            fabrics = tuple(f for f in args.notify_fabrics.split(",") if f)
+            seeds = tuple(int(s) for s in args.notify_seeds.split(","))
+        doc = run_notify_report(fabrics=fabrics, seeds=seeds,
+                                quick=args.quick)
+        print("== notified RMA workloads (halo A/B, pipeline, lock sweep; "
+              "simulated µs) ==")
+        print(format_notify_table(doc))
+        print()
+        for fabric in doc["fabrics"]:
+            halo = {r["mode"]: r for r in doc["rows"]
+                    if r["workload"] == "halo" and r["fabric"] == fabric
+                    and r["seed"] == doc["seeds"][0]}
+            if {"notify", "flush"} <= set(halo):
+                ratio = (halo["flush"]["us_per_iter"]
+                         / halo["notify"]["us_per_iter"])
+                print(f"{fabric}: notified halo {ratio:.2f}x vs "
+                      f"flush+barrier "
+                      f"({halo['notify']['us_per_iter']:.1f} vs "
+                      f"{halo['flush']['us_per_iter']:.1f} us/iter)")
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[obs] wrote report {args.json_out}")
+        return 0
 
     if args.resil:
         seeds = (0,) if args.quick else tuple(

@@ -75,7 +75,8 @@ class RmaInterface:
             return attrs
         if kwargs:
             bad = set(kwargs) - {
-                "ordering", "remote_completion", "atomicity", "blocking"
+                "ordering", "remote_completion", "atomicity", "blocking",
+                "notify",
             }
             if bad:
                 raise RmaError(f"unknown RMA attributes: {sorted(bad)}")
@@ -501,6 +502,47 @@ class RmaInterface:
         comm = comm if comm is not None else self.comm_world
         yield from self.order(comm, ALL_RANKS)
         yield from comm.barrier()
+
+    # ------------------------------------------------------------------
+    # Notified RMA (DESIGN §15): target-side notification board
+    # ------------------------------------------------------------------
+    def wait_notify(self, target_mem: TargetMem, match: int,
+                    count: int = 1, watch=()):
+        """Block until ``count`` notifications with ``match`` have been
+        delivered to this rank's window (``yield from``).
+
+        A notification is delivered only after the carrying operation's
+        payload has been applied here, so returning implies the payload
+        is visible.  ``watch`` optionally names producer ranks: if one
+        of them dies (or its path breaks) before notifying, the wait
+        surfaces a structured :class:`~repro.rma.target_mem.RmaError`
+        instead of hanging — raised under ``ERRORS_RAISE`` (default),
+        returned under ``ERRORS_RETURN``.  Returns the error list
+        (empty on success).
+        """
+        err = yield from self.engine.wait_notify(target_mem, match,
+                                                count=count, watch=watch)
+        if err is None:
+            return []
+        return self._handle_completion_errors([err])
+
+    def test_notify(self, target_mem: TargetMem, match: int,
+                    count: int = 1):
+        """Non-blocking probe (``yield from``): consume ``count``
+        notifications if present, returning whether it did."""
+        yield self.engine.sim.timeout(self.engine.timings.call_overhead)
+        return self.engine.test_notify(target_mem, match, count=count)
+
+    def notify_all(self, target_mem: TargetMem, match: int):
+        """Release every local waiter parked on ``(target_mem, match)``
+        without consuming board counts (``yield from``); returns how
+        many were released."""
+        yield self.engine.sim.timeout(self.engine.timings.call_overhead)
+        return self.engine.notify_all(target_mem, match)
+
+    def notify_count(self, target_mem: TargetMem, match: int) -> int:
+        """Unconsumed notifications on the slot (pure local peek)."""
+        return self.engine.notify_count(target_mem, match)
 
     @property
     def stats(self) -> Dict[str, int]:

@@ -14,6 +14,13 @@ attribute set selecting which guarantees it needs.
   needed for sequential-consistency-style usage).
 - ``blocking`` — single-call RMA (§IV req. 4): the call itself waits
   for completion (local, or remote if ``remote_completion`` is set).
+- ``notify`` — not a boolean guarantee but an optional *match value*
+  (a small non-negative integer): the operation carries a notification
+  that becomes visible on the target's per-window notification board
+  only after the payload has been applied there (UNR-style notified
+  put/get — see DESIGN §15).  ``None`` (the default) means "no
+  notification" and leaves every wire descriptor byte-identical to a
+  build without the notify subsystem.
 
 Attributes may be set per call or as a per-communicator default; the
 paper suggests "permitting the use of the most stringent rules while
@@ -40,6 +47,10 @@ class RmaAttrs:
     remote_completion: bool = False
     atomicity: bool = False
     blocking: bool = False
+    #: Optional notification match value (int >= 0); ``None`` = no
+    #: notification.  Deliberately excluded from :meth:`strict` — the
+    #: debugging mode tightens guarantees, it does not add side effects.
+    notify: Optional[int] = None
 
     @classmethod
     def none(cls) -> "RmaAttrs":
@@ -67,4 +78,6 @@ class RmaAttrs:
             for name in ("ordering", "remote_completion", "atomicity", "blocking")
             if getattr(self, name)
         ]
+        if self.notify is not None:
+            on.append(f"notify={self.notify}")
         return "+".join(on) if on else "none"

@@ -223,6 +223,19 @@ class _PendingGet:
         self.location = location
 
 
+class _NotifyWaiter:
+    """One blocked ``wait_notify`` call on the notification board."""
+
+    __slots__ = ("key", "need", "ev", "watch")
+
+    def __init__(self, key: Tuple[int, int], need: int, ev: Event,
+                 watch: frozenset) -> None:
+        self.key = key
+        self.need = need
+        self.ev = ev
+        self.watch = watch
+
+
 class RmaEngine:
     """Per-rank RMA protocol engine (see module docstring)."""
 
@@ -301,6 +314,22 @@ class RmaEngine:
         # tuple) are computed once.
         self._train_sizes_cache: Dict[tuple, tuple] = {}
         self._train_ser_cache: Dict[tuple, Any] = {}
+        # Notification board (DESIGN §15): per-(mem_id, match) delivered
+        # and consumed counters, FIFO waiters, and the delivered-op-key
+        # set that makes delivery idempotent — the reliable transport's
+        # receiver-side dedup already guarantees the engine never sees a
+        # retransmitted op twice, so this set is defense in depth (and
+        # what keeps the planted ``notify_before_apply`` mutation from
+        # double-delivering at apply time).
+        self._notify_counts: Dict[Tuple[int, int], int] = {}
+        self._notify_consumed: Dict[Tuple[int, int], int] = {}
+        self._notify_seen: set = set()
+        self._notify_waiters: List[_NotifyWaiter] = []
+        #: Simulated notify latencies (target-side apply/delivery time
+        #: minus origin issue time), harvested by workloads into obs
+        #: histograms.  Only ever appended for notify-carrying ops, so
+        #: notify-free runs pay nothing.
+        self.notify_latencies: List[float] = []
         # Failure-aware completion state.
         self._path_failures: Dict[int, Any] = {}
         self.failures: List[Any] = []
@@ -346,6 +375,8 @@ class RmaEngine:
             "train_ops": 0,
             "shm_ops": 0,
             "shm_bytes": 0,
+            "notifies": 0,
+            "notify_waits": 0,
         }
 
     # ------------------------------------------------------------------
@@ -528,6 +559,7 @@ class RmaEngine:
             ev = pend.ev_done
             if ev is not None and not ev.triggered:
                 ev.succeed(self._path_error(dst, "get", failure=failure))
+        self.fail_notify_waiters(dst, failure=failure)
         if self.tracer is not None:
             self.tracer.bump("rma.path_failure")
             if self.tracer.enabled:
@@ -546,6 +578,12 @@ class RmaEngine:
         self._origin_peers.clear()
         self._target_peers.clear()
         self._path_failures.clear()
+        # The restarted rank's notification board starts empty; any
+        # waiter still parked belongs to the killed program.
+        self._notify_counts.clear()
+        self._notify_consumed.clear()
+        self._notify_seen.clear()
+        self._notify_waiters.clear()
 
     def acknowledge_path_failure(self, dst: int) -> None:
         """Consume a broken path's errored records (ULFM acknowledgment).
@@ -721,6 +759,10 @@ class RmaEngine:
             or fabric.tracer.enabled
             or not tmem.coherent
             or not self.conformance_mutations <= _TRAIN_MUTATIONS
+            # A notified op needs the target engine to run per-op (the
+            # notification is delivered at apply time); the closed form
+            # never runs target-side code, so the train stands down.
+            or attrs.notify is not None
         ):
             return None
         sim = self.sim
@@ -972,6 +1014,7 @@ class RmaEngine:
         """
         from repro.datatypes.pack import pack
 
+        issued = self.sim.now
         cost = (self.timings.call_overhead
                 + nbytes * self.timings.mem_copy_per_byte)
         if not origin_dtype.is_contiguous:
@@ -1007,6 +1050,13 @@ class RmaEngine:
                     )
         self.stats["shm_ops"] += 1
         self.stats["shm_bytes"] += nbytes
+        if attrs is not None and attrs.notify is not None:
+            # Direct store: application just happened, so delivering the
+            # notification now is trivially "after apply".  Shared ops
+            # own no op_key (they cannot be retransmitted), so no dedup
+            # entry is needed.
+            tgt._deliver_notify(self.rank, tmem.mem_id, attrs.notify,
+                                issued=issued)
         if self.tracer is not None and self.tracer.enabled:
             if nbytes <= 16:
                 self.tracer.record(
@@ -1143,6 +1193,8 @@ class RmaEngine:
             origin_count, origin_dtype, tmem, target_disp, target_count,
             target_dtype,
         )
+        if attrs.notify is not None:
+            self._check_notify_attr(attrs, kind, nbytes)
         if self._path_broken(dst):
             # Fail fast — before any lock acquisition (a dead target
             # would never grant it) and before burning wire time.  The
@@ -1225,6 +1277,12 @@ class RmaEngine:
             "total_bytes": nbytes,
         }
         desc.update(extra)
+        if attrs.notify is not None:
+            # Only notify-carrying ops grow these keys: notify-free
+            # descriptors (and thus traces) stay byte-identical to a
+            # build without the subsystem.
+            desc["notify"] = attrs.notify
+            desc["notify_ts"] = self.sim.now
 
         want_ack = mode == "hw"
         packets = [
@@ -1307,16 +1365,25 @@ class RmaEngine:
             self.mem.space.buffer(origin_alloc), origin_offset, origin_dtype,
             origin_count,
         )
+        if attrs.notify is not None:
+            self._check_notify_attr(attrs, "get", nbytes)
         if self._path_broken(dst):
             return Event(self.sim).succeed(
                 self._path_error(dst, "get", attrs)
             )
         tgt = self._shared_target(tmem, dst, attrs)
         if tgt is not None:
+            issued = self.sim.now
             ev_done = yield from self._shared_get(
                 origin_alloc, origin_offset, origin_count, origin_dtype,
                 tmem, target_disp, target_count, target_dtype, nbytes, tgt,
             )
+            if attrs.notify is not None:
+                # For a get the "payload" is the read itself: it was
+                # just served from the target's memory, so the target's
+                # board learns of it now.
+                tgt._deliver_notify(self.rank, tmem.mem_id, attrs.notify,
+                                    issued=issued)
             self.stats["gets"] += 1
             self.stats["bytes_got"] += nbytes
             return ev_done
@@ -1349,16 +1416,17 @@ class RmaEngine:
         )
         pend.ev_done = ev_done
         self._pending_gets[op_key] = pend
-        self.send_control(
-            dst, "rma.get_req",
-            {
-                "op_key": op_key, "src": self.rank, "seq": seq,
-                "barrier": barrier, "kind": "get", "mem_id": tmem.mem_id,
-                "base_disp": target_disp, "count": target_count,
-                "dtype": target_dtype, "atomic_queue": via_queue,
-                "total_bytes": nbytes,
-            },
-        )
+        get_desc = {
+            "op_key": op_key, "src": self.rank, "seq": seq,
+            "barrier": barrier, "kind": "get", "mem_id": tmem.mem_id,
+            "base_disp": target_disp, "count": target_count,
+            "dtype": target_dtype, "atomic_queue": via_queue,
+            "total_bytes": nbytes,
+        }
+        if attrs.notify is not None:
+            get_desc["notify"] = attrs.notify
+            get_desc["notify_ts"] = self.sim.now
+        self.send_control(dst, "rma.get_req", get_desc)
         if via_lock:
             self.sim.spawn(self._release_lock_after_event(dst, ev_done),
                            name=f"lockrel-{self.rank}")
@@ -1528,6 +1596,13 @@ class RmaEngine:
             raise RmaError(f"unknown RMW op {op!r}; choose from {RMW_OPS}")
         if op == "cas" and compare is None:
             raise RmaError("cas requires a compare value")
+        if attrs is not None and attrs.notify is not None:
+            raise RmaError(
+                "rmw cannot carry a notification (DESIGN §15: notify is "
+                "defined for put/get/accumulate; an RMW already returns "
+                "its old value to the origin)",
+                op="rmw", src=self.rank, target=tmem.rank, attrs=attrs,
+            )
         elem_size = np.dtype(np_elem).itemsize
         tmem.check_access(target_disp, 0, elem_size)
         dst = tmem.rank
@@ -1594,6 +1669,13 @@ class RmaEngine:
             raise RmaError(
                 "RMI requires active messages or a communication thread "
                 "(paper §V: not trivial on all architectures)"
+            )
+        if attrs.notify is not None:
+            raise RmaError(
+                "rmi cannot carry a notification (DESIGN §15: notify is "
+                "defined for put/get/accumulate; a handler signals its "
+                "own completion through its reply)",
+                op="rmi", src=self.rank, target=dst, attrs=attrs,
             )
         if self._path_broken(dst):
             return Event(self.sim).succeed(
@@ -1744,6 +1826,176 @@ class RmaEngine:
         self.stats["orders"] += 1
 
     # ------------------------------------------------------------------
+    # Notification board (DESIGN §15): notified put/get/accumulate
+    # ------------------------------------------------------------------
+    def _check_notify_attr(self, attrs: RmaAttrs, kind: str,
+                           nbytes: int) -> None:
+        """Eligibility rules for a notify-carrying op (DESIGN §15).
+
+        A notification only means something once a payload has been
+        applied, so a zero-byte op cannot carry one; rmw/rmi decline at
+        their own issue paths.  The match value must be a non-negative
+        integer (it keys the target's board alongside the window id).
+        """
+        m = attrs.notify
+        if not isinstance(m, int) or isinstance(m, bool) or m < 0:
+            raise RmaError(
+                f"notify match value must be an int >= 0, got {m!r}",
+                op=kind, src=self.rank, attrs=attrs,
+            )
+        if nbytes == 0:
+            raise RmaError(
+                f"a zero-byte {kind} cannot carry a notification "
+                "(nothing is ever applied at the target; use a 1-byte "
+                "payload for a pure signal)",
+                op=kind, src=self.rank, attrs=attrs,
+            )
+
+    def _notify_slot_key(self, tmem: TargetMem, match: int) -> Tuple[int, int]:
+        """Validate a local wait/test/notify_all call and return the
+        board key.  Notifications are *target-side* state: only the
+        window owner may wait on its own board."""
+        if tmem.rank != self.rank:
+            raise RmaError(
+                f"rank {self.rank} cannot wait on rank {tmem.rank}'s "
+                "notification board (notifications surface at the target)"
+            )
+        if tmem.mem_id not in self._exposures:
+            raise RmaError(
+                f"rank {self.rank}: notification wait on unknown/"
+                f"withdrawn target_mem id {tmem.mem_id}"
+            )
+        if not isinstance(match, int) or isinstance(match, bool) or match < 0:
+            raise RmaError(
+                f"notify match value must be an int >= 0, got {match!r}"
+            )
+        return (tmem.mem_id, match)
+
+    def _notify_available(self, key: Tuple[int, int]) -> int:
+        return (self._notify_counts.get(key, 0)
+                - self._notify_consumed.get(key, 0))
+
+    def _deliver_notify(self, src: int, mem_id: int, match: int,
+                        op_key=None, issued=None) -> None:
+        """Count one notification on the board and wake FIFO waiters.
+
+        ``op_key`` (when the op has one) makes delivery idempotent: a
+        second delivery attempt for the same op is a no-op.  ``issued``
+        is the origin-side issue timestamp carried in the descriptor;
+        the difference to now is the end-to-end notify latency.
+        """
+        if op_key is not None:
+            if op_key in self._notify_seen:
+                return
+            self._notify_seen.add(op_key)
+        key = (mem_id, match)
+        self._notify_counts[key] = self._notify_counts.get(key, 0) + 1
+        self.stats["notifies"] += 1
+        if issued is not None:
+            self.notify_latencies.append(self.sim.now - issued)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(self.sim.now, "rma", "notify",
+                               rank=self.rank, src=src, match=match,
+                               op=op_key)
+        self._wake_notify_waiters(key)
+
+    def _wake_notify_waiters(self, key: Tuple[int, int]) -> None:
+        """Satisfy waiters on ``key`` strictly in arrival (FIFO) order;
+        a waiter needing more notifications than are available blocks
+        later waiters on the same slot (no overtaking — that is what
+        makes wakeup order deterministic and fair)."""
+        waiters = self._notify_waiters
+        i = 0
+        while i < len(waiters):
+            w = waiters[i]
+            if w.key != key:
+                i += 1
+                continue
+            if self._notify_available(key) < w.need:
+                break
+            self._notify_consumed[key] = \
+                self._notify_consumed.get(key, 0) + w.need
+            waiters.pop(i)
+            if not w.ev.triggered:
+                w.ev.succeed(None)
+
+    def notify_count(self, tmem: TargetMem, match: int) -> int:
+        """Unconsumed notifications currently on the board slot."""
+        return self._notify_available(self._notify_slot_key(tmem, match))
+
+    def test_notify(self, tmem: TargetMem, match: int,
+                    count: int = 1) -> bool:
+        """Consume ``count`` notifications if available *and* no earlier
+        waiter is parked on the slot (FIFO, same as delivery); returns
+        whether it consumed."""
+        key = self._notify_slot_key(tmem, match)
+        if any(w.key == key for w in self._notify_waiters):
+            return False
+        if self._notify_available(key) < count:
+            return False
+        self._notify_consumed[key] = \
+            self._notify_consumed.get(key, 0) + count
+        return True
+
+    def wait_notify(self, tmem: TargetMem, match: int, count: int = 1,
+                    watch=()):
+        """Generator: block until ``count`` notifications on
+        ``(tmem, match)`` can be consumed.  Returns ``None`` on success
+        or the :class:`RmaError` describing why the wait can never be
+        satisfied (a watched producer rank died or its path broke) —
+        failure surfaces as a structured value, never a hang.
+        """
+        yield self.sim.timeout(self.timings.call_overhead)
+        key = self._notify_slot_key(tmem, match)
+        self.stats["notify_waits"] += 1
+        watch = frozenset(watch)
+        if (self._notify_available(key) >= count
+                and not any(w.key == key for w in self._notify_waiters)):
+            self._notify_consumed[key] = \
+                self._notify_consumed.get(key, 0) + count
+            return None
+        for r in watch:
+            if self.nic.fabric.is_dead(r) or r in self._path_failures:
+                return self._path_error(r, "wait_notify")
+        ev = self.sim.event()
+        self._notify_waiters.append(_NotifyWaiter(key, count, ev, watch))
+        value = yield ev
+        return value
+
+    def notify_all(self, tmem: TargetMem, match: int) -> int:
+        """Release every waiter currently parked on ``(tmem, match)``
+        without consuming board counts — a local broadcast wakeup (used
+        e.g. to shut down consumers).  Returns how many were released."""
+        key = self._notify_slot_key(tmem, match)
+        released = 0
+        for w in [w for w in self._notify_waiters if w.key == key]:
+            self._notify_waiters.remove(w)
+            if not w.ev.triggered:
+                w.ev.succeed(None)
+            released += 1
+        return released
+
+    def fail_notify_waiters(self, rank: int, failure=None) -> None:
+        """Sweep waiters watching ``rank`` into structured errors.
+
+        Called when ``rank`` dies (:meth:`World._kill_rank`) or when the
+        reliable transport declares the path to it broken: any
+        ``wait_notify`` whose watch set names the lost producer succeeds
+        with an :class:`RmaError` value instead of hanging forever.
+        """
+        stranded = [w for w in self._notify_waiters if rank in w.watch]
+        for w in stranded:
+            self._notify_waiters.remove(w)
+            if not w.ev.triggered:
+                w.ev.succeed(self._path_error(rank, "wait_notify",
+                                              failure=failure))
+
+    def notify_delivered(self) -> Dict[Tuple[int, int], int]:
+        """Total notifications delivered per (mem_id, match) — the
+        conformance runner's exactly-once observable."""
+        return dict(self._notify_counts)
+
+    # ------------------------------------------------------------------
     # Target side: fragments
     # ------------------------------------------------------------------
     def _on_frag(self, packet: Packet) -> None:
@@ -1759,6 +2011,7 @@ class RmaEngine:
                 peer.gated.append(op)
             else:
                 op.gate_open = not desc["atomic_queue"]
+            self._mutate_notify_early(desc)
         op.arrived += 1
         if desc["atomic_queue"] or desc["kind"] == "getacc":
             # getacc buffers even on the lock-serializer path: the old
@@ -1859,12 +2112,29 @@ class RmaEngine:
         if fabric is not None and fabric._pending_trains:
             fabric.materialize_trains(self.rank)
 
+    def _mutate_notify_early(self, desc: Dict[str, Any]) -> None:
+        """Planted conformance bug ``notify_before_apply``: deliver the
+        notification at first-fragment *arrival* instead of at apply.
+        Observable whenever arrival != application — ordering-gated ops
+        on unordered fabrics, serializer-staged atomics — because a
+        waiter woken early reads memory the payload has not reached yet.
+        The op_key dedup entry then silences the correct delivery in
+        :meth:`_op_applied`, so counts stay exactly-once (the bug is a
+        pure reordering, which is what the oracle's visibility edge
+        catches)."""
+        if ("notify_before_apply" in self.conformance_mutations
+                and desc.get("notify") is not None):
+            self._deliver_notify(desc["src"], desc["mem_id"],
+                                 desc["notify"], desc.get("op_key"),
+                                 desc.get("notify_ts"))
+
     def _on_get_req(self, packet: Packet) -> None:
         desc = packet.payload
         peer = self._target_peer(desc["src"])
         op = _InboundOp(desc)
         op.nfrags = 1
         peer.inbound[op.seq] = op
+        self._mutate_notify_early(desc)
         if not peer.barrier_ok(op.barrier):
             peer.gated.append(op)
             return
@@ -2020,6 +2290,14 @@ class RmaEngine:
             peer.applied_extra.add(op.seq)
         if desc.get("ack") == "sw":
             self.send_control(desc["src"], "rma.ack", {"op_key": desc["op_key"]})
+        m = desc.get("notify")
+        if m is not None:
+            # THE delivery point: the payload is applied (watermark just
+            # advanced), so the notification may now surface.  Idempotent
+            # via the op_key — if the planted ``notify_before_apply``
+            # mutation already delivered at arrival, this is a no-op.
+            self._deliver_notify(desc["src"], desc["mem_id"], m,
+                                 desc.get("op_key"), desc.get("notify_ts"))
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(self.sim.now, "rma", "applied",
                                rank=self.rank, src=desc["src"], seq=op.seq,

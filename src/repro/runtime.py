@@ -362,6 +362,25 @@ class World:
         if self.resil is not None:
             for key, value in self.resil.stats.items():
                 metrics.gauge(f"resil.{key}").set(value)
+        for rank, ctx in self.contexts.items():
+            engine = getattr(getattr(ctx, "rma", None), "engine", None)
+            if engine is None:
+                continue
+            if engine.stats.get("notifies") or engine.stats.get("notify_waits"):
+                metrics.gauge("notify.delivered", rank=rank).set(
+                    engine.stats["notifies"])
+                metrics.gauge("notify.waits", rank=rank).set(
+                    engine.stats["notify_waits"])
+            # Latencies accumulate on the engine; publish only the
+            # not-yet-observed suffix so repeated collect_metrics calls
+            # stay idempotent like the gauges above.
+            lat = engine.notify_latencies
+            start = getattr(engine, "_notify_lat_published", 0)
+            if len(lat) > start:
+                hist = metrics.histogram("notify.latency_us", rank=rank)
+                for value in lat[start:]:
+                    hist.observe(value)
+                engine._notify_lat_published = len(lat)
         return metrics
 
     def _kill_rank(self, rank: int, kill_program: bool = True) -> None:
@@ -374,6 +393,15 @@ class World:
             proc = self._rank_procs.get(rank)
             if proc is not None:
                 proc.kill()
+        # A wait_notify watching the victim as its producer can never be
+        # satisfied: sweep every survivor's notification board so the
+        # wait surfaces a structured RmaError instead of hanging.
+        for r, ctx in self.contexts.items():
+            if r == rank:
+                continue
+            engine = getattr(getattr(ctx, "rma", None), "engine", None)
+            if engine is not None:
+                engine.fail_notify_waiters(rank)
 
     def _restart_rank(self, rank: int) -> None:
         """Fault injection: rank comes back.  Every peer's transport

@@ -52,3 +52,69 @@ def test_mutated_run_writes_replayable_artifact(tmp_path, capsys):
     rc = main(["--replay", str(tmp_path / artifacts[0])])
     assert rc == 1
     assert "reproduced" in capsys.readouterr().out
+
+
+def test_replay_restores_shared_machine_config(tmp_path, capsys):
+    """ISSUE 9 satellite: replaying a ``--shared`` artifact must
+    restore the paired-machine + shared-window configuration from the
+    artifact itself (no flags needed) and say so, instead of silently
+    replaying on the default machine."""
+    rc = main([
+        "--seeds", "25", "--fabric", "unordered", "--shared",
+        "--mutate", "drop_order_barrier",
+        "--max-failures", "1", "--artifact-dir", str(tmp_path), "-q",
+    ])
+    assert rc == 1
+    artifacts = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+    assert artifacts
+    doc = json.loads((tmp_path / artifacts[0]).read_text())
+    assert doc["shared"] is True
+    capsys.readouterr()
+
+    # Flag-free replay: the recorded config is restored and announced.
+    rc = main(["--replay", str(tmp_path / artifacts[0])])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "shared (paired machine" in out
+    assert "reproduced" in out
+
+
+def test_replay_notes_ignored_flags(tmp_path, capsys):
+    """Passing --shared/--chaos/--mutate alongside --replay used to be
+    silently ignored; now the CLI says the artifact's configuration
+    wins."""
+    rc = main([
+        "--seeds", "25", "--fabric", "unordered",
+        "--mutate", "drop_order_barrier",
+        "--max-failures", "1", "--artifact-dir", str(tmp_path), "-q",
+    ])
+    assert rc == 1
+    artifacts = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+    capsys.readouterr()
+
+    rc = main(["--replay", str(tmp_path / artifacts[0]), "--shared"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "ignored during replay" in out
+
+
+def test_notify_sweep_clean_and_mutation_caught(tmp_path, capsys):
+    """The --notify mode: a clean sweep passes; the planted
+    notify_before_apply mutation is caught and its artifact records
+    the notify provenance."""
+    assert main(["--notify", "--seeds", "3", "--fabric",
+                 "ordered,unordered", "-q"]) == 0
+    capsys.readouterr()
+
+    rc = main([
+        "--notify", "--seeds", "6", "--fabric", "torus",
+        "--mutate", "notify_before_apply", "--shrink",
+        "--max-failures", "1", "--artifact-dir", str(tmp_path), "-q",
+    ])
+    assert rc == 1
+    artifacts = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+    assert artifacts
+    doc = json.loads((tmp_path / artifacts[0]).read_text())
+    assert doc["notify"] is True
+    kinds = {op["kind"] for op in doc["program"]["ops"]}
+    assert "wait_notify" in kinds

@@ -1,0 +1,99 @@
+"""The notify workload suite and its report plumbing (ISSUE 9).
+
+Quick-sized runs of the three workloads (notified halo, queue
+pipeline, lock contention) plus the ``repro.obs.report --notify``
+table — including the alignment property the shared ``format_rows``
+helper guarantees for labels that contain ``:`` or ``=``.
+"""
+
+import pytest
+
+from repro.bench.notify_workloads import (
+    NOTIFY_FABRICS,
+    format_notify_table,
+    lock_sweep_run,
+    notified_halo_time,
+    pipeline_run,
+    run_notify_report,
+)
+from repro.obs.report import format_rows
+
+
+class TestHaloWorkload:
+    def test_notify_beats_flush_on_flat(self):
+        notify = notified_halo_time(mode="notify", n_ranks=8, iterations=4)
+        flush = notified_halo_time(mode="flush", n_ranks=8, iterations=4)
+        assert notify["us_per_iter"] < flush["us_per_iter"]
+        assert notify["notify_latency"]["count"] > 0
+
+    def test_halo_runs_on_a_routed_fabric(self):
+        doc = notified_halo_time(mode="notify", fabric="torus", n_ranks=4,
+                                 iterations=2)
+        assert doc["us_per_iter"] > 0.0
+        assert doc["notify_latency"]["count"] > 0
+
+
+class TestPipelineWorkload:
+    def test_items_flow_end_to_end(self):
+        doc = pipeline_run(n_ranks=4, items=8, capacity=2)
+        assert doc["items"] == 8
+        assert doc["us_per_item"] > 0.0
+        # every hop waited at least once on data notifications
+        assert doc["pop_wait"]["count"] > 0
+
+
+class TestLockWorkload:
+    @pytest.mark.parametrize("kind", ["mcs", "tree"])
+    def test_contention_sweep_exclusive(self, kind):
+        # lock_sweep_run re-derives mutual exclusion from the recorded
+        # critical-section spans and raises on any overlap.
+        doc = lock_sweep_run(n_ranks=4, acquires=2, kind=kind)
+        assert doc["acquires"] == 8
+        # tree locks record one wait per level (local + root)
+        assert doc["lock_wait"]["count"] == (16 if kind == "tree" else 8)
+
+
+class TestNotifyReport:
+    def test_quick_report_all_rows(self):
+        doc = run_notify_report(fabrics=("flat",), seeds=(0,), quick=True)
+        kinds = {(r["workload"], r.get("mode")) for r in doc["rows"]}
+        assert kinds == {("halo", "notify"), ("halo", "flush"),
+                         ("pipeline", None), ("lock", None)}
+        table = format_notify_table(doc)
+        lines = table.splitlines()
+        assert len(lines) >= 2 + len(doc["rows"])
+
+    def test_fabric_names_cover_the_three_personalities(self):
+        assert set(NOTIFY_FABRICS) == {"flat", "torus", "fattree"}
+
+
+class TestFormatRows:
+    def test_colon_labels_do_not_break_alignment(self):
+        rows = [
+            ["metric", "count", "p99"],
+            ["path=0:3", "12", "4.50"],
+            ["nic:0/tx", "3", "10.25"],
+            ["plain", "111111", "0.10"],
+        ]
+        out = format_rows(rows)
+        lines = out.splitlines()
+        # header + rule + 3 data rows, all the same rendered width
+        # (modulo the trailing-space strip on left-aligned last cells)
+        assert len(lines) == 5
+        widths = {len(l) for l in lines[:2]}
+        assert len(widths) == 1
+        # numeric columns right-aligned: the p99 values line up
+        cols = [l.rindex(l.split()[-1]) + len(l.split()[-1])
+                for l in lines[2:]]
+        assert len(set(cols)) == 1
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_rows([["a", "b"], ["only-one"]])
+
+    def test_left_align_columns(self):
+        rows = [["name", "v"], ["x", "1"], ["longer", "2"]]
+        out = format_rows(rows, left_align=(0,))
+        lines = out.splitlines()
+        assert lines[2].startswith("x ")
+        assert lines[3].startswith("longer")
