@@ -171,6 +171,90 @@ def bench_fig2(sizes=(1024, 16384, 65536),
     }
 
 
+def _ir_workload(n_ranks: int = 6, rounds: int = 3,
+                 puts_per_round: int = 16, put_bytes: int = 32):
+    """The pinned IR-optimization benchmark program: per epoch, every
+    rank streams a contiguous run of small same-value scratch puts at
+    its right neighbor — each demanding ``remote_completion`` — then
+    flushes twice (order, then complete); a final epoch peeks every
+    written span so the stores are observable.
+
+    The shape is chosen so each pipeline pass has measurable work: the
+    order flush is subsumed by the adjacent complete (coalescing), the
+    ``remote_completion`` on a non-blocking put is inert (relaxation —
+    and on the InfiniBand-like fabric, which has no hardware delivery
+    acks, it is exactly what keeps the run off the op-train), and the
+    relaxed run is a gapless same-value interval chain (aggregation
+    into one batched put that rides the train)."""
+    from repro.check.program import ProgOp, RmaProgram
+
+    ops = []
+    for epoch in range(rounds):
+        if epoch:
+            ops.append(ProgOp(rank=-1, kind="sync"))
+        for rank in range(n_ranks):
+            tgt = (rank + 1) % n_ranks
+            for k in range(puts_per_round):
+                ops.append(ProgOp(
+                    rank=rank, kind="noise", target=tgt,
+                    disp=512 + k * put_bytes, nbytes=put_bytes,
+                    value=1 + rank, attrs=("remote_completion",)))
+            ops.append(ProgOp(rank=rank, kind="order", target=tgt))
+            ops.append(ProgOp(rank=rank, kind="complete", target=tgt))
+    ops.append(ProgOp(rank=-1, kind="sync"))
+    for rank in range(n_ranks):
+        ops.append(ProgOp(
+            rank=rank, kind="peek", target=(rank + 1) % n_ranks,
+            disp=512, nbytes=puts_per_round * put_bytes,
+            attrs=("blocking",)))
+    program = RmaProgram(n_ranks=n_ranks, vars=(), ops=tuple(ops),
+                         label="ir-opt-bench")
+    program.validate()
+    return program
+
+
+def bench_ir_opt(n_ranks: int = 6, rounds: int = 3,
+                 puts_per_round: int = 16, repeats: int = 3) -> Dict[str, Any]:
+    """Wall-clock + simulated time of the pinned IR workload, original
+    vs pipeline-optimized, on the InfiniBand-like fabric (no hardware
+    delivery acks — the fabric the relaxation pass targets)."""
+    from repro.check.runner import run_program
+    from repro.ir.passes import PIPELINE, optimize
+
+    program = _ir_workload(n_ranks=n_ranks, rounds=rounds,
+                           puts_per_round=puts_per_round)
+    optimized, _, pass_stats = optimize(program, PIPELINE)
+
+    def arm(p) -> Dict[str, Any]:
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_program(p, "infiniband", 0, trace=False)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best["wall_sec"]:
+                best = {
+                    "wall_sec": wall,
+                    "sim_us": result.sim_time,
+                    "ops": len(p.ops),
+                    "train_ops": result.stats["train_ops"],
+                    "train_bytes": result.stats["train_bytes"],
+                }
+        return best
+
+    original = arm(program)
+    opt = arm(optimized)
+    return {
+        "fabric": "infiniband",
+        "n_ranks": n_ranks,
+        "rounds": rounds,
+        "puts_per_round": puts_per_round,
+        "pass_stats": [s.to_dict() for s in pass_stats],
+        "original": original,
+        "optimized": opt,
+        "wall_speedup": original["wall_sec"] / opt["wall_sec"],
+    }
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -326,6 +410,11 @@ def main(argv: Optional[list] = None) -> int:
                              "declines too); CI runs --compare both ways to "
                              "pin that the fast paths never move simulated "
                              "time")
+    parser.add_argument("--ir-opt", action="store_true",
+                        help="run only the pinned IR-optimization point: "
+                             "the same program executed original vs "
+                             "pipeline-optimized on the InfiniBand-like "
+                             "fabric (prints the point, writes nothing)")
     parser.add_argument("--shared-windows", action="store_true",
                         help="treat every RMA exposure as a shared-memory "
                              "window; the bench machines place one rank per "
@@ -339,6 +428,29 @@ def main(argv: Optional[list] = None) -> int:
     if args.shared_windows:
         from repro.rma.engine import RmaEngine
         RmaEngine.shared_default = True
+
+    if args.ir_opt:
+        point = bench_ir_opt()
+        orig, opt = point["original"], point["optimized"]
+        print(f"[perf] ir-opt point ({point['fabric']}, "
+              f"{point['n_ranks']} ranks, {point['rounds']} rounds x "
+              f"{point['puts_per_round']} puts):")
+        print(f"[perf]   original : {orig['ops']:4d} ops, "
+              f"{orig['train_ops']:3d} train ops "
+              f"({orig['train_bytes']} B), sim {orig['sim_us']:.2f} µs, "
+              f"wall {orig['wall_sec']:.4f}s")
+        print(f"[perf]   optimized: {opt['ops']:4d} ops, "
+              f"{opt['train_ops']:3d} train ops "
+              f"({opt['train_bytes']} B), sim {opt['sim_us']:.2f} µs, "
+              f"wall {opt['wall_sec']:.4f}s")
+        for s in point["pass_stats"]:
+            print(f"[perf]   pass {s['name']}: "
+                  f"-{s['ops_eliminated']} ops, "
+                  f"{s['flushes_removed']} flushes, "
+                  f"{s['attrs_dropped']} attrs, "
+                  f"{s['bytes_batched']} B batched")
+        print(f"[perf]   wall speedup: {point['wall_speedup']:.2f}x")
+        return 0
 
     if args.compare:
         try:

@@ -22,22 +22,26 @@ delivers as it grows fast paths, transports, and routed topologies:
 4. a CLI — ``python -m repro.check --seeds 0:100 --fabric all``.
 """
 
-from repro.check.generator import generate_program
+from repro.check.config import CONFIG_VERSION, RunConfig
+from repro.check.generator import generate_ir, generate_program
 from repro.check.oracle import CheckReport, CheckViolation, check_program
 from repro.check.program import ProgOp, RmaProgram, VarSpec
 from repro.check.runner import FABRICS, RunResult, build_world, run_program
 from repro.check.shrink import load_artifact, replay_artifact, shrink
 
 __all__ = [
+    "CONFIG_VERSION",
     "FABRICS",
     "CheckReport",
     "CheckViolation",
+    "RunConfig",
     "ProgOp",
     "RmaProgram",
     "RunResult",
     "VarSpec",
     "build_world",
     "check_program",
+    "generate_ir",
     "generate_program",
     "load_artifact",
     "replay_artifact",

@@ -21,9 +21,9 @@ import sys
 import time
 from typing import Iterator, List, Optional, Tuple
 
+from repro.check.config import RunConfig
 from repro.check.generator import generate_program
-from repro.check.oracle import check_program
-from repro.check.runner import FABRICS, run_program
+from repro.check.runner import FABRICS
 from repro.check.shrink import replay_artifact, save_artifact, shrink
 from repro.obs.metrics import MetricsRegistry
 
@@ -134,6 +134,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="apply a test-only engine mutation (e.g. drop_order_barrier) "
              "— used to prove the oracle catches planted bugs.")
     parser.add_argument(
+        "--ir-opt", action="store_true",
+        help="run every program through the IR optimizing pipeline and "
+             "check all three differential arms (original, optimized, "
+             "refinement against the original's oracle).")
+    parser.add_argument(
+        "--ir-passes", metavar="NAMES",
+        help="comma-separated IR pass names to apply instead of the "
+             "full pipeline (implies --ir-opt); test-only passes like "
+             "coalesce_too_eager are allowed here.")
+    parser.add_argument(
         "--max-failures", type=int, default=5,
         help="stop after this many violating programs. Default: 5.")
     parser.add_argument("-q", "--quiet", action="store_true")
@@ -156,17 +166,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"replay of {args.replay}: {len(violations)} "
                   f"violation(s) reproduced")
             return 1
-        if args.shared or args.chaos or args.mutate:
-            print("note: --shared/--chaos/--mutate are ignored during "
-                  "replay; the artifact's recorded configuration is "
-                  "restored instead")
-        restored = (f"fabric={doc.get('fabric')} seed={doc.get('seed')} "
-                    f"chaos={doc.get('chaos', 0.0)}")
-        if doc.get("shared"):
-            restored += " shared (paired machine, load/store windows)"
-        if doc.get("mutations"):
-            restored += f" mutations={doc['mutations']}"
-        print(f"replaying {args.replay} [{restored}]")
+        if args.shared or args.chaos or args.mutate or args.ir_opt \
+                or args.ir_passes:
+            print("note: --shared/--chaos/--mutate/--ir-opt are ignored "
+                  "during replay; the artifact's recorded configuration "
+                  "is restored instead")
+        restored = RunConfig.from_artifact(doc)
+        print(f"replaying {args.replay} [{restored.describe()}]")
         report = replay_artifact(args.replay)
         for v in report.violations:
             print(f"  {v}")
@@ -194,6 +200,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if failures else 0
 
     mutations = tuple(args.mutate)
+    if args.ir_passes:
+        ir_passes = tuple(
+            p.strip() for p in args.ir_passes.split(",") if p.strip())
+    elif args.ir_opt:
+        from repro.ir.passes import PIPELINE
+
+        ir_passes = PIPELINE
+    else:
+        ir_passes = ()
+    if ir_passes:
+        from repro.ir.passes import PASSES
+
+        for name in ir_passes:
+            if name not in PASSES:
+                parser.error(f"unknown IR pass {name!r}; choose from "
+                             f"{sorted(PASSES)}")
     metrics = MetricsRegistry()
     programs = metrics.counter("check.programs")
     ops_counter = metrics.counter("check.ops")
@@ -211,9 +233,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for fabric in fabrics:
             if time.monotonic() - started >= budget:
                 break
-            result = run_program(program, fabric, seed, chaos=args.chaos,
-                                 mutations=mutations, shared=args.shared)
-            report = check_program(result)
+            config = RunConfig(
+                fabric=fabric, seed=seed, chaos=args.chaos,
+                mutations=mutations, shared=args.shared,
+                notify=args.notify, ir_passes=ir_passes)
+            report = config.check(program)
             programs.inc()
             ops_counter.inc(len(program.ops))
             skipped_counter.inc(len(report.skipped))
@@ -222,9 +246,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"seed {seed} [{fabric}]: skipped {note}")
             if report.ok:
                 if not args.quiet:
+                    arms = (", 3 differential arms"
+                            if "ir-refinement" in report.checks_run else "")
                     print(f"seed {seed} [{fabric}]: ok "
-                          f"({len(program.ops)} ops, "
-                          f"{result.stats['history_ops']} traced)")
+                          f"({len(program.ops)} ops{arms})")
                 continue
 
             failures += 1
@@ -234,8 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             for v in report.violations:
                 print(f"  {v}")
             if args.shrink:
-                res = shrink(program, fabric, seed, chaos=args.chaos,
-                             mutations=mutations, shared=args.shared)
+                res = shrink(program, config=config)
                 program_out, report_out = res.program, res.report
                 print(f"  shrunk {res.original_ops} -> {res.shrunk_ops} "
                       f"ops in {res.executions} executions")
@@ -243,10 +267,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 program_out, report_out = program, report
             path = os.path.join(
                 args.artifact_dir, f"check-fail-{fabric}-s{seed}.json")
-            save_artifact(path, program_out, report_out,
-                          chaos=args.chaos, mutations=mutations,
-                          shared=args.shared,
-                          extra={"notify": True} if args.notify else None)
+            save_artifact(path, program_out, report_out, config=config)
             artifacts.append(path)
             print(f"  artifact: {path}")
             if failures >= args.max_failures:

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional
 
 from repro.check.program import ProgOp, RmaProgram, VarSpec
 
-__all__ = ["generate_program"]
+__all__ = ["generate_program", "generate_ir"]
 
 _STRICT_ATTRS = ("ordering", "remote_completion", "atomicity", "blocking")
 
@@ -364,3 +364,13 @@ def generate_program(
     )
     program.validate()
     return program
+
+
+def generate_ir(seed: int, **kwargs):
+    """Generate a program directly in IR form
+    (:class:`repro.ir.ops.IrProgram`) — same grammar, same seeds, same
+    bytes: ``generate_ir(s).to_program() == generate_program(s)``.
+    Accepts :func:`generate_program`'s keyword arguments."""
+    from repro.ir.ops import IrProgram  # deferred: repro.ir imports us
+
+    return IrProgram.from_program(generate_program(seed, **kwargs))

@@ -370,6 +370,8 @@ def run_program(
             "history_ops": len(history),
             "train_ops": sum(ctx.rma.engine.stats["train_ops"]
                              for ctx in world.contexts.values()),
+            "train_bytes": sum(ctx.rma.engine.stats["train_bytes"]
+                               for ctx in world.contexts.values()),
             "shm_ops": sum(ctx.rma.engine.stats["shm_ops"]
                            for ctx in world.contexts.values()),
             "notifies": sum(ctx.rma.engine.stats["notifies"]

@@ -1,32 +1,38 @@
 """Delta-debugging shrinker + replayable JSON artifacts.
 
 Classic ddmin over the program's flat op list: every candidate subset
-is *re-executed* on the same (fabric, seed, chaos, mutations)
-configuration and kept only if the oracle still reports a violation.
-Because any subsequence of ``ops`` is again a valid program (the IR
-guarantees it), no repair pass is needed — the result is a 1-minimal
-op list: removing any single remaining op makes the failure disappear.
+is *re-executed* on the same :class:`~repro.check.config.RunConfig`
+and kept only if the oracle still reports a violation.  Because any
+subsequence of ``ops`` is again a valid program (the IR guarantees
+it), no repair pass is needed — the result is a 1-minimal op list:
+removing any single remaining op makes the failure disappear.  When
+the config carries ``ir_passes``, every candidate goes through the
+full three-arm differential harness, so a failure introduced by an
+unsound optimizing pass shrinks exactly like an engine bug.
 
-The shrunk reproducer is serialized as a self-contained JSON artifact
-(program + configuration + the violations observed), and
-:func:`replay_artifact` re-runs it from the file — the CLI's
-``--replay`` path and the CI failure workflow both go through it.
+The shrunk reproducer is serialized as a self-contained JSON artifact:
+program + the config's single versioned dict + the violations
+observed.  :func:`replay_artifact` re-runs it from the file — the
+CLI's ``--replay`` path and the CI failure workflow both go through
+it.  Version-1 artifacts (through PR 9, configuration scattered over
+top-level keys) still load and replay byte-for-byte the same way.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.check.oracle import CheckReport, check_program
+from repro.check.config import RunConfig
+from repro.check.oracle import CheckReport
 from repro.check.program import RmaProgram
-from repro.check.runner import run_program
 
 __all__ = ["ShrinkResult", "ddmin_list", "shrink", "save_artifact",
            "load_artifact", "replay_artifact"]
 
-ARTIFACT_VERSION = 1
+#: v2: the run configuration became one versioned ``"config"`` dict.
+ARTIFACT_VERSION = 2
 
 
 def ddmin_list(items: List, fails: Callable[[List], Optional[object]],
@@ -86,41 +92,45 @@ class ShrinkResult:
         return len(self.program.ops)
 
 
-def _fails(program: RmaProgram, fabric: str, seed: int, chaos: float,
-           mutations: Tuple[str, ...],
-           shared: bool = False) -> Optional[CheckReport]:
+def _fails(program: RmaProgram, config: RunConfig) -> Optional[CheckReport]:
     """Run + check; the report when it still violates, else ``None``.
 
     A candidate subset that deadlocks or crashes the stack is treated
     as *not failing* (we are minimizing the observed conformance
     violation, not whatever new problem an odd subset tickles)."""
     try:
-        result = run_program(program, fabric, seed, chaos=chaos,
-                             mutations=mutations, shared=shared)
+        report = config.check(program)
     except Exception:
         return None
-    report = check_program(result)
     return report if report.violations else None
 
 
 def shrink(
     program: RmaProgram,
-    fabric: str,
-    seed: int,
+    fabric=None,
+    seed: Optional[int] = None,
     chaos: float = 0.0,
     mutations: Tuple[str, ...] = (),
     shared: bool = False,
     max_executions: int = 400,
+    config: Optional[RunConfig] = None,
 ) -> ShrinkResult:
     """ddmin-minimize a failing program.
 
-    ``program`` must already fail on the given configuration (raises
-    otherwise — a shrink request for a passing program is a caller
-    bug)."""
+    Pass either a :class:`RunConfig` (``config=...`` or as the second
+    positional argument) or the legacy loose ``(fabric, seed, ...)``
+    parameters.  ``program`` must already fail on the configuration
+    (raises otherwise — a shrink request for a passing program is a
+    caller bug)."""
+    if config is None:
+        if isinstance(fabric, RunConfig):
+            config = fabric
+        else:
+            config = RunConfig(fabric=fabric, seed=seed, chaos=chaos,
+                               mutations=tuple(mutations), shared=shared)
 
     def fails(candidate_ops: List) -> Optional[CheckReport]:
-        return _fails(program.with_ops(candidate_ops), fabric, seed, chaos,
-                      mutations, shared)
+        return _fails(program.with_ops(candidate_ops), config)
 
     try:
         ops, best_report, executions = ddmin_list(
@@ -128,8 +138,8 @@ def shrink(
         )
     except ValueError:
         raise ValueError(
-            f"program does not fail on fabric={fabric!r} seed={seed} — "
-            "nothing to shrink")
+            f"program does not fail on fabric={config.fabric!r} "
+            f"seed={config.seed} — nothing to shrink")
 
     return ShrinkResult(program=program.with_ops(ops), report=best_report,
                         original_ops=len(program.ops),
@@ -144,19 +154,27 @@ def save_artifact(
     program: RmaProgram,
     report: CheckReport,
     *,
+    config: Optional[RunConfig] = None,
     chaos: float = 0.0,
     mutations: Tuple[str, ...] = (),
     shared: bool = False,
     extra: Optional[Dict] = None,
 ) -> None:
-    """Write a self-contained failing-program JSON artifact."""
+    """Write a self-contained failing-program JSON artifact.
+
+    The run configuration is recorded as one versioned dict under
+    ``"config"``.  Callers without a :class:`RunConfig` in hand may
+    still pass the legacy loose kwargs (fabric and seed come from the
+    report); an ``extra={"notify": True}`` toggle folds into it."""
+    extra = dict(extra) if extra else None
+    if config is None:
+        config = RunConfig(
+            fabric=report.fabric, seed=report.seed, chaos=chaos,
+            mutations=tuple(mutations), shared=shared,
+            notify=bool(extra and extra.pop("notify", False)))
     doc = {
         "version": ARTIFACT_VERSION,
-        "fabric": report.fabric,
-        "seed": report.seed,
-        "chaos": chaos,
-        "mutations": list(mutations),
-        "shared": shared,
+        "config": config.to_dict(),
         "program": program.to_dict(),
         "violations": [
             {"check": v.check, "vid": v.vid, "message": v.message}
@@ -171,24 +189,27 @@ def save_artifact(
 
 
 def load_artifact(path: str) -> Dict:
-    """Load and minimally validate an artifact file."""
+    """Load and minimally validate an artifact file (v1 or v2).
+
+    The returned document always carries a normalized ``"config"``
+    dict, synthesized from the top-level keys for v1 files."""
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("version") != ARTIFACT_VERSION:
+    version = doc.get("version")
+    if version not in (1, ARTIFACT_VERSION):
         raise ValueError(
-            f"unsupported artifact version {doc.get('version')!r} in {path}")
+            f"unsupported artifact version {version!r} in {path}")
+    config = RunConfig.from_artifact(doc)
+    doc["config"] = config.to_dict()
     RmaProgram.from_dict(doc["program"]).validate()
     return doc
 
 
 def replay_artifact(path: str) -> CheckReport:
     """Re-execute an artifact's program on its recorded configuration
-    and re-check it; returns the fresh report."""
+    and re-check it; returns the fresh report.  Artifacts recorded
+    with ``ir_passes`` replay through the full three-arm differential
+    harness."""
     doc = load_artifact(path)
     program = RmaProgram.from_dict(doc["program"])
-    result = run_program(
-        program, doc["fabric"], doc["seed"], chaos=doc.get("chaos", 0.0),
-        mutations=tuple(doc.get("mutations", ())),
-        shared=doc.get("shared", False),
-    )
-    return check_program(result)
+    return RunConfig.from_artifact(doc).check(program)

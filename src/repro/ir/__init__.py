@@ -1,0 +1,52 @@
+"""The RMA program IR with verified optimizing passes (DESIGN §16).
+
+- :mod:`repro.ir.ops` — the typed SSA-ish IR (:class:`IrProgram`),
+  lossless round trip with :class:`~repro.check.program.RmaProgram`;
+- :mod:`repro.ir.text` — the human-readable text format;
+- :mod:`repro.ir.passes` — the optimizing pass pipeline, each pass a
+  pure IR→IR function with a machine-checkable legality precondition;
+- :mod:`repro.ir.verify` — the differential refinement harness that
+  proves every pass preserves the conformance oracle's semantics on
+  the full simulated stack, fabric by fabric.
+"""
+
+from repro.ir.ops import IR_KINDS, IrOp, IrProgram
+from repro.ir.passes import (
+    PASSES,
+    PIPELINE,
+    IrPassError,
+    Pass,
+    PassStats,
+    optimize,
+    run_pipeline,
+)
+from repro.ir.text import parse_ir, print_ir
+
+
+def __getattr__(name):
+    # Lazy: importing repro.ir.verify here would shadow the module when
+    # it is executed as ``python -m repro.ir.verify`` (runpy warning).
+    if name in ("VerifyReport", "rekey_result", "verify_program",
+                "check_optimized"):
+        from repro.ir import verify
+
+        return getattr(verify, name)
+    raise AttributeError(name)
+
+__all__ = [
+    "IR_KINDS",
+    "IrOp",
+    "IrPassError",
+    "IrProgram",
+    "PASSES",
+    "PIPELINE",
+    "Pass",
+    "PassStats",
+    "VerifyReport",
+    "optimize",
+    "parse_ir",
+    "print_ir",
+    "rekey_result",
+    "run_pipeline",
+    "verify_program",
+]

@@ -1,0 +1,410 @@
+"""The RMA program IR: typed ops with explicit epoch/window operands.
+
+:class:`IrProgram` is the SSA-ish promotion of
+:class:`~repro.check.program.RmaProgram` (DESIGN §16).  Where the check
+format keeps one flat op list with implicit structure, the IR makes the
+structure *operands*:
+
+- every op carries its **epoch** (the number of preceding fences) and
+  the **window** it touches — the target rank whose exposed region the
+  op reads or writes (``-1`` for "all"/"none") — so a pass never has to
+  re-derive either;
+- value-producing ops (``get``/``load``/``getacc``/``rmw``) name their
+  result with a monotonically-assigned SSA id (``%N``), the stable key
+  optimizing passes use to map observed returns back onto source ops;
+- every op records its **origin** — the canonical-interleaving indices
+  of the source op(s) it descends from — so a whole pass pipeline stays
+  provenance-complete: the verifier re-keys an optimized run's
+  observables onto the *original* program and checks them under the
+  original's (stronger) oracle.
+
+The op vocabulary is normalized relative to the check format: raw-range
+scratch traffic (``noise``/``peek``) becomes a ``put``/``get`` with
+``var = -1`` and an explicit byte range; the three read-modify-write
+kinds collapse into one ``rmw`` op with an ``rmw_op`` operand; the
+``order``/``complete`` calls become a single ``flush`` op with a mode;
+the collective ``sync`` becomes ``fence``.  ``from_program`` /
+``to_program`` are exact inverses — program → IR → program is an
+identity, which the round-trip suite pins on 50 generated seeds.
+
+The canonical op order is preserved: the IR's op list *is* the
+canonical interleaving, and ``rank_view`` restricts it to one rank's
+program order (plus the collective fences), exactly like
+``RmaProgram.ops_for``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.check.program import SLOT_BYTES, ProgOp, RmaProgram, VarSpec
+
+__all__ = ["IrOp", "IrProgram", "IR_KINDS", "RESULT_KINDS", "REMOTE_KINDS"]
+
+#: The IR op vocabulary.
+IR_KINDS = (
+    "put",          # remote write: a var slot (var >= 0) or a raw range
+    "store",        # local whole-slot write of an own data var
+    "get",          # remote read: a var slot or a raw range (peek)
+    "load",         # local read of an own data var
+    "acc",          # accumulate(sum) on a counter var
+    "getacc",       # get_accumulate(sum) on a counter var
+    "rmw",          # cas / swap / fetch_add (the rmw_op operand)
+    "flush",        # order / complete (the flush operand) to one window
+    "fence",        # collective epoch boundary (complete_collective)
+    "wait_notify",  # block until a notified put's board delivery
+    "compute",      # local compute phase
+)
+
+#: Kinds that produce an SSA result value.
+RESULT_KINDS = ("get", "load", "getacc", "rmw")
+
+#: Kinds that put traffic on the wire toward a remote window.
+REMOTE_KINDS = ("put", "get", "acc", "getacc", "rmw")
+
+#: rmw_op operand values and the check-format kind each maps back to.
+RMW_OPS = ("cas", "swap", "fetch_add")
+
+
+@dataclass(frozen=True)
+class IrOp:
+    """One typed IR operation (see module docstring for the kinds)."""
+
+    kind: str
+    rank: int                     # issuing rank; fences use -1
+    epoch: int                    # explicit epoch operand
+    window: int = -1              # target rank's region; -1 = all/none
+    var: int = -1                 # vid, or -1 for a raw byte range
+    disp: int = -1                # byte displacement inside the window
+    nbytes: int = 0               # access size in bytes
+    value: int = 0                # fill byte / operand / rmw value
+    compare: int = 0              # rmw cas compare value
+    rmw_op: str = ""              # "cas" | "swap" | "fetch_add"
+    flush: str = ""               # "order" | "complete"
+    attrs: Tuple[str, ...] = ()   # RmaAttrs flags that are set
+    via_xfer: bool = False
+    duration: float = 0.0         # compute phase length (µs)
+    notify: int = 0               # notification match value (0 = none)
+    result: int = -1              # SSA result id, -1 when none
+    origin: Tuple[int, ...] = ()  # source canonical op indices
+
+    def __post_init__(self) -> None:
+        if self.kind not in IR_KINDS:
+            raise ValueError(f"unknown IR op kind {self.kind!r}")
+        if self.kind == "rmw" and self.rmw_op not in RMW_OPS:
+            raise ValueError(f"rmw needs an rmw_op operand: {self}")
+        if self.kind == "flush" and self.flush not in ("order", "complete"):
+            raise ValueError(f"flush needs a flush mode operand: {self}")
+
+    def has(self, flag: str) -> bool:
+        return flag in self.attrs
+
+    @property
+    def is_remote(self) -> bool:
+        return self.kind in REMOTE_KINDS
+
+    @property
+    def is_raw(self) -> bool:
+        """A raw-range scratch access (the check format's noise/peek)."""
+        return self.kind in ("put", "get") and self.var < 0
+
+    def interval(self) -> Optional[Tuple[int, int, int]]:
+        """The (window, lo, hi) byte interval this op accesses, or
+        ``None`` for ops that touch no window memory (flush/fence/
+        compute/wait_notify)."""
+        if self.kind in ("flush", "fence", "compute", "wait_notify"):
+            return None
+        return (self.window, self.disp, self.disp + self.nbytes)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"kind": self.kind, "rank": self.rank,
+                             "epoch": self.epoch, "window": self.window,
+                             "origin": list(self.origin)}
+        if self.var >= 0:
+            d["var"] = self.var
+        if self.disp >= 0:
+            d["disp"] = self.disp
+        if self.nbytes:
+            d["nbytes"] = self.nbytes
+        if self.value:
+            d["value"] = self.value
+        if self.compare:
+            d["compare"] = self.compare
+        if self.rmw_op:
+            d["rmw_op"] = self.rmw_op
+        if self.flush:
+            d["flush"] = self.flush
+        if self.attrs:
+            d["attrs"] = list(self.attrs)
+        if self.via_xfer:
+            d["via_xfer"] = True
+        if self.duration:
+            d["duration"] = self.duration
+        if self.notify:
+            d["notify"] = self.notify
+        if self.result >= 0:
+            d["result"] = self.result
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "IrOp":
+        return cls(
+            kind=d["kind"], rank=d["rank"], epoch=d["epoch"],
+            window=d["window"], var=d.get("var", -1),
+            disp=d.get("disp", -1), nbytes=d.get("nbytes", 0),
+            value=d.get("value", 0), compare=d.get("compare", 0),
+            rmw_op=d.get("rmw_op", ""), flush=d.get("flush", ""),
+            attrs=tuple(d.get("attrs", ())),
+            via_xfer=d.get("via_xfer", False),
+            duration=d.get("duration", 0.0), notify=d.get("notify", 0),
+            result=d.get("result", -1),
+            origin=tuple(d["origin"]),
+        )
+
+
+#: check-format kind -> IR kind for the rmw family.
+_RMW_FROM = {"cas": "cas", "swap": "swap", "fetch_add": "fetch_add"}
+
+
+def _op_to_ir(i: int, op: ProgOp, epoch: int, by_vid: Dict[int, VarSpec],
+              next_result: List[int]) -> IrOp:
+    """Lower one check-format op (at canonical index ``i``)."""
+
+    def result_id() -> int:
+        rid = next_result[0]
+        next_result[0] += 1
+        return rid
+
+    origin = (i,)
+    kind = op.kind
+    if kind == "sync":
+        return IrOp(kind="fence", rank=-1, epoch=epoch, origin=origin)
+    if kind == "compute":
+        return IrOp(kind="compute", rank=op.rank, epoch=epoch,
+                    duration=op.duration, origin=origin)
+    if kind in ("order", "complete"):
+        return IrOp(kind="flush", rank=op.rank, epoch=epoch,
+                    window=op.target, flush=kind, origin=origin)
+    if kind == "wait_notify":
+        return IrOp(kind="wait_notify", rank=op.rank, epoch=epoch,
+                    window=op.rank, var=op.var,
+                    disp=SLOT_BYTES * op.var, nbytes=SLOT_BYTES,
+                    notify=op.notify, origin=origin)
+    if kind == "noise":
+        return IrOp(kind="put", rank=op.rank, epoch=epoch,
+                    window=op.target, disp=op.disp, nbytes=op.nbytes,
+                    value=op.value, attrs=op.attrs, origin=origin)
+    if kind == "peek":
+        return IrOp(kind="get", rank=op.rank, epoch=epoch,
+                    window=op.target, disp=op.disp, nbytes=op.nbytes,
+                    attrs=op.attrs, result=result_id(), origin=origin)
+
+    v = by_vid[op.var]
+    common = dict(rank=op.rank, epoch=epoch, window=v.owner, var=op.var,
+                  disp=v.disp, nbytes=SLOT_BYTES, origin=origin)
+    if kind == "put":
+        return IrOp(kind="put", value=op.value, attrs=op.attrs,
+                    via_xfer=op.via_xfer, notify=op.notify, **common)
+    if kind == "store":
+        # Local stores ignore attrs at run time, but generated programs
+        # may carry them — keep them for the exact round trip.
+        common["window"] = op.rank
+        return IrOp(kind="store", value=op.value, attrs=op.attrs, **common)
+    if kind == "get":
+        return IrOp(kind="get", attrs=op.attrs, via_xfer=op.via_xfer,
+                    result=result_id(), **common)
+    if kind == "load":
+        common["window"] = op.rank
+        return IrOp(kind="load", result=result_id(), **common)
+    if kind == "acc":
+        return IrOp(kind="acc", value=op.value, attrs=op.attrs,
+                    via_xfer=op.via_xfer, **common)
+    if kind == "getacc":
+        return IrOp(kind="getacc", value=op.value, attrs=op.attrs,
+                    via_xfer=op.via_xfer, result=result_id(), **common)
+    if kind in _RMW_FROM:
+        return IrOp(kind="rmw", rmw_op=kind, value=op.value,
+                    compare=op.compare, attrs=op.attrs,
+                    result=result_id(), **common)
+    raise ValueError(f"cannot lower op kind {kind!r}")  # pragma: no cover
+
+
+def _ir_to_op(op: IrOp) -> ProgOp:
+    """Raise one IR op back to the check format (exact inverse)."""
+    kind = op.kind
+    if kind == "fence":
+        return ProgOp(rank=-1, kind="sync")
+    if kind == "compute":
+        return ProgOp(rank=op.rank, kind="compute", duration=op.duration)
+    if kind == "flush":
+        return ProgOp(rank=op.rank, kind=op.flush, target=op.window)
+    if kind == "wait_notify":
+        return ProgOp(rank=op.rank, kind="wait_notify", var=op.var,
+                      notify=op.notify)
+    if kind == "put":
+        if op.var < 0:
+            return ProgOp(rank=op.rank, kind="noise", target=op.window,
+                          nbytes=op.nbytes, disp=op.disp, value=op.value,
+                          attrs=op.attrs)
+        return ProgOp(rank=op.rank, kind="put", var=op.var, value=op.value,
+                      attrs=op.attrs, via_xfer=op.via_xfer,
+                      notify=op.notify)
+    if kind == "get":
+        if op.var < 0:
+            return ProgOp(rank=op.rank, kind="peek", target=op.window,
+                          nbytes=op.nbytes, disp=op.disp, attrs=op.attrs)
+        return ProgOp(rank=op.rank, kind="get", var=op.var, attrs=op.attrs,
+                      via_xfer=op.via_xfer)
+    if kind == "store":
+        return ProgOp(rank=op.rank, kind="store", var=op.var,
+                      value=op.value, attrs=op.attrs)
+    if kind == "load":
+        return ProgOp(rank=op.rank, kind="load", var=op.var)
+    if kind == "acc":
+        return ProgOp(rank=op.rank, kind="acc", var=op.var, value=op.value,
+                      attrs=op.attrs, via_xfer=op.via_xfer)
+    if kind == "getacc":
+        return ProgOp(rank=op.rank, kind="getacc", var=op.var,
+                      value=op.value, attrs=op.attrs, via_xfer=op.via_xfer)
+    if kind == "rmw":
+        return ProgOp(rank=op.rank, kind=op.rmw_op, var=op.var,
+                      value=op.value, compare=op.compare, attrs=op.attrs)
+    raise ValueError(f"cannot raise IR op kind {kind!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class IrProgram:
+    """A complete IR program (ops in canonical-interleaving order)."""
+
+    n_ranks: int
+    vars: Tuple[VarSpec, ...]
+    ops: Tuple[IrOp, ...]
+    region_size: int = 1024
+    strict: bool = False
+    label: str = ""
+
+    # -- conversion ------------------------------------------------------
+    @classmethod
+    def from_program(cls, program: RmaProgram) -> "IrProgram":
+        program.validate()
+        by_vid = {v.vid: v for v in program.vars}
+        epochs = program.epochs()
+        next_result = [0]
+        ops = tuple(_op_to_ir(i, op, epochs[i], by_vid, next_result)
+                    for i, op in enumerate(program.ops))
+        ir = cls(n_ranks=program.n_ranks, vars=program.vars, ops=ops,
+                 region_size=program.region_size, strict=program.strict,
+                 label=program.label)
+        ir.validate()
+        return ir
+
+    def to_program(self) -> RmaProgram:
+        program = RmaProgram(
+            n_ranks=self.n_ranks, vars=self.vars,
+            ops=tuple(_ir_to_op(op) for op in self.ops),
+            region_size=self.region_size, strict=self.strict,
+            label=self.label,
+        )
+        program.validate()
+        return program
+
+    def op_map(self) -> Dict[int, int]:
+        """Emitted canonical index -> single source index, for every op
+        with one-op provenance (the re-keying map the verifier uses to
+        pin an optimized run's returns back onto the original program).
+        Merged ops (``len(origin) > 1``) are deliberately absent — they
+        are never value-producing."""
+        return {i: op.origin[0] for i, op in enumerate(self.ops)
+                if len(op.origin) == 1}
+
+    # -- views -----------------------------------------------------------
+    def var(self, vid: int) -> VarSpec:
+        return self.vars[vid]
+
+    def rank_view(self, rank: int) -> List[Tuple[int, IrOp]]:
+        """This rank's program order: its own ops plus every fence, as
+        (canonical index, op) pairs."""
+        return [(i, op) for i, op in enumerate(self.ops)
+                if op.rank == rank or op.kind == "fence"]
+
+    def n_epochs(self) -> int:
+        return (self.ops[-1].epoch + 1) if self.ops else 1
+
+    def results(self) -> Dict[int, int]:
+        """SSA result id -> canonical index of its producer."""
+        return {op.result: i for i, op in enumerate(self.ops)
+                if op.result >= 0}
+
+    def with_ops(self, ops) -> "IrProgram":
+        return replace(self, ops=tuple(ops))
+
+    # -- validation ------------------------------------------------------
+    def validate(self) -> None:
+        epoch = 0
+        seen_results: set = set()
+        claimed: set = set()
+        for i, op in enumerate(self.ops):
+            if op.epoch != epoch:
+                raise ValueError(
+                    f"op {i}: epoch operand {op.epoch} != derived {epoch}")
+            if op.kind == "fence":
+                epoch += 1
+            if op.kind in RESULT_KINDS:
+                if op.result < 0:
+                    raise ValueError(f"op {i}: {op.kind} needs a result id")
+                if op.result in seen_results:
+                    raise ValueError(
+                        f"op {i}: duplicate result id %{op.result}")
+                seen_results.add(op.result)
+            elif op.result >= 0:
+                raise ValueError(
+                    f"op {i}: {op.kind} must not carry a result id")
+            if not op.origin:
+                raise ValueError(f"op {i}: empty origin (provenance lost)")
+            if claimed & set(op.origin):
+                raise ValueError(
+                    f"op {i}: origin {op.origin} overlaps another op's")
+            claimed.update(op.origin)
+            if op.var >= 0 and op.var >= len(self.vars):
+                raise ValueError(f"op {i}: unknown var {op.var}")
+        # The raised program enforces every check-format invariant
+        # (ranks, scratch ranges, notify wellformedness, ...).
+        self.to_program()
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_ranks": self.n_ranks,
+            "region_size": self.region_size,
+            "strict": self.strict,
+            "label": self.label,
+            "vars": [v.to_dict() for v in self.vars],
+            "ops": [op.to_dict() for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "IrProgram":
+        return cls(
+            n_ranks=d["n_ranks"],
+            region_size=d.get("region_size", 1024),
+            strict=d.get("strict", False),
+            label=d.get("label", ""),
+            vars=tuple(VarSpec.from_dict(v) for v in d["vars"]),
+            ops=tuple(IrOp.from_dict(o) for o in d["ops"]),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "IrProgram":
+        return cls.from_dict(json.loads(text))
+
+    def __str__(self) -> str:
+        return (f"<IrProgram {self.label or 'anon'}: {self.n_ranks} ranks, "
+                f"{len(self.vars)} vars, {len(self.ops)} ops, "
+                f"{self.n_epochs()} epoch(s)"
+                f"{', strict' if self.strict else ''}>")

@@ -1,0 +1,565 @@
+"""Optimizing IR→IR passes with machine-checkable legality.
+
+Every pass is split into three pure functions over an
+:class:`~repro.ir.ops.IrProgram`:
+
+- ``plan(ir)``    — compute the list of edits the pass wants to make;
+- ``legal(ir, edits)`` — independently re-derive, edit by edit, the
+  legality precondition against the consistency rules the conformance
+  oracle enforces (:class:`repro.check.oracle._Sequencer`); returns the
+  list of violated preconditions (empty = legal);
+- ``apply(ir, edits)`` — perform the edits, preserving provenance
+  (every surviving op keeps its ``origin``; merged ops concatenate
+  theirs).
+
+``Pass.run`` refuses to apply an illegal plan.  The soundness argument
+for each pass is spelled out in DESIGN §16; the shape common to all of
+them: the oracle only ever derives a must-happen-before edge between
+two same-rank accesses of one variable from (a) the epoch boundary,
+(b) an intervening covering flush, (c) the *later* op's ``ordering``
+attribute, (d) the earlier op's ``blocking``+``atomicity`` or
+``blocking``+``remote_completion`` pair, or (e) fabric FIFO.  A pass
+may delete or weaken program text only when it can show no pair loses
+its edge — and the verifier (:mod:`repro.ir.verify`) then *checks*
+that claim differentially on every fabric by re-keying the optimized
+run's observables onto the original program.
+
+``coalesce_too_eager`` is the deliberately unsound test-only variant:
+it merges every synchronization — explicit flushes *and* the per-op
+sequence micro-flush the ``ordering`` attribute stands for — into the
+epoch-closing completion collective, ignoring the ops in between that
+relied on them (exactly the edits ``legal`` rejects), and skips the
+legality gate.  It is planted to prove the differential harness has
+the power to catch a bad pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.ops import IrOp, IrProgram
+
+__all__ = ["PassStats", "Pass", "PASSES", "PIPELINE", "IrPassError",
+           "run_pipeline", "optimize"]
+
+
+class IrPassError(ValueError):
+    """A pass's plan failed its own legality precondition."""
+
+
+@dataclass
+class PassStats:
+    """What one pass did (the ``--ir`` report's row source)."""
+
+    name: str
+    ops_in: int = 0
+    ops_out: int = 0
+    flushes_removed: int = 0
+    attrs_dropped: int = 0
+    stores_elided: int = 0
+    puts_merged: int = 0      # source puts folded into batches
+    batches: int = 0          # batched puts emitted
+    bytes_elided: int = 0     # payload bytes of elided dead stores
+    bytes_batched: int = 0    # source payload bytes now riding batches
+
+    @property
+    def ops_eliminated(self) -> int:
+        return self.ops_in - self.ops_out
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "name": self.name, "ops_in": self.ops_in,
+            "ops_out": self.ops_out,
+            "ops_eliminated": self.ops_eliminated,
+            "flushes_removed": self.flushes_removed,
+            "attrs_dropped": self.attrs_dropped,
+            "stores_elided": self.stores_elided,
+            "puts_merged": self.puts_merged, "batches": self.batches,
+            "bytes_elided": self.bytes_elided,
+            "bytes_batched": self.bytes_batched,
+        }
+
+
+# ----------------------------------------------------------------------
+# Shared predicates
+# ----------------------------------------------------------------------
+def _overlaps(a: IrOp, b: IrOp) -> bool:
+    """Whether two ops access overlapping bytes of one window (var
+    slots and raw scratch ranges live in disjoint halves, so plain
+    interval arithmetic covers every combination)."""
+    ia, ib = a.interval(), b.interval()
+    if ia is None or ib is None:
+        return False
+    return ia[0] == ib[0] and ia[1] < ib[2] and ib[1] < ia[2]
+
+
+def _flush_covers_op(f: IrOp, op: IrOp) -> bool:
+    """Whether flush ``f`` covers remote op ``op``'s window."""
+    return f.window < 0 or op.window == f.window
+
+
+def _flush_covers_flush(g: IrOp, f: IrOp) -> bool:
+    """Whether a later flush ``g`` subsumes flush ``f``: it must cover
+    at least ``f``'s window, and ``complete`` (a full remote-completion
+    flush) covers both modes while ``order`` only covers ``order``."""
+    if g.window >= 0 and g.window != f.window and f.window >= 0:
+        return False
+    if g.window >= 0 and f.window < 0:
+        return False  # f covered all targets, g only one
+    return g.flush == "complete" or g.flush == f.flush
+
+
+#: Purely local kinds a coalesced flush may skip over when looking for
+#: its covering successor (they never put traffic on the wire, and the
+#: oracle never sequences a mixed local/remote pair).
+_LOCAL_KINDS = ("store", "load", "compute")
+
+
+# ----------------------------------------------------------------------
+# Pass 1: flush/fence coalescing
+# ----------------------------------------------------------------------
+def _coalesce_ok(ir: IrProgram, idx: int) -> Optional[str]:
+    """The machine-checkable precondition for removing the flush at
+    canonical index ``idx``; returns the justification, or ``None``
+    when removal is NOT legal.
+
+    Legal cases (soundness per DESIGN §16): the flush is *vacuous* —
+    no covered remote traffic from its rank both before and after it
+    within its epoch, so it can never be the intervening op of a
+    sequenced pair (cross-epoch pairs are ordered by the fence
+    already); or it is *subsumed* — the very next non-local op of its
+    rank in the epoch is a covering flush, so any pair it ordered is
+    still ordered by that flush."""
+    f = ir.ops[idx]
+    if f.kind != "flush":
+        return None
+    view = ir.rank_view(f.rank)
+    pos = next(p for p, (i, _) in enumerate(view) if i == idx)
+    before = any(op.is_remote and op.epoch == f.epoch
+                 and _flush_covers_op(f, op) for _, op in view[:pos])
+    after = any(op.is_remote and op.epoch == f.epoch
+                and _flush_covers_op(f, op) for _, op in view[pos + 1:])
+    if not (before and after):
+        side = "before" if not before else "after"
+        return f"vacuous: no covered remote op {side} it in epoch {f.epoch}"
+    for i, op in view[pos + 1:]:
+        if op.epoch != f.epoch or op.kind == "fence":
+            break
+        if op.kind in _LOCAL_KINDS:
+            continue
+        if op.kind == "flush" and _flush_covers_flush(op, f):
+            return f"subsumed by adjacent covering flush at op {i}"
+        break
+    return None
+
+
+def _coalesce_plan(ir: IrProgram) -> List[Tuple[int, str]]:
+    plan = []
+    for idx, op in enumerate(ir.ops):
+        if op.kind != "flush":
+            continue
+        reason = _coalesce_ok(ir, idx)
+        if reason is not None:
+            plan.append((idx, reason))
+    return plan
+
+
+def _coalesce_legal(ir: IrProgram, edits: List[Tuple[int, str]]) -> List[str]:
+    problems = []
+    for idx, _ in edits:
+        if ir.ops[idx].kind != "flush":
+            problems.append(f"op {idx} is not a flush")
+        elif _coalesce_ok(ir, idx) is None:
+            problems.append(
+                f"flush at op {idx} is load-bearing: covered remote "
+                "traffic on both sides and no adjacent covering flush")
+    return problems
+
+
+def _remove_ops(ir: IrProgram, indices) -> IrProgram:
+    gone = set(indices)
+    return ir.with_ops(op for i, op in enumerate(ir.ops) if i not in gone)
+
+
+def _coalesce_apply(ir, edits):
+    stats = PassStats("coalesce_flushes", ops_in=len(ir.ops),
+                      flushes_removed=len(edits))
+    out = _remove_ops(ir, [i for i, _ in edits])
+    stats.ops_out = len(out.ops)
+    return out, stats
+
+
+# ----------------------------------------------------------------------
+# Test-only planted-unsound variant.  The (plausible-looking) bug: every
+# epoch ends in a completion collective, so "obviously" every
+# synchronization inside the epoch can be merged forward into it — the
+# explicit flush ops, and the per-op sequence micro-flush that the
+# `ordering` attribute stands for in this engine.  The conflation is
+# the classic one: the collective provides *completion at the epoch
+# boundary*, not *delivery order during the epoch*, so ops between a
+# merged flush and the epoch's end lose the ordering they relied on.
+# It also skips the legality gate, which flags exactly the
+# load-bearing removals.
+# ----------------------------------------------------------------------
+def _eager_plan(ir: IrProgram) -> List[Tuple[int, str, str]]:
+    plan = []
+    for idx, op in enumerate(ir.ops):
+        if op.kind == "flush":
+            plan.append((idx, "flush",
+                         "eagerly merged into the epoch-closing completion"))
+        elif op.is_remote and op.has("ordering"):
+            plan.append((idx, "ordering",
+                         "per-op sequence micro-flush eagerly merged into "
+                         "the epoch-closing completion"))
+    return plan
+
+
+def _eager_legal(ir: IrProgram, edits) -> List[str]:
+    """The honest legality check the eager pass *skips*: reusing the
+    sound passes' preconditions shows its plan is exactly the set of
+    edits they refuse to make."""
+    problems = []
+    for idx, what, _ in edits:
+        if what == "flush":
+            if _coalesce_ok(ir, idx) is None:
+                problems.append(f"flush at op {idx} is load-bearing")
+        elif _relax_ok(ir, idx, "ordering") is None:
+            problems.append(f"attr 'ordering' on op {idx} is load-bearing")
+    return problems
+
+
+def _eager_apply(ir, edits):
+    stats = PassStats("coalesce_too_eager", ops_in=len(ir.ops))
+    gone = {i for i, what, _ in edits if what == "flush"}
+    strip = {i for i, what, _ in edits if what == "ordering"}
+    ops = []
+    for i, op in enumerate(ir.ops):
+        if i in gone:
+            stats.flushes_removed += 1
+            continue
+        if i in strip:
+            stats.attrs_dropped += 1
+            op = replace(op, attrs=tuple(a for a in op.attrs
+                                         if a != "ordering"))
+        ops.append(op)
+    out = ir.with_ops(ops)
+    stats.ops_out = len(out.ops)
+    return out, stats
+
+
+# ----------------------------------------------------------------------
+# Pass 2: attribute relaxation
+# ----------------------------------------------------------------------
+def _relax_ok(ir: IrProgram, idx: int, attr: str) -> Optional[str]:
+    """Precondition for dropping ``attr`` from the op at ``idx``.
+
+    - ``ordering`` on op *b* only creates edges toward same-rank
+      predecessors whose access aliases *b*'s in the same epoch; with
+      no aliasing predecessor the attribute is free to go (the
+      "non-aliasing targets" rule).
+    - ``remote_completion`` only creates an edge together with
+      ``blocking`` (and ``complete`` flushes fall back to a flush
+      round trip for ack-less ops), so on a non-blocking op it is
+      semantically inert — and dropping it is what lets the op ride
+      the op-train on fabrics without hardware delivery acks.
+    """
+    b = ir.ops[idx]
+    if attr not in b.attrs:
+        return None
+    if b.kind not in ("put", "get", "acc", "getacc"):
+        return None
+    if b.notify:
+        return None  # notified litmus ops are left untouched
+    if attr == "ordering":
+        for i, a in ir.rank_view(b.rank):
+            if i >= idx:
+                break
+            if a.is_remote and a.epoch == b.epoch and _overlaps(a, b):
+                return None
+        return f"no aliasing same-rank predecessor in epoch {b.epoch}"
+    if attr == "remote_completion":
+        if b.has("blocking"):
+            return None
+        return "inert without blocking: creates no completion edge"
+    return None
+
+
+def _relax_plan(ir: IrProgram) -> List[Tuple[int, str, str]]:
+    plan = []
+    for idx in range(len(ir.ops)):
+        for attr in ("ordering", "remote_completion"):
+            reason = _relax_ok(ir, idx, attr)
+            if reason is not None:
+                plan.append((idx, attr, reason))
+    return plan
+
+
+def _relax_legal(ir, edits) -> List[str]:
+    problems = []
+    for idx, attr, _ in edits:
+        if _relax_ok(ir, idx, attr) is None:
+            problems.append(
+                f"attr {attr!r} on op {idx} is load-bearing")
+    return problems
+
+
+def _relax_apply(ir, edits):
+    stats = PassStats("relax_attributes", ops_in=len(ir.ops),
+                      ops_out=len(ir.ops), attrs_dropped=len(edits))
+    drop: Dict[int, set] = {}
+    for idx, attr, _ in edits:
+        drop.setdefault(idx, set()).add(attr)
+    ops = list(ir.ops)
+    for idx, attrs in drop.items():
+        op = ops[idx]
+        ops[idx] = replace(
+            op, attrs=tuple(a for a in op.attrs if a not in attrs))
+    return ir.with_ops(ops), stats
+
+
+# ----------------------------------------------------------------------
+# Pass 3: dead-scratch-store elision
+# ----------------------------------------------------------------------
+def _elide_ok(ir: IrProgram, idx: int) -> Optional[str]:
+    """Precondition for eliding the raw scratch put at ``idx``: no
+    raw-range read (peek) anywhere in the program overlaps its bytes —
+    scratch bytes outlive epochs, so a peek in *any* epoch keeps a
+    store alive.  Raw puts are untraced (> 16 B by construction) and
+    never enter the oracle's sequenced pairs, so an unobserved one is
+    dead by definition."""
+    p = ir.ops[idx]
+    if not (p.kind == "put" and p.var < 0 and not p.notify):
+        return None
+    for op in ir.ops:
+        if op.kind == "get" and op.var < 0 and _overlaps(op, p):
+            return None
+    return f"no peek overlaps [{p.disp}, {p.disp + p.nbytes}) on w{p.window}"
+
+
+def _elide_plan(ir: IrProgram) -> List[Tuple[int, str]]:
+    plan = []
+    for idx, op in enumerate(ir.ops):
+        if op.kind == "put" and op.var < 0:
+            reason = _elide_ok(ir, idx)
+            if reason is not None:
+                plan.append((idx, reason))
+    return plan
+
+
+def _elide_legal(ir, edits) -> List[str]:
+    problems = []
+    for idx, _ in edits:
+        if _elide_ok(ir, idx) is None:
+            problems.append(f"scratch store at op {idx} is observable")
+    return problems
+
+
+def _elide_apply(ir, edits):
+    stats = PassStats("elide_dead_stores", ops_in=len(ir.ops),
+                      stores_elided=len(edits),
+                      bytes_elided=sum(ir.ops[i].nbytes for i, _ in edits))
+    out = _remove_ops(ir, [i for i, _ in edits])
+    stats.ops_out = len(out.ops)
+    return out, stats
+
+
+# ----------------------------------------------------------------------
+# Pass 4: small-op aggregation into batched puts
+# ----------------------------------------------------------------------
+def _run_mergeable(op: IrOp) -> bool:
+    return (op.kind == "put" and op.var < 0 and not op.notify
+            and not op.via_xfer)
+
+
+def _aggregate_runs(ir: IrProgram) -> List[List[int]]:
+    """Maximal mergeable runs: per rank, strictly consecutive raw puts
+    (no other op of that rank between them) sharing window, fill
+    value, attrs and epoch, whose byte intervals chain into one gapless
+    interval."""
+    runs: List[List[int]] = []
+    for rank in range(ir.n_ranks):
+        cur: List[int] = []
+        lo = hi = 0
+
+        def flush_run():
+            if len(cur) >= 2:
+                runs.append(list(cur))
+            cur.clear()
+
+        for idx, op in ir.rank_view(rank):
+            if op.kind == "fence":
+                flush_run()
+                continue
+            if cur:
+                head = ir.ops[cur[0]]
+                chains = not (op.disp > hi or op.disp + op.nbytes < lo)
+                if (_run_mergeable(op) and op.window == head.window
+                        and op.value == head.value
+                        and op.attrs == head.attrs
+                        and op.epoch == head.epoch and chains):
+                    cur.append(idx)
+                    lo = min(lo, op.disp)
+                    hi = max(hi, op.disp + op.nbytes)
+                    continue
+                flush_run()
+            if _run_mergeable(op):
+                cur.append(idx)
+                lo, hi = op.disp, op.disp + op.nbytes
+        flush_run()
+    return runs
+
+
+def _aggregate_ok(ir: IrProgram, run: Sequence[int]) -> Optional[str]:
+    """Precondition for merging ``run`` into one batched put: all
+    members are mergeable raw puts of one rank/window/value/attr-set/
+    epoch, consecutive in the rank's view, and their byte intervals
+    union to a single gapless interval — so the batched put writes
+    exactly the bytes the sources wrote, with the same fill."""
+    if len(run) < 2:
+        return None
+    head = ir.ops[run[0]]
+    for idx in run:
+        op = ir.ops[idx]
+        if not _run_mergeable(op):
+            return None
+        if (op.rank != head.rank or op.window != head.window
+                or op.value != head.value or op.attrs != head.attrs
+                or op.epoch != head.epoch):
+            return None
+    view_idx = [i for i, op in ir.rank_view(head.rank)]
+    pos = [view_idx.index(i) for i in run]
+    if pos != list(range(pos[0], pos[0] + len(run))):
+        return None  # another op of this rank interleaves the run
+    ivs = sorted((ir.ops[i].disp, ir.ops[i].disp + ir.ops[i].nbytes)
+                 for i in run)
+    hi = ivs[0][1]
+    for lo2, hi2 in ivs[1:]:
+        if lo2 > hi:
+            return None  # gap: the batch would write unwritten bytes
+        hi = max(hi, hi2)
+    return (f"{len(run)} puts -> 1 batched put "
+            f"[{ivs[0][0]}, {hi}) on w{head.window}")
+
+
+def _aggregate_plan(ir: IrProgram) -> List[List[int]]:
+    return [run for run in _aggregate_runs(ir)
+            if _aggregate_ok(ir, run) is not None]
+
+
+def _aggregate_legal(ir, edits) -> List[str]:
+    problems = []
+    for run in edits:
+        if _aggregate_ok(ir, run) is None:
+            problems.append(f"run {run} is not mergeable")
+    return problems
+
+
+def _aggregate_apply(ir, edits):
+    stats = PassStats("aggregate_puts", ops_in=len(ir.ops),
+                      batches=len(edits))
+    merged: Dict[int, IrOp] = {}
+    gone = set()
+    for run in edits:
+        head = ir.ops[run[0]]
+        lo = min(ir.ops[i].disp for i in run)
+        hi = max(ir.ops[i].disp + ir.ops[i].nbytes for i in run)
+        origin = tuple(o for i in run for o in ir.ops[i].origin)
+        merged[run[0]] = replace(head, disp=lo, nbytes=hi - lo,
+                                 origin=origin)
+        gone.update(run[1:])
+        stats.puts_merged += len(run)
+        stats.bytes_batched += sum(ir.ops[i].nbytes for i in run)
+    ops = [merged.get(i, op) for i, op in enumerate(ir.ops)
+           if i not in gone]
+    out = ir.with_ops(ops)
+    stats.ops_out = len(out.ops)
+    return out, stats
+
+
+# ----------------------------------------------------------------------
+# Pass registry + pipeline driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Pass:
+    """One optimizing pass: plan / legality precondition / apply."""
+
+    name: str
+    plan: Callable[[IrProgram], list]
+    legal: Callable[[IrProgram, list], List[str]]
+    apply: Callable[[IrProgram, list], Tuple[IrProgram, PassStats]]
+    test_only: bool = False
+    #: The planted-unsound variant skips the legality gate (that *is*
+    #: the planted bug); every real pass enforces it.
+    unchecked: bool = False
+
+    def precondition(self, ir: IrProgram) -> List[str]:
+        """The violated legality preconditions of this pass's plan on
+        ``ir`` (empty = the pass is legal to run)."""
+        return self.legal(ir, self.plan(ir))
+
+    def run(self, ir: IrProgram) -> Tuple[IrProgram, PassStats]:
+        edits = self.plan(ir)
+        if not self.unchecked:
+            problems = self.legal(ir, edits)
+            if problems:
+                raise IrPassError(
+                    f"pass {self.name} planned illegal edits: {problems}")
+        out, stats = self.apply(ir, edits)
+        out.validate()
+        return out, stats
+
+
+PASSES: Dict[str, Pass] = {
+    "coalesce_flushes": Pass(
+        "coalesce_flushes", _coalesce_plan, _coalesce_legal,
+        _coalesce_apply),
+    "relax_attributes": Pass(
+        "relax_attributes", _relax_plan, _relax_legal, _relax_apply),
+    "elide_dead_stores": Pass(
+        "elide_dead_stores", _elide_plan, _elide_legal, _elide_apply),
+    "aggregate_puts": Pass(
+        "aggregate_puts", _aggregate_plan, _aggregate_legal,
+        _aggregate_apply),
+    "coalesce_too_eager": Pass(
+        "coalesce_too_eager", _eager_plan, _eager_legal,
+        _eager_apply, test_only=True, unchecked=True),
+}
+
+#: The default pipeline, in application order: sync coalescing first
+#: (exposes longer uninterrupted runs), relaxation second (makes runs
+#: train-eligible), elision before aggregation (don't batch dead
+#: bytes).
+PIPELINE: Tuple[str, ...] = (
+    "coalesce_flushes", "relax_attributes", "elide_dead_stores",
+    "aggregate_puts",
+)
+
+
+def run_pipeline(ir: IrProgram,
+                 names: Sequence[str] = PIPELINE,
+                 ) -> Tuple[IrProgram, List[PassStats]]:
+    """Run the named passes in order; returns the optimized IR and
+    per-pass stats."""
+    all_stats = []
+    for name in names:
+        try:
+            ir, stats = PASSES[name].run(ir)
+        except KeyError:
+            raise ValueError(
+                f"unknown pass {name!r}; choose from {sorted(PASSES)}"
+            ) from None
+        all_stats.append(stats)
+    return ir, all_stats
+
+
+def optimize(program, names: Sequence[str] = PIPELINE):
+    """Optimize a check-format program through the pipeline.
+
+    Returns ``(optimized_program, op_map, pass_stats)`` where
+    ``op_map`` maps each optimized canonical op index back to its
+    single source index (absent for merged ops) — the re-keying map the
+    verifier uses."""
+    ir = IrProgram.from_program(program)
+    ir, all_stats = run_pipeline(ir, names)
+    return ir.to_program(), ir.op_map(), all_stats

@@ -1,0 +1,205 @@
+"""Human-readable text form of the IR (mlir-flavored).
+
+One op per line, fixed operand order, so the format round-trips
+exactly: ``parse(print(ir)) == ir`` (dataclass equality), which implies
+the parse-print-parse fixed point the round-trip suite pins.
+
+::
+
+    rma.program @"seed7" ranks(4) region(1024) {
+      %v0 = rma.var data owner(2)
+      %v1 = rma.var rmw owner(1) user(3)
+
+      rma.put r0 w2 var(%v0) value(17) attrs[ordering] origin(0)
+      %0 = rma.get r1 w2 var(%v0) attrs[blocking] origin(1)
+      rma.put r3 w0 range(528, 96) value(9) origin(2)
+      %1 = rma.rmw.cas r3 w1 var(%v1) value(42) cmp(7) origin(3)
+      rma.flush.order r0 all origin(4)
+      rma.fence origin(5)
+      // epoch 1
+      rma.compute r1 dur(3.25) origin(6)
+    }
+
+Window operands print only where they are free (remote ops and
+flushes); local ops derive theirs from the rank, and epochs are derived
+by counting fences — both are re-materialized at parse time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.check.program import SLOT_BYTES, VarSpec
+from repro.ir.ops import IrOp, IrProgram
+
+__all__ = ["print_ir", "parse_ir"]
+
+#: Kinds whose window operand is printed (not derivable from the rank).
+_WINDOWED = ("put", "get", "acc", "getacc", "rmw", "flush")
+
+
+def _format_op(op: IrOp) -> str:
+    parts: List[str] = []
+    name = f"rma.{op.kind}"
+    if op.kind == "flush":
+        name += f".{op.flush}"
+    elif op.kind == "rmw":
+        name += f".{op.rmw_op}"
+    parts.append(name)
+    if op.kind != "fence":
+        parts.append(f"r{op.rank}")
+    if op.kind in _WINDOWED:
+        parts.append("all" if op.window < 0 else f"w{op.window}")
+    if op.var >= 0 and op.kind != "compute":
+        parts.append(f"var(%v{op.var})")
+    if op.is_raw:
+        parts.append(f"range({op.disp}, {op.nbytes})")
+    if op.value:
+        parts.append(f"value({op.value})")
+    if op.compare:
+        parts.append(f"cmp({op.compare})")
+    if op.kind == "compute":
+        parts.append(f"dur({op.duration!r})")
+    if op.kind == "wait_notify":
+        parts.append(f"match({op.notify})")
+    elif op.notify:
+        parts.append(f"notify({op.notify})")
+    if op.attrs:
+        parts.append(f"attrs[{', '.join(op.attrs)}]")
+    if op.via_xfer:
+        parts.append("xfer")
+    parts.append(f"origin({', '.join(str(i) for i in op.origin)})")
+    line = " ".join(parts)
+    if op.result >= 0:
+        line = f"%{op.result} = {line}"
+    return line
+
+
+def print_ir(ir: IrProgram) -> str:
+    """Render an :class:`IrProgram` in the text format."""
+    out: List[str] = []
+    strict = " strict" if ir.strict else ""
+    out.append(f'rma.program @"{ir.label}" ranks({ir.n_ranks}) '
+               f'region({ir.region_size}){strict} {{')
+    for v in ir.vars:
+        user = f" user({v.user})" if v.user >= 0 else ""
+        out.append(f"  %v{v.vid} = rma.var {v.vtype} owner({v.owner}){user}")
+    if ir.vars:
+        out.append("")
+    for op in ir.ops:
+        out.append(f"  {_format_op(op)}")
+        if op.kind == "fence":
+            out.append(f"  // epoch {op.epoch + 1}")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+_HEADER_RE = re.compile(
+    r'^rma\.program @"([^"]*)" ranks\((\d+)\) region\((\d+)\)'
+    r"( strict)? \{$")
+_VAR_RE = re.compile(
+    r"^%v(\d+) = rma\.var (data|counter|rmw) owner\((\d+)\)"
+    r"(?: user\((\d+)\))?$")
+_OP_RE = re.compile(
+    r"^(?:%(\d+) = )?"
+    r"rma\.([a-z_]+?)(?:\.([a-z_]+))?"
+    r"(?: r(-?\d+))?"
+    r"(?: (w\d+|all))?"
+    r"(?: var\(%v(\d+)\))?"
+    r"(?: range\((\d+), (\d+)\))?"
+    r"(?: value\((-?\d+)\))?"
+    r"(?: cmp\((-?\d+)\))?"
+    r"(?: dur\(([^)]+)\))?"
+    r"(?: match\((\d+)\))?"
+    r"(?: notify\((\d+)\))?"
+    r"(?: attrs\[([^\]]*)\])?"
+    r"( xfer)?"
+    r" origin\(([0-9, ]+)\)$")
+
+#: rma.<name> suffixes that are op modes, not kinds.
+_KINDS_WITH_MODE = {"flush", "rmw"}
+
+
+def _parse_op(line: str, epoch: int, vars_by_vid) -> IrOp:
+    m = _OP_RE.match(line)
+    if m is None:
+        raise ValueError(f"unparseable IR op line: {line!r}")
+    (res, kind, mode, rank, window_tok, var, disp, nbytes, value, compare,
+     dur, match, notify, attrs, xfer, origin) = m.groups()
+    if mode is not None and kind not in _KINDS_WITH_MODE:
+        raise ValueError(f"op kind {kind!r} takes no mode: {line!r}")
+    rank_i = int(rank) if rank is not None else -1
+    var_i = int(var) if var is not None else -1
+    if window_tok is None:
+        window = rank_i if kind in ("store", "load", "wait_notify") else -1
+    else:
+        window = -1 if window_tok == "all" else int(window_tok[1:])
+    if var_i >= 0:
+        disp_i, nbytes_i = SLOT_BYTES * var_i, SLOT_BYTES
+    elif disp is not None:
+        disp_i, nbytes_i = int(disp), int(nbytes)
+    else:
+        disp_i, nbytes_i = -1, 0
+    notify_i = int(match) if match is not None else (
+        int(notify) if notify is not None else 0)
+    return IrOp(
+        kind=kind, rank=rank_i, epoch=epoch, window=window, var=var_i,
+        disp=disp_i, nbytes=nbytes_i,
+        value=int(value) if value is not None else 0,
+        compare=int(compare) if compare is not None else 0,
+        rmw_op=mode if kind == "rmw" else "",
+        flush=mode if kind == "flush" else "",
+        attrs=tuple(a.strip() for a in attrs.split(",") if a.strip())
+        if attrs is not None else (),
+        via_xfer=xfer is not None,
+        duration=float(dur) if dur is not None else 0.0,
+        notify=notify_i,
+        result=int(res) if res is not None else -1,
+        origin=tuple(int(t) for t in origin.split(",")),
+    )
+
+
+def parse_ir(text: str) -> IrProgram:
+    """Parse the text format back into an :class:`IrProgram`."""
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("//", 1)[0].strip()
+        if line:
+            lines.append(line)
+    if not lines:
+        raise ValueError("empty IR text")
+    m = _HEADER_RE.match(lines[0])
+    if m is None:
+        raise ValueError(f"bad IR header: {lines[0]!r}")
+    label, n_ranks, region_size, strict = m.groups()
+    if lines[-1] != "}":
+        raise ValueError("IR text does not end with '}'")
+
+    vars_: List[VarSpec] = []
+    ops: List[IrOp] = []
+    epoch = 0
+    for line in lines[1:-1]:
+        vm = _VAR_RE.match(line)
+        if vm is not None:
+            if ops:
+                raise ValueError(f"var decl after first op: {line!r}")
+            vid, vtype, owner, user = vm.groups()
+            if int(vid) != len(vars_):
+                raise ValueError(f"non-sequential var id: {line!r}")
+            vars_.append(VarSpec(vid=int(vid), vtype=vtype,
+                                 owner=int(owner),
+                                 user=int(user) if user is not None else -1))
+            continue
+        op = _parse_op(line, epoch, vars_)
+        if op.kind == "fence":
+            epoch += 1
+        ops.append(op)
+
+    ir = IrProgram(
+        n_ranks=int(n_ranks), vars=tuple(vars_), ops=tuple(ops),
+        region_size=int(region_size), strict=strict is not None,
+        label=label,
+    )
+    ir.validate()
+    return ir

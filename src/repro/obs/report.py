@@ -88,7 +88,8 @@ __all__ = ["format_rows", "run_sweep_report", "format_attribution_table",
            "run_topo_report", "format_link_table",
            "run_resil_report", "format_resil_table",
            "run_store_report", "format_store_table",
-           "run_notify_report", "format_notify_table", "main"]
+           "run_notify_report", "format_notify_table",
+           "run_ir_report", "format_ir_table", "main"]
 
 
 def format_rows(rows: List[List[str]], left_align=(0,)) -> str:
@@ -390,6 +391,89 @@ def format_resil_table(doc: Dict[str, Any]) -> str:
     return format_rows(rows, left_align=())
 
 
+def run_ir_report(
+    seeds=range(25),
+    fabrics=("ordered", "unordered", "torus"),
+) -> Dict[str, Any]:
+    """Run the IR pass pipeline over generated programs, differentially
+    verified per (seed, fabric); return the per-pass effect document.
+
+    Every (program, fabric) pair goes through the three-arm harness
+    (:func:`repro.ir.verify.verify_program`) — the table is only
+    printed for runs the oracle accepted, so the report doubles as a
+    smoke check and exits non-zero on any verification failure.  The
+    pinned :func:`repro.bench.perf.bench_ir_opt` point is appended so
+    the op-train absorption the pipeline buys is measured, not
+    estimated.
+    """
+    from repro.bench.perf import bench_ir_opt
+    from repro.check.generator import generate_program
+    from repro.ir.passes import PIPELINE
+    from repro.ir.verify import verify_program
+
+    agg: Dict[str, Dict[str, int]] = {}
+    failures: List[str] = []
+    checked = programs_changed = 0
+    sim_orig = sim_opt = 0.0
+    for seed in seeds:
+        program = generate_program(seed)
+        changed = False
+        for fabric in fabrics:
+            rep = verify_program(program, fabric, seed)
+            checked += 1
+            if not rep.ok:
+                failures.append(
+                    f"seed {seed} [{fabric}]: "
+                    f"{[str(v) for v in rep.violations()]}")
+                continue
+            changed = changed or rep.changed
+            sim_orig += rep.sim_time_original
+            sim_opt += rep.sim_time_optimized
+            if fabric == fabrics[0]:
+                for s in rep.pass_stats:
+                    row = agg.setdefault(s.name, {
+                        k: 0 for k in s.to_dict() if k != "name"})
+                    for k, v in s.to_dict().items():
+                        if k != "name":
+                            row[k] += v
+        if changed:
+            programs_changed += 1
+    return {
+        "schema": 1,
+        "workload": "ir_pass_pipeline",
+        "seeds": list(seeds),
+        "fabrics": list(fabrics),
+        "passes": list(PIPELINE),
+        "checked": checked,
+        "failures": failures,
+        "programs": len(list(seeds)),
+        "programs_changed": programs_changed,
+        "sim_us_original": sim_orig,
+        "sim_us_optimized": sim_opt,
+        "per_pass": agg,
+        "bench": bench_ir_opt(),
+    }
+
+
+def format_ir_table(doc: Dict[str, Any]) -> str:
+    """The per-pass effect table as aligned text."""
+    header = ["pass", "ops_in", "ops_out", "eliminated", "flushes",
+              "attrs", "stores", "merged", "batches", "bytes"]
+    rows = [header]
+    for name in doc["passes"]:
+        r = doc["per_pass"].get(name)
+        if r is None:
+            continue
+        rows.append([
+            name, str(r["ops_in"]), str(r["ops_out"]),
+            str(r["ops_eliminated"]), str(r["flushes_removed"]),
+            str(r["attrs_dropped"]), str(r["stores_elided"]),
+            str(r["puts_merged"]), str(r["batches"]),
+            str(r["bytes_batched"] + r["bytes_elided"]),
+        ])
+    return format_rows(rows)
+
+
 def _format_metrics(metrics: Dict[str, Any]) -> str:
     lines = []
     if metrics["counters"]:
@@ -473,7 +557,53 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--chaos", type=float, default=0.0,
                         help="per-packet drop/dup/delay probability for "
                              "--resil (default: off)")
+    parser.add_argument("--ir", action="store_true",
+                        help="report the IR optimizing-pass pipeline: "
+                             "per-pass ops eliminated / bytes batched over "
+                             "a differentially-verified seed sweep, plus "
+                             "the pinned op-train absorption benchmark")
+    parser.add_argument("--ir-seeds", default="0:25",
+                        help="seed range A:B for --ir "
+                             "(default: %(default)s)")
+    parser.add_argument("--ir-fabrics", default="ordered,unordered,torus",
+                        help="comma-separated fabrics for --ir "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
+
+    if args.ir:
+        if args.quick:
+            seeds, fabrics = range(5), ("ordered",)
+        else:
+            lo, hi = (int(s) for s in args.ir_seeds.split(":", 1))
+            seeds = range(lo, hi)
+            fabrics = tuple(f for f in args.ir_fabrics.split(",") if f)
+        doc = run_ir_report(seeds=seeds, fabrics=fabrics)
+        print("== IR optimizing passes (differentially verified per "
+              "(seed, fabric)) ==")
+        print(format_ir_table(doc))
+        print()
+        print(f"verified {doc['checked']} configuration(s) over "
+              f"{doc['programs']} generated program(s) on "
+              f"{','.join(doc['fabrics'])}; "
+              f"{len(doc['failures'])} failure(s); "
+              f"{doc['programs_changed']} program(s) changed by the "
+              f"pipeline")
+        bench = doc["bench"]
+        orig, opt = bench["original"], bench["optimized"]
+        print(f"pinned ir-opt-bench [{bench['fabric']}]: "
+              f"{orig['ops']} -> {opt['ops']} engine ops, "
+              f"{opt['train_ops']} op-train ops "
+              f"({opt['train_bytes']} B batched), "
+              f"sim {orig['sim_us']:.2f} -> {opt['sim_us']:.2f} us, "
+              f"wall speedup {bench['wall_speedup']:.2f}x")
+        for failure in doc["failures"]:
+            print(f"FAILURE {failure}")
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"[obs] wrote report {args.json_out}")
+        return 1 if doc["failures"] else 0
 
     if args.notify:
         if args.quick:

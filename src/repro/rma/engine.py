@@ -373,6 +373,7 @@ class RmaEngine:
             "bytes_got": 0,
             "gated_frags": 0,
             "train_ops": 0,
+            "train_bytes": 0,
             "shm_ops": 0,
             "shm_bytes": 0,
             "notifies": 0,
@@ -940,6 +941,7 @@ class RmaEngine:
                        nbytes, attrs)
         peer.outstanding.append(rec)
         self.stats["train_ops"] += 1
+        self.stats["train_bytes"] += nbytes
         return rec
 
     # ------------------------------------------------------------------

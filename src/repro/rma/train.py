@@ -39,6 +39,39 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TrainElement", "OpTrain"]
 
 
+def _dead_in_batch(batch: List["TrainElement"], i: int) -> bool:
+    """Whether ``batch[i]``'s memcpy can be elided: some later put in
+    the same materialization batch rewrites every byte it writes,
+    before any accumulate could read them.
+
+    Two cases, both byte-exact: a later put with the *identical*
+    layout signature (any shape, the PR 6 rule), or — for a contiguous
+    put — a later contiguous put to the same memory whose interval
+    contains this one.  An intervening overlapping accumulate reads
+    the target bytes, so the scan stops conservatively at the first
+    accumulate (batches are same-(src, dst) runs into one scratch
+    area; precise acc intervals are not worth tracking here)."""
+    elem = batch[i]
+    sig = elem.overwrite_sig
+    if sig is None:
+        return False
+    contig = sig[0] == "contig"
+    if contig:
+        _, mem_id, lo, nb = sig
+        hi = lo + nb
+    for later in batch[i + 1:]:
+        if later.kind != "put":
+            return False
+        lsig = later.overwrite_sig
+        if lsig == sig:
+            return True
+        if contig and lsig is not None and lsig[0] == "contig":
+            _, lmem, llo, lnb = lsig
+            if lmem == mem_id and llo <= lo and llo + lnb >= hi:
+                return True
+    return False
+
+
 class TrainElement:
     """One analytically-timed write riding a train."""
 
@@ -81,9 +114,11 @@ class TrainElement:
         #: (np_elem, op, scale) for accumulates, None for puts.
         self.acc_args = acc_args
         #: Tagged layout signature for puts — two puts with equal
-        #: signatures write byte-identical regions, so an earlier one
-        #: whose immediate successor in the same materialization batch
-        #: shares the signature is dead and its memcpy is elided.
+        #: signatures write byte-identical regions, and a later
+        #: ``("contig", mem_id, disp, nbytes)`` signature *covers* an
+        #: earlier one whose byte interval it contains.  A put covered
+        #: later in its own materialization batch is dead and its
+        #: memcpy is elided.
         self.overwrite_sig = overwrite_sig
         self.total_wire = total_wire
 
@@ -170,11 +205,10 @@ class OpTrain:
                 fabric.intra_node_packets += elem.nfrags
             alloc = eng._resolve(elem.mem_id)
             if elem.kind == "put":
-                if (i + 1 < nbatch
-                        and batch[i + 1].overwrite_sig == elem.overwrite_sig):
-                    # Dead store: the next element of this same batch
-                    # rewrites the identical region — elide the memcpy
-                    # (the watermark below still rolls).
+                if i + 1 < nbatch and _dead_in_batch(batch, i):
+                    # Dead store: a later element of this same batch
+                    # rewrites every byte — elide the memcpy (the
+                    # watermark below still rolls).
                     pass
                 elif elem.frags is None:
                     mem.nic_write(alloc, elem.base_disp, elem.wire)

@@ -1,0 +1,120 @@
+"""RunConfig: the single versioned run-configuration dict (DESIGN
+§16.4), and the v1-artifact back-compat path — including a regression
+replay of a frozen PR 9-era artifact embedded below."""
+
+import json
+
+import pytest
+
+from repro.check.config import CONFIG_VERSION, RunConfig
+from repro.check.shrink import (
+    ARTIFACT_VERSION,
+    load_artifact,
+    replay_artifact,
+)
+
+#: A verbatim PR 9-era (version 1) artifact: configuration scattered
+#: over top-level keys, no "config" dict.  The program is the ordering
+#: litmus — two back-to-back puts where only the `ordering` attribute
+#: sequences the second — failing under the drop_order_barrier engine
+#: mutation on an unordered fabric.  Frozen here so the back-compat
+#: path is pinned against real old bytes, not freshly-serialized ones.
+V1_ARTIFACT = {
+    "chaos": 0.0,
+    "fabric": "unordered",
+    "mutations": ["drop_order_barrier"],
+    "program": {
+        "label": "litmus",
+        "n_ranks": 2,
+        "ops": [
+            {"kind": "put", "rank": 0, "value": 1, "var": 0},
+            {"attrs": ["ordering"], "kind": "put", "rank": 0,
+             "value": 2, "var": 0},
+        ],
+        "region_size": 1024,
+        "strict": False,
+        "vars": [
+            {"owner": 1, "user": -1, "vid": 0, "vtype": "data"},
+        ],
+    },
+    "seed": 0,
+    "shared": False,
+    "version": 1,
+    "violations": [
+        {
+            "check": "final-state",
+            "message": "final value 1 not in admissible set [2] "
+                       "(writes [(0, 1), (1, 2)])",
+            "vid": 0,
+        },
+    ],
+}
+
+
+class TestRunConfig:
+    def test_dict_round_trip(self):
+        config = RunConfig(fabric="torus", seed=7, chaos=0.02,
+                           mutations=("drop_order_barrier",), shared=True,
+                           notify=True, ir_passes=("coalesce_flushes",))
+        doc = config.to_dict()
+        assert doc["version"] == CONFIG_VERSION
+        assert RunConfig.from_dict(doc) == config
+
+    def test_defaults_fill_missing_keys(self):
+        config = RunConfig.from_dict({"fabric": "flat", "seed": 3})
+        assert config == RunConfig(fabric="flat", seed=3)
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="version"):
+            RunConfig.from_dict({"version": 99, "fabric": "flat", "seed": 0})
+
+    def test_from_artifact_reads_v1_top_level_keys(self):
+        config = RunConfig.from_artifact(V1_ARTIFACT)
+        assert config == RunConfig(fabric="unordered", seed=0,
+                                   mutations=("drop_order_barrier",))
+
+    def test_from_artifact_prefers_v2_config_dict(self):
+        inner = RunConfig(fabric="torus", seed=5, ir_passes=("relax_attributes",))
+        doc = {"version": ARTIFACT_VERSION, "config": inner.to_dict(),
+               "fabric": "WRONG", "seed": -1}
+        assert RunConfig.from_artifact(doc) == inner
+
+    def test_describe_mentions_every_toggle(self):
+        banner = RunConfig(
+            fabric="flat", seed=1, chaos=0.05, mutations=("m",),
+            shared=True, notify=True, ir_passes=("aggregate_puts",),
+        ).describe()
+        for needle in ("fabric=flat", "seed=1", "chaos=0.05", "shared",
+                       "notify", "mutations=['m']",
+                       "ir_passes=['aggregate_puts']"):
+            assert needle in banner
+
+    def test_with_override(self):
+        base = RunConfig(fabric="flat", seed=0)
+        assert base.with_(seed=9).seed == 9
+        assert base.seed == 0  # frozen: with_ copies
+
+
+class TestV1ArtifactRegression:
+    """A PR 9-era artifact must load and replay to the recorded
+    violation, byte-for-byte the program it froze."""
+
+    @pytest.fixture()
+    def v1_path(self, tmp_path):
+        path = tmp_path / "pr9_artifact.json"
+        path.write_text(json.dumps(V1_ARTIFACT, indent=2, sort_keys=True))
+        return str(path)
+
+    def test_load_normalizes_config(self, v1_path):
+        doc = load_artifact(v1_path)
+        config = doc["config"]
+        assert config["version"] == CONFIG_VERSION
+        assert config["fabric"] == "unordered"
+        assert config["mutations"] == ["drop_order_barrier"]
+        assert config["ir_passes"] == []
+
+    def test_replay_reproduces_recorded_violation(self, v1_path):
+        report = replay_artifact(v1_path)
+        assert not report.ok
+        assert ([v.check for v in report.violations]
+                == [v["check"] for v in V1_ARTIFACT["violations"]])

@@ -43,7 +43,7 @@ def test_mutated_run_writes_replayable_artifact(tmp_path, capsys):
     artifacts = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
     assert artifacts
     doc = json.loads((tmp_path / artifacts[0]).read_text())
-    assert doc["mutations"] == ["drop_order_barrier"]
+    assert doc["config"]["mutations"] == ["drop_order_barrier"]
     assert doc["violations"]
     # Shrunk reproducer stays tiny (acceptance: <= 4 ops).
     assert len(doc["program"]["ops"]) <= 4
@@ -68,7 +68,7 @@ def test_replay_restores_shared_machine_config(tmp_path, capsys):
     artifacts = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
     assert artifacts
     doc = json.loads((tmp_path / artifacts[0]).read_text())
-    assert doc["shared"] is True
+    assert doc["config"]["shared"] is True
     capsys.readouterr()
 
     # Flag-free replay: the recorded config is restored and announced.
@@ -115,6 +115,6 @@ def test_notify_sweep_clean_and_mutation_caught(tmp_path, capsys):
     artifacts = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
     assert artifacts
     doc = json.loads((tmp_path / artifacts[0]).read_text())
-    assert doc["notify"] is True
+    assert doc["config"]["notify"] is True
     kinds = {op["kind"] for op in doc["program"]["ops"]}
     assert "wait_notify" in kinds

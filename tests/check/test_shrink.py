@@ -77,11 +77,12 @@ class TestArtifacts:
 
         doc = load_artifact(str(path))
         assert doc["version"] == ARTIFACT_VERSION
-        assert doc["mutations"] == list(MUTATION)
+        config = doc["config"]
+        assert config["mutations"] == list(MUTATION)
 
         replayed = check_program(run_program(
-            RmaProgram.from_dict(doc["program"]), doc["fabric"],
-            doc["seed"], mutations=tuple(doc["mutations"])))
+            RmaProgram.from_dict(doc["program"]), config["fabric"],
+            config["seed"], mutations=tuple(config["mutations"])))
         assert not replayed.ok
         assert (sorted(v.check for v in replayed.violations)
                 == sorted(v.check for v in res.report.violations))

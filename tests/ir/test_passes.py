@@ -1,0 +1,162 @@
+"""Per-pass unit tests: plans, the machine-checkable legality gates,
+and the planted-unsound pass whose plan the honest gate rejects."""
+
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro.check.generator import generate_program
+from repro.check.program import ProgOp, RmaProgram, VarSpec
+from repro.ir.ops import IrProgram
+from repro.ir.passes import PASSES, PIPELINE, IrPassError, optimize, run_pipeline
+
+
+def _prog(ops, n_ranks=2):
+    return RmaProgram(
+        n_ranks=n_ranks,
+        vars=(VarSpec(vid=0, vtype="data", owner=1),),
+        ops=tuple(ops), label="unit")
+
+
+def _ir(ops, n_ranks=2):
+    return IrProgram.from_program(_prog(ops, n_ranks=n_ranks))
+
+
+PUT1 = ProgOp(rank=0, kind="put", var=0, value=1)
+PUT2 = ProgOp(rank=0, kind="put", var=0, value=2)
+ORDER = ProgOp(rank=0, kind="order", target=-1)
+COMPLETE = ProgOp(rank=0, kind="complete", target=-1)
+
+
+class TestCoalesceFlushes:
+    def test_removes_vacuous_flush(self):
+        ir = _ir([ORDER, PUT1])
+        out, stats = PASSES["coalesce_flushes"].run(ir)
+        assert stats.flushes_removed == 1
+        assert all(op.kind != "flush" for op in out.ops)
+
+    def test_keeps_load_bearing_flush(self):
+        ir = _ir([PUT1, ORDER, PUT2])
+        out, stats = PASSES["coalesce_flushes"].run(ir)
+        assert stats.flushes_removed == 0
+        assert len(out.ops) == 3
+
+    def test_removes_flush_subsumed_by_adjacent_complete(self):
+        ir = _ir([PUT1, ORDER, COMPLETE, PUT2])
+        out, stats = PASSES["coalesce_flushes"].run(ir)
+        assert stats.flushes_removed == 1
+        kinds = [(op.kind, op.flush) for op in out.ops]
+        assert ("flush", "complete") in kinds
+        assert ("flush", "order") not in kinds
+
+    def test_legality_gate_blocks_an_illegal_plan(self):
+        ir = _ir([PUT1, ORDER, PUT2])
+        bad = dc_replace(PASSES["coalesce_flushes"],
+                         plan=lambda _ir: [(1, "bogus justification")])
+        with pytest.raises(IrPassError, match="load-bearing"):
+            bad.run(ir)
+
+
+class TestRelaxAttributes:
+    def test_drops_ordering_without_aliasing_predecessor(self):
+        ir = _ir([dc_replace(PUT1, attrs=("ordering",))])
+        out, stats = PASSES["relax_attributes"].run(ir)
+        assert stats.attrs_dropped == 1
+        assert not out.ops[0].attrs
+
+    def test_keeps_ordering_with_aliasing_predecessor(self):
+        ir = _ir([PUT1, dc_replace(PUT2, attrs=("ordering",))])
+        out, stats = PASSES["relax_attributes"].run(ir)
+        assert stats.attrs_dropped == 0
+        assert out.ops[1].has("ordering")
+
+    def test_remote_completion_inert_without_blocking(self):
+        ir = _ir([dc_replace(PUT1, attrs=("remote_completion",))])
+        out, stats = PASSES["relax_attributes"].run(ir)
+        assert stats.attrs_dropped == 1
+        assert not out.ops[0].attrs
+
+    def test_remote_completion_kept_with_blocking(self):
+        ir = _ir([dc_replace(PUT1, attrs=("blocking", "remote_completion"))])
+        out, stats = PASSES["relax_attributes"].run(ir)
+        assert stats.attrs_dropped == 0
+        assert out.ops[0].has("remote_completion")
+
+
+def _noise(disp, nbytes=32, value=7, rank=0, target=1):
+    return ProgOp(rank=rank, kind="noise", target=target, disp=disp,
+                  nbytes=nbytes, value=value)
+
+
+class TestElideDeadStores:
+    def test_elides_unobserved_scratch_store(self):
+        ir = _ir([_noise(600, 64)])
+        out, stats = PASSES["elide_dead_stores"].run(ir)
+        assert stats.stores_elided == 1
+        assert stats.bytes_elided == 64
+        assert not out.ops
+
+    def test_keeps_store_overlapping_a_peek(self):
+        ir = _ir([_noise(600, 64),
+                  ProgOp(rank=0, kind="peek", target=1, disp=632, nbytes=32)])
+        out, stats = PASSES["elide_dead_stores"].run(ir)
+        assert stats.stores_elided == 0
+        assert len(out.ops) == 2
+
+
+class TestAggregatePuts:
+    def test_merges_contiguous_same_value_run(self):
+        ir = _ir([_noise(600, 32), _noise(632, 32)])
+        out, stats = PASSES["aggregate_puts"].run(ir)
+        assert (stats.puts_merged, stats.batches) == (2, 1)
+        assert stats.bytes_batched == 64
+        (batched,) = out.ops
+        assert (batched.disp, batched.nbytes) == (600, 64)
+        assert batched.origin == (0, 1)
+
+    def test_refuses_gapped_run(self):
+        ir = _ir([_noise(600, 32), _noise(700, 32)])
+        out, stats = PASSES["aggregate_puts"].run(ir)
+        assert stats.batches == 0
+        assert len(out.ops) == 2
+
+    def test_refuses_mixed_value_run(self):
+        ir = _ir([_noise(600, 32, value=7), _noise(632, 32, value=9)])
+        _, stats = PASSES["aggregate_puts"].run(ir)
+        assert stats.batches == 0
+
+    def test_refuses_interleaved_run(self):
+        ir = _ir([_noise(600, 32), PUT1, _noise(632, 32)])
+        _, stats = PASSES["aggregate_puts"].run(ir)
+        assert stats.batches == 0
+
+
+class TestPlantedEagerPass:
+    def test_honest_gate_flags_plan_but_pass_skips_it(self):
+        ir = _ir([PUT1, ORDER, dc_replace(PUT2, attrs=("ordering",))])
+        eager = PASSES["coalesce_too_eager"]
+        problems = eager.precondition(ir)
+        assert len(problems) == 2  # the flush and the attr, both load-bearing
+        out, stats = eager.run(ir)  # unchecked: the planted bug
+        assert (stats.flushes_removed, stats.attrs_dropped) == (1, 1)
+        assert all(not op.has("ordering") for op in out.ops)
+
+    def test_registry_marks_it_test_only(self):
+        eager = PASSES["coalesce_too_eager"]
+        assert eager.test_only and eager.unchecked
+        assert "coalesce_too_eager" not in PIPELINE
+
+
+class TestPipeline:
+    def test_unknown_pass_name_rejected(self):
+        ir = _ir([PUT1])
+        with pytest.raises(ValueError, match="unknown pass"):
+            run_pipeline(ir, ("no_such_pass",))
+
+    def test_optimize_keeps_provenance_in_range(self):
+        program = generate_program(0)
+        optimized, op_map, stats = optimize(program)
+        assert [s.name for s in stats] == list(PIPELINE)
+        assert len(optimized.ops) < len(program.ops)
+        assert all(0 <= src < len(program.ops) for src in op_map.values())
+        assert all(0 <= dst < len(optimized.ops) for dst in op_map)
